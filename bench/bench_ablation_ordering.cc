@@ -1,0 +1,59 @@
+// Ablation: solo ordering service (the paper's deployment) vs a
+// crash-fault-tolerant Raft ordering cluster (Fabric >= 1.4's etcdraft).
+// Measures what consensus replication costs the pipeline in throughput and
+// latency — a design-space point DESIGN.md §5 calls out; not part of the
+// paper's evaluation.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "workload/smallbank.h"
+
+namespace fabricpp::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — ordering backend: solo vs Raft cluster",
+              "extension (paper §2.1 treats the orderer as a black box)");
+
+  workload::SmallbankConfig wl;
+  wl.num_users = 10000;
+  wl.prob_write = 0.95;
+  wl.zipf_s = 0.5;
+  const workload::SmallbankWorkload workload(wl);
+
+  std::printf("\n%-26s %14s %14s %12s\n", "configuration", "success [tps]",
+              "failed [tps]", "avg lat");
+  for (const bool plusplus : {false, true}) {
+    for (const uint32_t raft_nodes : {0u, 3u, 5u}) {
+      fabric::FabricConfig config =
+          plusplus ? fabric::FabricConfig::FabricPlusPlus()
+                   : fabric::FabricConfig::Vanilla();
+      if (raft_nodes > 0) {
+        config.ordering_backend = fabric::OrderingBackend::kRaft;
+        config.raft_cluster_size = raft_nodes;
+      }
+      const fabric::RunReport report = RunExperiment(config, workload);
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s / %s",
+                    plusplus ? "fabric++" : "fabric",
+                    raft_nodes == 0
+                        ? "solo"
+                        : (raft_nodes == 3 ? "raft-3" : "raft-5"));
+      std::printf("%-26s %14.1f %14.1f %9.1f ms\n", label,
+                  report.successful_tps, report.failed_tps,
+                  report.latency_avg_ms);
+    }
+  }
+  std::printf("\nExpected: Raft adds per-block replication latency (one "
+              "round trip to a majority) with little throughput cost at "
+              "these block sizes.\n");
+}
+
+}  // namespace
+}  // namespace fabricpp::bench
+
+int main() {
+  fabricpp::bench::Run();
+  return 0;
+}

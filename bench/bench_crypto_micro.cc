@@ -1,0 +1,82 @@
+// google-benchmark timings of the crypto substrate: SHA-256 throughput,
+// HMAC signing/verification, Merkle roots, and full transaction hashing —
+// the operations whose real-world (ECDSA-era) costs the simulation's
+// CostModel `sign`/`verify`/`hash_per_kb` knobs represent.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/identity.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "proto/transaction.h"
+
+namespace fabricpp::crypto {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+  const Identity identity(42, "A1");
+  const std::string payload(static_cast<size_t>(state.range(0)), 'p');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identity.Sign(payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HmacSign)->Arg(256)->Arg(4096);
+
+void BM_HmacVerify(benchmark::State& state) {
+  const Identity identity(42, "A1");
+  const std::string payload(512, 'p');
+  const Signature signature = identity.Sign(payload);
+  const Bytes message(payload.begin(), payload.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(identity.Verify(message, signature));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HmacVerify);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Digest> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::Hash("tx" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleRoot(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(64)->Arg(1024);
+
+void BM_TransactionHash(benchmark::State& state) {
+  proto::Transaction tx;
+  tx.client = "client_c0_0";
+  tx.channel = "ch0";
+  tx.chaincode = "smallbank";
+  tx.policy_id = "AND(all-orgs)";
+  for (int i = 0; i < 8; ++i) {
+    tx.rwset.reads.push_back(
+        {"acc_" + std::to_string(i), proto::Version{3, 1}});
+    tx.rwset.writes.push_back(
+        {"acc_" + std::to_string(i), "123456", false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx.ContentDigest());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionHash);
+
+}  // namespace
+}  // namespace fabricpp::crypto
+
+BENCHMARK_MAIN();

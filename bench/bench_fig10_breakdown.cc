@@ -1,0 +1,81 @@
+// Reproduces Figure 10: breakdown of the individual impact of the two
+// Fabric++ optimizations (reordering, early abort) on the throughput of
+// successful transactions, for the configuration BS=1024, RW=8, HR=40%,
+// HW=10%, HSS=1%.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "workload/custom.h"
+
+namespace fabricpp::bench {
+namespace {
+
+fabric::RunReport RunVariant(bool reordering, bool early_abort,
+                             const workload::Workload& workload) {
+  fabric::FabricConfig config = fabric::FabricConfig::Vanilla();
+  config.block.max_transactions = 1024;
+  if (reordering) {
+    config.enable_reordering = true;
+    config.block.max_unique_keys = 16384;
+  }
+  if (early_abort) {
+    // Early abort needs the fine-grained concurrency control (§5.2.1).
+    config.enable_early_abort_sim = true;
+    config.enable_early_abort_ordering = true;
+    config.concurrency = fabric::ConcurrencyMode::kFineGrained;
+  }
+  return RunExperiment(config, workload);
+}
+
+void Run() {
+  PrintHeader("Figure 10 — Optimization breakdown (BS=1024, RW=8, HR=40%, "
+              "HW=10%, HSS=1%)",
+              "Figure 10, Section 6.5");
+
+  workload::CustomConfig custom;
+  custom.num_accounts = 10000;
+  custom.rw_ops = 8;
+  custom.hot_read_prob = 0.4;
+  custom.hot_write_prob = 0.1;
+  custom.hot_set_fraction = 0.01;
+  const workload::CustomWorkload workload(custom);
+
+  struct Variant {
+    const char* label;
+    bool reordering;
+    bool early_abort;
+  };
+  const Variant variants[] = {
+      {"Fabric (vanilla)", false, false},
+      {"Fabric++ (only reordering)", true, false},
+      {"Fabric++ (only early abort)", false, true},
+      {"Fabric++ (reordering & early abort)", true, true},
+  };
+
+  std::printf("\n%-40s %16s %16s\n", "variant", "success [tps]",
+              "failed [tps]");
+  double base = 0;
+  for (const Variant& v : variants) {
+    const fabric::RunReport report =
+        RunVariant(v.reordering, v.early_abort, workload);
+    if (base == 0) base = report.successful_tps;
+    std::printf("%-40s %16.1f %16.1f   (x%.2f vs vanilla)\n", v.label,
+                report.successful_tps, report.failed_tps,
+                base > 0 ? report.successful_tps / base : 0.0);
+  }
+  std::printf(
+      "\nPaper shape: each optimization alone improves over vanilla "
+      "(~1.5x each) and the combination is the best configuration "
+      "(~2.2x). Reordering removes within-block conflicts; early abort "
+      "keeps doomed transactions out of blocks and lets clients resubmit "
+      "without delay.\n");
+}
+
+}  // namespace
+}  // namespace fabricpp::bench
+
+int main() {
+  fabricpp::bench::Run();
+  return 0;
+}

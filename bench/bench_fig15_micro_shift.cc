@@ -1,0 +1,49 @@
+// Reproduces Figure 15 (Appendix B.1): the stand-alone reordering
+// micro-benchmark on the shifted read/write sequence — number of valid
+// transactions under the arrival order vs the reordered schedule, plus the
+// time to compute the reordering, for shift = 0..512 over 1024 txns.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "ordering/reorderer.h"
+#include "peer/validator.h"
+#include "workload/micro_sequences.h"
+
+namespace fabricpp::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 15 — Micro: shifted reads/writes (1024 transactions)",
+              "Figure 15, Appendix B.1");
+
+  std::printf("\n%-8s %16s %16s %16s\n", "shift", "arrival valid",
+              "reordered valid", "reorder time");
+  for (uint32_t shift = 0; shift <= 512; shift += 64) {
+    const auto sets = workload::MakeShiftedReadWriteSequence(1024, shift);
+    const auto rwsets = workload::AsPointers(sets);
+    std::vector<uint32_t> arrival(sets.size());
+    for (uint32_t i = 0; i < sets.size(); ++i) arrival[i] = i;
+    const uint32_t arrival_valid =
+        peer::CountValidUnderCommonSnapshot(rwsets, arrival);
+    const ordering::ReorderResult result =
+        ordering::ReorderTransactions(rwsets);
+    const uint32_t reordered_valid =
+        peer::CountValidUnderCommonSnapshot(rwsets, result.order);
+    std::printf("%-8u %16u %16u %13llu us\n", shift, arrival_valid,
+                reordered_valid,
+                static_cast<unsigned long long>(result.stats.elapsed_us));
+  }
+  std::printf(
+      "\nPaper shape: the reordered schedule keeps all 1024 transactions "
+      "valid for every shift (paper: reordering takes ~1-2 ms); the arrival "
+      "order loses every reader that follows its writer.\n");
+}
+
+}  // namespace
+}  // namespace fabricpp::bench
+
+int main() {
+  fabricpp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 16 (Appendix B.2): the stand-alone reordering
+// micro-benchmark on conflict-cycle chains — valid transactions under the
+// arrival order vs the reordered schedule, and the reordering time, as the
+// cycle length grows (1024 transactions total).
+
+#include <cstdio>
+
+#include "harness.h"
+#include "ordering/reorderer.h"
+#include "peer/validator.h"
+#include "workload/micro_sequences.h"
+
+namespace fabricpp::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 16 — Micro: conflict cycles (1024 transactions)",
+              "Figure 16, Appendix B.2");
+
+  std::printf("\n%-12s %16s %16s %16s\n", "cycle_len", "arrival valid",
+              "reordered valid", "reorder time");
+  for (const uint32_t cycle_len :
+       {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const auto sets = workload::MakeCycleSequence(1024, cycle_len);
+    const auto rwsets = workload::AsPointers(sets);
+    std::vector<uint32_t> arrival(sets.size());
+    for (uint32_t i = 0; i < sets.size(); ++i) arrival[i] = i;
+    const uint32_t arrival_valid =
+        peer::CountValidUnderCommonSnapshot(rwsets, arrival);
+    const ordering::ReorderResult result =
+        ordering::ReorderTransactions(rwsets);
+    const uint32_t reordered_valid =
+        peer::CountValidUnderCommonSnapshot(rwsets, result.order);
+    std::printf("%-12u %16u %16u %13llu us\n", cycle_len, arrival_valid,
+                reordered_valid,
+                static_cast<unsigned long long>(result.stats.elapsed_us));
+  }
+  std::printf(
+      "\nPaper shape: the arrival order commits exactly half of the "
+      "transactions regardless of cycle length (aborting every second "
+      "transaction breaks the cycles); the reorderer aborts ~one "
+      "transaction per cycle, so its valid count approaches 1024 as cycles "
+      "get longer, at increasing reordering cost.\n");
+}
+
+}  // namespace
+}  // namespace fabricpp::bench
+
+int main() {
+  fabricpp::bench::Run();
+  return 0;
+}

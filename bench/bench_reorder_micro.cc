@@ -1,0 +1,127 @@
+// google-benchmark timings of the reordering pipeline's stages (ablation of
+// the design choices in DESIGN.md §5): conflict-graph construction (sparse
+// inverted-index vs the paper's dense bit-vector build), Tarjan SCC
+// decomposition, Johnson cycle enumeration, schedule generation, and the
+// end-to-end reorder pass.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ordering/conflict_graph.h"
+#include "ordering/johnson.h"
+#include "ordering/reorderer.h"
+#include "ordering/tarjan.h"
+#include "workload/micro_sequences.h"
+
+namespace fabricpp::ordering {
+namespace {
+
+std::vector<proto::ReadWriteSet> MakeBatch(uint32_t n, uint32_t num_keys,
+                                           uint32_t accesses) {
+  Rng rng(0xbe9c4);
+  std::vector<proto::ReadWriteSet> sets(n);
+  for (auto& set : sets) {
+    for (uint32_t i = 0; i < accesses; ++i) {
+      set.reads.push_back(
+          {StrFormat("k%llu", static_cast<unsigned long long>(
+                                  rng.NextUint64(num_keys))),
+           proto::kNilVersion});
+      set.writes.push_back(
+          {StrFormat("k%llu", static_cast<unsigned long long>(
+                                  rng.NextUint64(num_keys))),
+           "v", false});
+    }
+  }
+  return sets;
+}
+
+void BM_ConflictGraphSparse(benchmark::State& state) {
+  const auto sets =
+      MakeBatch(static_cast<uint32_t>(state.range(0)), 4096, 4);
+  const auto rwsets = workload::AsPointers(sets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConflictGraph::Build(rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConflictGraphSparse)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_ConflictGraphDense(benchmark::State& state) {
+  // The paper's n^2 bit-vector construction, for comparison.
+  const auto sets =
+      MakeBatch(static_cast<uint32_t>(state.range(0)), 4096, 4);
+  const auto rwsets = workload::AsPointers(sets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConflictGraph::BuildDense(rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConflictGraphDense)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_TarjanScc(benchmark::State& state) {
+  const auto sets =
+      MakeBatch(static_cast<uint32_t>(state.range(0)), 1024, 4);
+  const ConflictGraph graph = ConflictGraph::Build(workload::AsPointers(sets));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StronglyConnectedComponents(
+        static_cast<uint32_t>(graph.num_nodes()),
+        [&](uint32_t v) -> const std::vector<uint32_t>& {
+          return graph.Children(v);
+        }));
+  }
+}
+BENCHMARK(BM_TarjanScc)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_JohnsonBudgeted(benchmark::State& state) {
+  const auto sets = MakeBatch(256, static_cast<uint32_t>(state.range(0)), 2);
+  const ConflictGraph graph = ConflictGraph::Build(workload::AsPointers(sets));
+  std::vector<std::vector<uint32_t>> adj(graph.num_nodes());
+  std::vector<uint32_t> nodes(graph.num_nodes());
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
+    adj[i] = graph.Children(i);
+    nodes[i] = i;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindElementaryCycles(adj, nodes, 4096));
+  }
+}
+BENCHMARK(BM_JohnsonBudgeted)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ReorderEndToEnd(benchmark::State& state) {
+  const auto sets =
+      MakeBatch(static_cast<uint32_t>(state.range(0)), 4096, 4);
+  const auto rwsets = workload::AsPointers(sets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReorderTransactions(rwsets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReorderEndToEnd)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_ReorderPaperMicroShift(benchmark::State& state) {
+  // The Figure 15 input at full shift (conflict-free after reordering).
+  const auto sets = workload::MakeShiftedReadWriteSequence(1024, 0);
+  const auto rwsets = workload::AsPointers(sets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReorderTransactions(rwsets));
+  }
+}
+BENCHMARK(BM_ReorderPaperMicroShift);
+
+void BM_ScheduleAcyclic(benchmark::State& state) {
+  const auto sets = workload::MakeShiftedReadWriteSequence(
+      static_cast<uint32_t>(state.range(0)), 0);
+  const ConflictGraph graph = ConflictGraph::Build(workload::AsPointers(sets));
+  std::vector<uint32_t> alive(graph.num_nodes());
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) alive[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScheduleAcyclic(graph, alive));
+  }
+}
+BENCHMARK(BM_ScheduleAcyclic)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace fabricpp::ordering
+
+BENCHMARK_MAIN();

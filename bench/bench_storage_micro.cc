@@ -1,0 +1,138 @@
+// google-benchmark timings of the storage-engine substrate: skip list,
+// bloom filter, WAL append, SSTable build/lookup, and end-to-end Db
+// operations. Establishes the per-operation costs that the simulation's
+// CostModel abstracts (per_read / per_write / commit_per_write).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "storage/bloom.h"
+#include "storage/db.h"
+#include "storage/skiplist.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace fabricpp::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ScratchDir(const std::string& tag) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("fabricpp_bench_" + tag)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void BM_SkipListInsert(benchmark::State& state) {
+  Rng rng(1);
+  SkipList<std::string> list;
+  for (auto _ : state) {
+    list.Insert(StrFormat("key%llu", static_cast<unsigned long long>(
+                                         rng.NextUint64(1 << 20))),
+                "value");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListInsert);
+
+void BM_SkipListLookup(benchmark::State& state) {
+  Rng rng(2);
+  SkipList<std::string> list;
+  for (int i = 0; i < 100000; ++i) {
+    list.Insert(StrFormat("key%d", i), "value");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.Find(StrFormat(
+        "key%llu", static_cast<unsigned long long>(rng.NextUint64(100000)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListLookup);
+
+void BM_BloomAddAndQuery(benchmark::State& state) {
+  BloomFilter filter(100000, 10);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) filter.Add(StrFormat("key%d", i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(StrFormat(
+        "key%llu", static_cast<unsigned long long>(rng.NextUint64(200000)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomAddAndQuery);
+
+void BM_WalAppend(benchmark::State& state) {
+  const std::string dir = ScratchDir("wal");
+  WalWriter writer;
+  (void)writer.Open(dir + "/wal.log");
+  const Bytes payload(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    (void)writer.Append(payload, false);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  writer.Close();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(128)->Arg(1024);
+
+void BM_SstableGet(benchmark::State& state) {
+  const std::string dir = ScratchDir("sst");
+  SstableBuilder builder;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    builder.Add(StrFormat("key%08d", i), EntryType::kPut, "value");
+  }
+  (void)builder.Finish(dir + "/t.sst");
+  const auto table = Sstable::Open(dir + "/t.sst");
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Get(StrFormat(
+        "key%08llu", static_cast<unsigned long long>(rng.NextUint64(n)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SstableGet)->Arg(1000)->Arg(100000);
+
+void BM_DbPut(benchmark::State& state) {
+  const std::string dir = ScratchDir("dbput");
+  auto db = Db::Open(dir);
+  Rng rng(5);
+  for (auto _ : state) {
+    (void)(*db)->Put(StrFormat("key%llu", static_cast<unsigned long long>(
+                                              rng.NextUint64(1 << 18))),
+                     "value-of-moderate-size-for-state-db");
+  }
+  state.SetItemsProcessed(state.iterations());
+  db->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DbPut);
+
+void BM_DbGetMixed(benchmark::State& state) {
+  const std::string dir = ScratchDir("dbget");
+  auto db = Db::Open(dir);
+  for (int i = 0; i < 50000; ++i) {
+    (void)(*db)->Put(StrFormat("key%d", i), "value");
+    if (i % 20000 == 19999) (void)(*db)->Flush();
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Get(StrFormat(
+        "key%llu", static_cast<unsigned long long>(rng.NextUint64(50000)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  db->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DbGetMixed);
+
+}  // namespace
+}  // namespace fabricpp::storage
+
+BENCHMARK_MAIN();

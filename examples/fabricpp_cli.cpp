@@ -1,0 +1,163 @@
+// fabricpp_cli — run a configurable vanilla-Fabric / Fabric++ experiment
+// from the command line and print the report. The fifth runnable example,
+// and the tool for exploring the design space beyond the paper's figures.
+//
+//   $ ./build/examples/fabricpp_cli --workload=smallbank --zipf=1.5
+//         --seconds=20 --system=both
+//   $ ./build/examples/fabricpp_cli --workload=custom --rw=8 --hr=0.4
+//         --hw=0.1 --hss=0.01 --blocksize=512 --system=fabric++
+//   $ ./build/examples/fabricpp_cli --workload=ycsb --mix=F --raft=3
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "fabric/network.h"
+#include "workload/custom.h"
+#include "workload/smallbank.h"
+#include "workload/ycsb.h"
+
+using namespace fabricpp;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "smallbank";
+  std::string system = "both";  // fabric | fabric++ | both
+  double seconds = 10;
+  double zipf = 1.0;
+  double prob_write = 0.95;
+  uint32_t rw = 8;
+  double hr = 0.4, hw = 0.1, hss = 0.01;
+  std::string ycsb_mix = "A";
+  uint32_t blocksize = 1024;
+  uint32_t channels = 1;
+  uint32_t clients = 4;
+  double rate = 512;
+  uint32_t raft = 0;
+  uint64_t seed = 42;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: fabricpp_cli [--workload=smallbank|custom|ycsb|blank]\n"
+      "  [--system=fabric|fabric++|both] [--seconds=N] [--seed=N]\n"
+      "  [--zipf=S] [--pw=P]                 (smallbank)\n"
+      "  [--rw=N] [--hr=P] [--hw=P] [--hss=F]  (custom)\n"
+      "  [--mix=A|B|C|F]                     (ycsb)\n"
+      "  [--blocksize=N] [--channels=N] [--clients=N] [--rate=TPS]\n"
+      "  [--raft=N]  (0 = solo orderer)\n");
+}
+
+std::unique_ptr<workload::Workload> MakeWorkload(const CliOptions& options) {
+  if (options.workload == "smallbank") {
+    workload::SmallbankConfig config;
+    config.num_users = 100000;
+    config.prob_write = options.prob_write;
+    config.zipf_s = options.zipf;
+    return std::make_unique<workload::SmallbankWorkload>(config);
+  }
+  if (options.workload == "custom") {
+    workload::CustomConfig config;
+    config.num_accounts = 10000;
+    config.rw_ops = options.rw;
+    config.hot_read_prob = options.hr;
+    config.hot_write_prob = options.hw;
+    config.hot_set_fraction = options.hss;
+    return std::make_unique<workload::CustomWorkload>(config);
+  }
+  if (options.workload == "ycsb") {
+    workload::YcsbConfig config;
+    config.zipf_s = options.zipf;
+    if (options.ycsb_mix == "A") config.mix = workload::YcsbMix::kA;
+    else if (options.ycsb_mix == "B") config.mix = workload::YcsbMix::kB;
+    else if (options.ycsb_mix == "C") config.mix = workload::YcsbMix::kC;
+    else config.mix = workload::YcsbMix::kF;
+    return std::make_unique<workload::YcsbWorkload>(config);
+  }
+  if (options.workload == "blank") {
+    return std::make_unique<workload::BlankWorkload>();
+  }
+  return nullptr;
+}
+
+void RunOne(const CliOptions& options, bool plusplus,
+            const workload::Workload& wl) {
+  fabric::FabricConfig config = plusplus
+                                    ? fabric::FabricConfig::FabricPlusPlus()
+                                    : fabric::FabricConfig::Vanilla();
+  config.block.max_transactions = options.blocksize;
+  config.num_channels = options.channels;
+  config.clients_per_channel = options.clients;
+  config.client_fire_rate_tps = options.rate;
+  config.seed = options.seed;
+  if (options.raft > 0) {
+    config.ordering_backend = fabric::OrderingBackend::kRaft;
+    config.raft_cluster_size = options.raft;
+  }
+  fabric::FabricNetwork network(config, &wl);
+  const auto duration = static_cast<sim::SimTime>(options.seconds * 1e6);
+  const fabric::RunReport report =
+      network.RunFor(duration, duration / 5 < 5000000 ? duration / 5
+                                                      : 5000000);
+  std::printf("%-9s %s\n", plusplus ? "fabric++:" : "fabric:",
+              report.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--workload", &value)) options.workload = value;
+    else if (ParseFlag(argv[i], "--system", &value)) options.system = value;
+    else if (ParseFlag(argv[i], "--seconds", &value)) options.seconds = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--zipf", &value)) options.zipf = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--pw", &value)) options.prob_write = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--rw", &value)) options.rw = std::atoi(value.c_str());
+    else if (ParseFlag(argv[i], "--hr", &value)) options.hr = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--hw", &value)) options.hw = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--hss", &value)) options.hss = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--mix", &value)) options.ycsb_mix = value;
+    else if (ParseFlag(argv[i], "--blocksize", &value)) options.blocksize = std::atoi(value.c_str());
+    else if (ParseFlag(argv[i], "--channels", &value)) options.channels = std::atoi(value.c_str());
+    else if (ParseFlag(argv[i], "--clients", &value)) options.clients = std::atoi(value.c_str());
+    else if (ParseFlag(argv[i], "--rate", &value)) options.rate = std::atof(value.c_str());
+    else if (ParseFlag(argv[i], "--raft", &value)) options.raft = std::atoi(value.c_str());
+    else if (ParseFlag(argv[i], "--seed", &value)) options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    else {
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  const auto workload = MakeWorkload(options);
+  if (workload == nullptr) {
+    PrintUsage();
+    return 1;
+  }
+  std::printf("workload=%s seconds=%.0f blocksize=%u channels=%u clients=%u "
+              "rate=%.0f orderer=%s\n\n",
+              options.workload.c_str(), options.seconds, options.blocksize,
+              options.channels, options.clients, options.rate,
+              options.raft > 0 ? "raft" : "solo");
+  if (options.system == "fabric" || options.system == "both") {
+    RunOne(options, false, *workload);
+  }
+  if (options.system == "fabric++" || options.system == "both") {
+    RunOne(options, true, *workload);
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "chaincode/builtin_chaincodes.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace fabricpp::chaincode {
+
+namespace {
+
+Result<int64_t> ParseInt(const std::string& s) {
+  int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not an integer: " + s);
+  }
+  return out;
+}
+
+/// Reads an integer state value, treating a missing key as `fallback`.
+Result<int64_t> GetIntOr(TxContext& ctx, const std::string& key,
+                         int64_t fallback) {
+  const auto r = ctx.GetInt(key);
+  if (r.ok()) return r.value();
+  if (r.status().code() == StatusCode::kNotFound) return fallback;
+  return r.status();
+}
+
+}  // namespace
+
+Status BlankChaincode::Invoke(TxContext& ctx,
+                              const std::vector<std::string>& args) const {
+  (void)ctx;
+  (void)args;
+  return Status::OK();
+}
+
+Status KvChaincode::Invoke(TxContext& ctx,
+                           const std::vector<std::string>& args) const {
+  if (args.empty()) return Status::InvalidArgument("kv: missing operation");
+  const std::string& op = args[0];
+  if (op == "put") {
+    if (args.size() != 3) return Status::InvalidArgument("kv put key value");
+    ctx.PutState(args[1], args[2]);
+    return Status::OK();
+  }
+  if (op == "get") {
+    if (args.size() != 2) return Status::InvalidArgument("kv get key");
+    const auto value = ctx.GetState(args[1]);
+    if (!value.ok() && value.status().code() != StatusCode::kNotFound) {
+      return value.status();
+    }
+    return Status::OK();
+  }
+  if (op == "del") {
+    if (args.size() != 2) return Status::InvalidArgument("kv del key");
+    ctx.DeleteState(args[1]);
+    return Status::OK();
+  }
+  if (op == "rmw") {
+    // Read-modify-write: records a read (so MVCC conflicts apply, unlike
+    // the blind "put") and overwrites the value.
+    if (args.size() != 3) return Status::InvalidArgument("kv rmw key value");
+    const auto current = ctx.GetState(args[1]);
+    if (!current.ok() && current.status().code() != StatusCode::kNotFound) {
+      return current.status();
+    }
+    ctx.PutState(args[1], args[2]);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("kv: unknown operation " + op);
+}
+
+std::string AssetTransferChaincode::BalanceKey(const std::string& account) {
+  return "bal_" + account;
+}
+
+Status AssetTransferChaincode::Invoke(
+    TxContext& ctx, const std::vector<std::string>& args) const {
+  if (args.empty()) return Status::InvalidArgument("asset_transfer: no op");
+  const std::string& op = args[0];
+  if (op == "open") {
+    if (args.size() != 3) {
+      return Status::InvalidArgument("asset_transfer open account amount");
+    }
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t initial, ParseInt(args[2]));
+    ctx.PutInt(BalanceKey(args[1]), initial);
+    return Status::OK();
+  }
+  if (op == "transfer") {
+    if (args.size() != 4) {
+      return Status::InvalidArgument("asset_transfer transfer from to amount");
+    }
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t amount, ParseInt(args[3]));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t from_bal,
+                              ctx.GetInt(BalanceKey(args[1])));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t to_bal,
+                              ctx.GetInt(BalanceKey(args[2])));
+    if (from_bal < amount) {
+      return Status::FailedPrecondition(
+          StrFormat("insufficient funds: %lld < %lld",
+                    static_cast<long long>(from_bal),
+                    static_cast<long long>(amount)));
+    }
+    ctx.PutInt(BalanceKey(args[1]), from_bal - amount);
+    ctx.PutInt(BalanceKey(args[2]), to_bal + amount);
+    return Status::OK();
+  }
+  if (op == "query") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("asset_transfer query account");
+    }
+    return ctx.GetInt(BalanceKey(args[1])).status();
+  }
+  return Status::InvalidArgument("asset_transfer: unknown op " + op);
+}
+
+std::string SmallbankChaincode::CheckingKey(uint64_t user) {
+  return StrFormat("c_%llu", static_cast<unsigned long long>(user));
+}
+std::string SmallbankChaincode::SavingsKey(uint64_t user) {
+  return StrFormat("s_%llu", static_cast<unsigned long long>(user));
+}
+
+Status SmallbankChaincode::Invoke(TxContext& ctx,
+                                  const std::vector<std::string>& args) const {
+  if (args.empty()) return Status::InvalidArgument("smallbank: no op");
+  const std::string& op = args[0];
+
+  if (op == "transact_savings") {
+    if (args.size() != 3) return Status::InvalidArgument("bad args");
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t user, ParseInt(args[1]));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t amount, ParseInt(args[2]));
+    const std::string key = SavingsKey(static_cast<uint64_t>(user));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t bal, GetIntOr(ctx, key, 0));
+    ctx.PutInt(key, bal + amount);
+    return Status::OK();
+  }
+  if (op == "deposit_checking") {
+    if (args.size() != 3) return Status::InvalidArgument("bad args");
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t user, ParseInt(args[1]));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t amount, ParseInt(args[2]));
+    const std::string key = CheckingKey(static_cast<uint64_t>(user));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t bal, GetIntOr(ctx, key, 0));
+    ctx.PutInt(key, bal + amount);
+    return Status::OK();
+  }
+  if (op == "send_payment") {
+    if (args.size() != 4) return Status::InvalidArgument("bad args");
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t from, ParseInt(args[1]));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t to, ParseInt(args[2]));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t amount, ParseInt(args[3]));
+    const std::string from_key = CheckingKey(static_cast<uint64_t>(from));
+    const std::string to_key = CheckingKey(static_cast<uint64_t>(to));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t from_bal,
+                              GetIntOr(ctx, from_key, 0));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t to_bal, GetIntOr(ctx, to_key, 0));
+    ctx.PutInt(from_key, from_bal - amount);
+    ctx.PutInt(to_key, to_bal + amount);
+    return Status::OK();
+  }
+  if (op == "write_check") {
+    if (args.size() != 3) return Status::InvalidArgument("bad args");
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t user, ParseInt(args[1]));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t amount, ParseInt(args[2]));
+    const std::string key = CheckingKey(static_cast<uint64_t>(user));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t bal, GetIntOr(ctx, key, 0));
+    ctx.PutInt(key, bal - amount);
+    return Status::OK();
+  }
+  if (op == "amalgamate") {
+    if (args.size() != 2) return Status::InvalidArgument("bad args");
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t user, ParseInt(args[1]));
+    const std::string c_key = CheckingKey(static_cast<uint64_t>(user));
+    const std::string s_key = SavingsKey(static_cast<uint64_t>(user));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t checking, GetIntOr(ctx, c_key, 0));
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t savings, GetIntOr(ctx, s_key, 0));
+    ctx.PutInt(c_key, checking + savings);
+    ctx.PutInt(s_key, 0);
+    return Status::OK();
+  }
+  if (op == "query") {
+    if (args.size() != 2) return Status::InvalidArgument("bad args");
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t user, ParseInt(args[1]));
+    FABRICPP_RETURN_IF_ERROR(
+        GetIntOr(ctx, CheckingKey(static_cast<uint64_t>(user)), 0).status());
+    FABRICPP_RETURN_IF_ERROR(
+        GetIntOr(ctx, SavingsKey(static_cast<uint64_t>(user)), 0).status());
+    return Status::OK();
+  }
+  return Status::InvalidArgument("smallbank: unknown op " + op);
+}
+
+std::string CustomChaincode::AccountKey(uint64_t account) {
+  return StrFormat("acc_%llu", static_cast<unsigned long long>(account));
+}
+
+Status CustomChaincode::Invoke(TxContext& ctx,
+                               const std::vector<std::string>& args) const {
+  if (args.empty()) return Status::InvalidArgument("custom: no args");
+  FABRICPP_ASSIGN_OR_RETURN(const int64_t num_reads, ParseInt(args[0]));
+  if (num_reads < 0 ||
+      args.size() < 1 + static_cast<size_t>(num_reads)) {
+    return Status::InvalidArgument("custom: bad read count");
+  }
+  int64_t sum = 0;
+  for (size_t i = 1; i <= static_cast<size_t>(num_reads); ++i) {
+    FABRICPP_ASSIGN_OR_RETURN(const int64_t v, GetIntOr(ctx, args[i], 0));
+    sum += v;
+  }
+  int64_t salt = 0;
+  for (size_t i = 1 + static_cast<size_t>(num_reads); i < args.size(); ++i) {
+    ctx.PutInt(args[i], sum + salt);
+    ++salt;
+  }
+  return Status::OK();
+}
+
+}  // namespace fabricpp::chaincode

@@ -1,0 +1,81 @@
+#ifndef FABRICPP_CHAINCODE_BUILTIN_CHAINCODES_H_
+#define FABRICPP_CHAINCODE_BUILTIN_CHAINCODES_H_
+
+#include <string>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+
+namespace fabricpp::chaincode {
+
+/// "blank" — performs no reads and no writes. Used by the Figure 1
+/// experiment to show that the pipeline's throughput ceiling is set by
+/// crypto + networking, not by transaction logic.
+class BlankChaincode : public Chaincode {
+ public:
+  std::string name() const override { return "blank"; }
+  Status Invoke(TxContext& ctx,
+                const std::vector<std::string>& args) const override;
+};
+
+/// "kv" — a generic key-value contract:
+///   ["put", key, value] | ["get", key] | ["del", key] |
+///   ["rmw", key, value]  (read-modify-write: records a read first)
+/// Used by the quickstart example and the YCSB workload.
+class KvChaincode : public Chaincode {
+ public:
+  std::string name() const override { return "kv"; }
+  Status Invoke(TxContext& ctx,
+                const std::vector<std::string>& args) const override;
+};
+
+/// "asset_transfer" — the running example of the paper's Appendix A:
+///   ["open", account, initial_balance]
+///   ["transfer", from, to, amount]   (fails on insufficient funds)
+///   ["query", account]
+class AssetTransferChaincode : public Chaincode {
+ public:
+  std::string name() const override { return "asset_transfer"; }
+  Status Invoke(TxContext& ctx,
+                const std::vector<std::string>& args) const override;
+
+  /// State key of an account balance.
+  static std::string BalanceKey(const std::string& account);
+};
+
+/// "smallbank" — the Smallbank benchmark's six transactions (paper §6.2.2):
+///   ["transact_savings", user, amount]   savings  += amount
+///   ["deposit_checking", user, amount]   checking += amount
+///   ["send_payment", from, to, amount]   checking transfer
+///   ["write_check", user, amount]        checking -= amount
+///   ["amalgamate", user]                 checking += savings; savings = 0
+///   ["query", user]                      read both accounts
+class SmallbankChaincode : public Chaincode {
+ public:
+  std::string name() const override { return "smallbank"; }
+  Status Invoke(TxContext& ctx,
+                const std::vector<std::string>& args) const override;
+
+  static std::string CheckingKey(uint64_t user);
+  static std::string SavingsKey(uint64_t user);
+};
+
+/// "custom" — the paper's configurable workload transaction (§6.2.2): a
+/// fixed number of reads and writes against account keys chosen by the
+/// workload generator (which implements the hot-set selection):
+///   ["<num_reads>", read_key..., write_key...]
+/// Reads sum the touched balances; each write key is overwritten with a
+/// value derived from that sum, so the transaction is genuinely
+/// read-dependent (its writes are only correct if its reads were current).
+class CustomChaincode : public Chaincode {
+ public:
+  std::string name() const override { return "custom"; }
+  Status Invoke(TxContext& ctx,
+                const std::vector<std::string>& args) const override;
+
+  static std::string AccountKey(uint64_t account);
+};
+
+}  // namespace fabricpp::chaincode
+
+#endif  // FABRICPP_CHAINCODE_BUILTIN_CHAINCODES_H_

@@ -1,0 +1,35 @@
+#include "chaincode/chaincode.h"
+
+#include "chaincode/builtin_chaincodes.h"
+
+namespace fabricpp::chaincode {
+
+Status ChaincodeRegistry::Register(std::unique_ptr<Chaincode> chaincode) {
+  const std::string name = chaincode->name();
+  const auto [it, inserted] = map_.emplace(name, std::move(chaincode));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("chaincode already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Result<const Chaincode*> ChaincodeRegistry::Get(const std::string& name) const {
+  const auto it = map_.find(name);
+  if (it == map_.end()) {
+    return Status::NotFound("chaincode not installed: " + name);
+  }
+  return static_cast<const Chaincode*>(it->second.get());
+}
+
+std::unique_ptr<ChaincodeRegistry> ChaincodeRegistry::WithBuiltins() {
+  auto registry = std::make_unique<ChaincodeRegistry>();
+  (void)registry->Register(std::make_unique<BlankChaincode>());
+  (void)registry->Register(std::make_unique<KvChaincode>());
+  (void)registry->Register(std::make_unique<AssetTransferChaincode>());
+  (void)registry->Register(std::make_unique<SmallbankChaincode>());
+  (void)registry->Register(std::make_unique<CustomChaincode>());
+  return registry;
+}
+
+}  // namespace fabricpp::chaincode

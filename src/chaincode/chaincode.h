@@ -1,0 +1,53 @@
+#ifndef FABRICPP_CHAINCODE_CHAINCODE_H_
+#define FABRICPP_CHAINCODE_CHAINCODE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaincode/tx_context.h"
+#include "common/status.h"
+
+namespace fabricpp::chaincode {
+
+/// A smart contract ("chaincode" in Fabric terms — the paper treats the two
+/// as synonyms, footnote 2).
+///
+/// Invoke() runs during the simulation phase only: it reads committed state
+/// and buffers writes through the TxContext; it never mutates the state
+/// database itself. A returned error aborts the simulation; kStaleRead
+/// specifically marks a Fabric++ simulation-phase early abort.
+class Chaincode {
+ public:
+  virtual ~Chaincode() = default;
+
+  /// The name clients address proposals to.
+  virtual std::string name() const = 0;
+
+  /// Simulates the contract with the given arguments.
+  virtual Status Invoke(TxContext& ctx,
+                        const std::vector<std::string>& args) const = 0;
+};
+
+/// Name -> chaincode registry. Each peer in the simulation shares one
+/// registry (chaincodes are deterministic and stateless by contract).
+class ChaincodeRegistry {
+ public:
+  /// Registers a chaincode; AlreadyExists if the name is taken.
+  Status Register(std::unique_ptr<Chaincode> chaincode);
+
+  /// Looks up by name; NotFound if absent.
+  Result<const Chaincode*> Get(const std::string& name) const;
+
+  /// Installs all built-in contracts (blank, kv, asset_transfer, smallbank,
+  /// custom) — convenience for the benchmarks and examples.
+  static std::unique_ptr<ChaincodeRegistry> WithBuiltins();
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Chaincode>> map_;
+};
+
+}  // namespace fabricpp::chaincode
+
+#endif  // FABRICPP_CHAINCODE_CHAINCODE_H_

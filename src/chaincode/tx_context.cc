@@ -1,0 +1,83 @@
+#include "chaincode/tx_context.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace fabricpp::chaincode {
+
+TxContext::TxContext(const statedb::StateDb* db, uint64_t snapshot_block,
+                     bool stale_check_enabled)
+    : db_(db),
+      snapshot_block_(snapshot_block),
+      stale_check_enabled_(stale_check_enabled) {}
+
+Result<std::string> TxContext::GetState(const std::string& key) {
+  // Read-your-own-writes: a key this transaction already wrote returns the
+  // pending value and records no read (committing the version it *read*
+  // would be wrong — it read its own uncommitted write).
+  if (const auto wit = write_index_.find(key); wit != write_index_.end()) {
+    const proto::WriteItem& w = rwset_.writes[wit->second];
+    if (w.is_delete) return Status::NotFound("key deleted in-tx: " + key);
+    return w.value;
+  }
+
+  const auto db_result = db_->Get(key);
+  const proto::Version version =
+      db_result.ok() ? db_result.value().version : proto::kNilVersion;
+
+  if (stale_check_enabled_ && version.block_num > snapshot_block_) {
+    // Paper §5.2.1: "no read must encounter a version-number containing a
+    // block-ID higher than the last-block-ID" — the simulation is doomed.
+    return Status::StaleRead(StrFormat(
+        "key %s has version block %llu > snapshot block %llu", key.c_str(),
+        static_cast<unsigned long long>(version.block_num),
+        static_cast<unsigned long long>(snapshot_block_)));
+  }
+
+  // Record the read once (first observation wins).
+  if (read_index_.find(key) == read_index_.end()) {
+    read_index_[key] = rwset_.reads.size();
+    rwset_.reads.push_back(proto::ReadItem{key, version});
+  }
+
+  if (!db_result.ok()) return db_result.status();
+  return db_result.value().value;
+}
+
+void TxContext::PutState(const std::string& key, std::string value) {
+  if (const auto it = write_index_.find(key); it != write_index_.end()) {
+    rwset_.writes[it->second].value = std::move(value);
+    rwset_.writes[it->second].is_delete = false;
+    return;
+  }
+  write_index_[key] = rwset_.writes.size();
+  rwset_.writes.push_back(proto::WriteItem{key, std::move(value), false});
+}
+
+void TxContext::DeleteState(const std::string& key) {
+  if (const auto it = write_index_.find(key); it != write_index_.end()) {
+    rwset_.writes[it->second].value.clear();
+    rwset_.writes[it->second].is_delete = true;
+    return;
+  }
+  write_index_[key] = rwset_.writes.size();
+  rwset_.writes.push_back(proto::WriteItem{key, "", true});
+}
+
+Result<int64_t> TxContext::GetInt(const std::string& key) {
+  FABRICPP_ASSIGN_OR_RETURN(const std::string value, GetState(key));
+  int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return Status::Internal("value of " + key + " is not an integer: " + value);
+  }
+  return out;
+}
+
+void TxContext::PutInt(const std::string& key, int64_t value) {
+  PutState(key, std::to_string(value));
+}
+
+}  // namespace fabricpp::chaincode

@@ -1,0 +1,68 @@
+#ifndef FABRICPP_CHAINCODE_TX_CONTEXT_H_
+#define FABRICPP_CHAINCODE_TX_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "proto/rwset.h"
+#include "statedb/state_db.h"
+
+namespace fabricpp::chaincode {
+
+/// The simulation context handed to a chaincode's Invoke().
+///
+/// It plays the role of Fabric's transaction simulator (paper §2.2.1): reads
+/// go against the peer's current state and are recorded with the observed
+/// version in the read set; writes are buffered into the write set and do
+/// not touch the state.
+///
+/// When `stale_check_enabled` (Fabric++, paper §5.2.1), every read compares
+/// the observed version's block id against the snapshot's last-block-id: a
+/// newer block id proves a block committed since the simulation began, the
+/// read set is doomed, and GetState returns kStaleRead so the peer can abort
+/// the simulation immediately and notify the client without delay.
+class TxContext {
+ public:
+  /// `db` must outlive the context. `snapshot_block` is the id of the last
+  /// block committed when the simulation started.
+  TxContext(const statedb::StateDb* db, uint64_t snapshot_block,
+            bool stale_check_enabled);
+
+  /// Reads a key. Missing keys return NotFound (recorded with the nil
+  /// version, as Fabric does). kStaleRead signals Fabric++ early abort.
+  Result<std::string> GetState(const std::string& key);
+
+  /// Buffers a write.
+  void PutState(const std::string& key, std::string value);
+
+  /// Buffers a delete.
+  void DeleteState(const std::string& key);
+
+  /// Integer convenience used by the bank-style contracts: parses the value
+  /// as a decimal int64 (missing key => NotFound).
+  Result<int64_t> GetInt(const std::string& key);
+  void PutInt(const std::string& key, int64_t value);
+
+  /// The accumulated effects. Reads and writes are each deduplicated by key
+  /// in first-access order.
+  const proto::ReadWriteSet& rwset() const { return rwset_; }
+  proto::ReadWriteSet TakeRwSet() { return std::move(rwset_); }
+
+  uint64_t snapshot_block() const { return snapshot_block_; }
+
+ private:
+  const statedb::StateDb* db_;
+  uint64_t snapshot_block_;
+  bool stale_check_enabled_;
+  proto::ReadWriteSet rwset_;
+  std::unordered_map<std::string, size_t> read_index_;
+  std::unordered_map<std::string, size_t> write_index_;
+};
+
+}  // namespace fabricpp::chaincode
+
+#endif  // FABRICPP_CHAINCODE_TX_CONTEXT_H_

@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fabricpp {
+
+Histogram::Histogram() {
+  // Build geometric bucket limits covering [0, ~9e18]; everything above
+  // lands in the final catch-all bucket. (Staying well below 2^64 keeps the
+  // double -> uint64 casts defined.)
+  bucket_limit_.push_back(0);
+  double limit = 1.0;
+  while (limit < 9e18) {
+    bucket_limit_.push_back(static_cast<uint64_t>(limit));
+    limit *= kGrowth;
+    // Ensure strict growth for small integer limits.
+    if (static_cast<uint64_t>(limit) <= bucket_limit_.back()) {
+      limit = static_cast<double>(bucket_limit_.back() + 1);
+    }
+  }
+  bucket_limit_.push_back(~0ULL);
+  buckets_.assign(bucket_limit_.size(), 0);
+}
+
+size_t Histogram::BucketFor(uint64_t value) const {
+  const auto it =
+      std::lower_bound(bucket_limit_.begin(), bucket_limit_.end(), value);
+  return static_cast<size_t>(it - bucket_limit_.begin());
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return static_cast<double>(std::min(bucket_limit_[i], max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%.0f p95=%.0f p99=%.0f min=%llu "
+                "max=%llu",
+                static_cast<unsigned long long>(count_), Mean(), Quantile(0.5),
+                Quantile(0.95), Quantile(0.99),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace fabricpp

@@ -1,0 +1,49 @@
+#ifndef FABRICPP_COMMON_HISTOGRAM_H_
+#define FABRICPP_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fabricpp {
+
+/// Log-bucketed histogram for latency-style measurements.
+///
+/// Values are non-negative integers (we use microseconds of virtual time).
+/// Buckets grow geometrically, giving ~2.3% relative quantile error across
+/// the full 64-bit range with a few hundred buckets — the same trade-off
+/// RocksDB's HistogramImpl makes.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  /// Quantile in [0, 1], e.g. 0.5 for the median. Returns an upper bound of
+  /// the bucket containing the quantile (0 on an empty histogram).
+  double Quantile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..." one-liner.
+  std::string ToString() const;
+
+ private:
+  static constexpr double kGrowth = 1.045;
+  size_t BucketFor(uint64_t value) const;
+
+  std::vector<uint64_t> buckets_;      // Counts per bucket.
+  std::vector<uint64_t> bucket_limit_; // Upper bound (inclusive) per bucket.
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+}  // namespace fabricpp
+
+#endif  // FABRICPP_COMMON_HISTOGRAM_H_

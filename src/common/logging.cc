@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace fabricpp {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  (void)level_;
+}
+
+}  // namespace internal
+}  // namespace fabricpp

@@ -1,0 +1,46 @@
+#ifndef FABRICPP_COMMON_LOGGING_H_
+#define FABRICPP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fabricpp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarn so tests and benchmarks stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fabricpp
+
+#define FABRICPP_LOG(level)                                              \
+  ::fabricpp::internal::LogMessage(::fabricpp::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+#endif  // FABRICPP_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+#ifndef FABRICPP_COMMON_RESULT_H_
+#define FABRICPP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fabricpp {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+///
+/// This is the fabricpp equivalent of arrow::Result / absl::StatusOr. A
+/// Result constructed from an OK status is a programming error and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit so `return SomeStatus;` works).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access the value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+}  // namespace fabricpp
+
+/// Assigns the value of a Result expression to `lhs`, or returns the error
+/// Status from the enclosing function.
+#define FABRICPP_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto FABRICPP_CONCAT_(_res_, __LINE__) = (rexpr);       \
+  if (!FABRICPP_CONCAT_(_res_, __LINE__).ok())            \
+    return FABRICPP_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(FABRICPP_CONCAT_(_res_, __LINE__)).value()
+
+#define FABRICPP_CONCAT_(a, b) FABRICPP_CONCAT_IMPL_(a, b)
+#define FABRICPP_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FABRICPP_COMMON_RESULT_H_

@@ -1,0 +1,71 @@
+#ifndef FABRICPP_COMMON_RNG_H_
+#define FABRICPP_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace fabricpp {
+
+/// SplitMix64 — used for seeding and as a cheap standalone mixer.
+///
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** — the repository-wide deterministic PRNG.
+///
+/// Fast, high-quality, and (critically for the benchmarks) identical output
+/// across platforms: every experiment in EXPERIMENTS.md is reproducible from
+/// its seed. Reference: Blackman & Vigna, "Scrambled linear pseudorandom
+/// number generators" (2018).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  uint64_t operator()() { return Next(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0); used by the
+  /// simulator for Poisson arrival processes.
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace fabricpp
+
+#endif  // FABRICPP_COMMON_RNG_H_

@@ -1,0 +1,15 @@
+#ifndef FABRICPP_COMMON_STRINGS_H_
+#define FABRICPP_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace fabricpp {
+
+/// printf-style formatting into a std::string (GCC 12 lacks std::format).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace fabricpp
+
+#endif  // FABRICPP_COMMON_STRINGS_H_

@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fabricpp {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // Guard against accumulated floating-point error.
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::Probability(uint64_t i) const {
+  assert(i < n_);
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace fabricpp

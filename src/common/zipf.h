@@ -1,0 +1,42 @@
+#ifndef FABRICPP_COMMON_ZIPF_H_
+#define FABRICPP_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fabricpp {
+
+/// Zipfian distribution over {0, 1, ..., n-1}.
+///
+/// Item i is drawn with probability proportional to 1 / (i+1)^s. s = 0
+/// degenerates to the uniform distribution; the paper's Smallbank evaluation
+/// (§6.4.1) sweeps s from 0.0 to 2.0.
+///
+/// Implementation: exact inverse-CDF sampling over a precomputed cumulative
+/// table with binary search. O(n) memory, O(log n) per sample, exact for any
+/// s >= 0 (the O(1) Gray et al. approximation misbehaves near s = 1).
+class ZipfGenerator {
+ public:
+  /// Builds the CDF for n items (n >= 1) with skew parameter s >= 0.
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Draws one item in [0, n).
+  uint64_t Next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Probability of item i (for tests).
+  double Probability(uint64_t i) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i); cdf_[n-1] == 1.0.
+};
+
+}  // namespace fabricpp
+
+#endif  // FABRICPP_COMMON_ZIPF_H_

@@ -1,0 +1,43 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace fabricpp::crypto {
+
+Digest HmacSha256(const Bytes& key, const void* data, size_t size) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize] = {0};
+  if (key.size() > kBlockSize) {
+    const Digest kd = Sha256::Hash(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  inner.Update(data, size);
+  const Digest inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+Digest HmacSha256(const Bytes& key, std::string_view msg) {
+  return HmacSha256(key, msg.data(), msg.size());
+}
+
+Digest HmacSha256(const Bytes& key, const Bytes& msg) {
+  return HmacSha256(key, msg.data(), msg.size());
+}
+
+}  // namespace fabricpp::crypto

@@ -1,0 +1,26 @@
+#ifndef FABRICPP_CRYPTO_HMAC_H_
+#define FABRICPP_CRYPTO_HMAC_H_
+
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace fabricpp::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Verified against RFC 4231 test vectors.
+///
+/// fabricpp uses HMAC-SHA256 as its endorsement-signature primitive: each
+/// peer holds a secret key; a "signature" over a message is
+/// HMAC(key, message), and verification recomputes it. This keeps the
+/// validation-phase semantics of the paper (validators *recompute* the
+/// expected signature from the received read/write sets and compare,
+/// Appendix A.3.1) while replacing ECDSA's cost with a knob in the
+/// simulator's cost model.
+Digest HmacSha256(const Bytes& key, const void* data, size_t size);
+Digest HmacSha256(const Bytes& key, std::string_view msg);
+Digest HmacSha256(const Bytes& key, const Bytes& msg);
+
+}  // namespace fabricpp::crypto
+
+#endif  // FABRICPP_CRYPTO_HMAC_H_

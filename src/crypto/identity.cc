@@ -1,0 +1,27 @@
+#include "crypto/identity.h"
+
+namespace fabricpp::crypto {
+
+Identity::Identity(uint64_t network_seed, std::string name)
+    : name_(std::move(name)) {
+  Sha256 h;
+  h.Update(&network_seed, sizeof(network_seed));
+  h.Update(name_);
+  const Digest d = h.Finalize();
+  secret_key_.assign(d.begin(), d.end());
+}
+
+Signature Identity::Sign(const Bytes& message) const {
+  return Signature{name_, HmacSha256(secret_key_, message)};
+}
+
+Signature Identity::Sign(std::string_view message) const {
+  return Signature{name_, HmacSha256(secret_key_, message)};
+}
+
+bool Identity::Verify(const Bytes& message, const Signature& sig) const {
+  if (sig.signer != name_) return false;
+  return HmacSha256(secret_key_, message) == sig.tag;
+}
+
+}  // namespace fabricpp::crypto

@@ -1,0 +1,63 @@
+#include "crypto/merkle.h"
+
+namespace fabricpp::crypto {
+
+namespace {
+
+Digest HashPair(const Digest& left, const Digest& right) {
+  Sha256 h;
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finalize();
+}
+
+}  // namespace
+
+Digest MerkleRoot(const std::vector<Digest>& leaves) {
+  if (leaves.empty()) return Sha256::Hash("", 0);
+  std::vector<Digest> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(HashPair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());  // Promote odd.
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof BuildMerkleProof(const std::vector<Digest>& leaves,
+                             size_t leaf_index) {
+  MerkleProof proof;
+  proof.leaf_index = leaf_index;
+  std::vector<Digest> level = leaves;
+  size_t index = leaf_index;
+  while (level.size() > 1) {
+    const size_t sibling = (index % 2 == 0) ? index + 1 : index - 1;
+    if (sibling < level.size()) {
+      proof.path.emplace_back(level[sibling], /*is_left=*/sibling < index);
+    }
+    std::vector<Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(HashPair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+    index /= 2;
+  }
+  return proof;
+}
+
+bool VerifyMerkleProof(const Digest& leaf, const MerkleProof& proof,
+                       const Digest& root) {
+  Digest running = leaf;
+  for (const auto& [sibling, is_left] : proof.path) {
+    running = is_left ? HashPair(sibling, running) : HashPair(running, sibling);
+  }
+  return running == root;
+}
+
+}  // namespace fabricpp::crypto

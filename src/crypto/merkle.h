@@ -1,0 +1,35 @@
+#ifndef FABRICPP_CRYPTO_MERKLE_H_
+#define FABRICPP_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace fabricpp::crypto {
+
+/// Computes the Merkle root of a list of leaf digests.
+///
+/// Fabric hashes a block's transaction list into the block header's data
+/// hash; we use a binary Merkle tree (odd nodes promoted, Bitcoin-style
+/// without duplication): an empty list hashes to SHA-256("").
+Digest MerkleRoot(const std::vector<Digest>& leaves);
+
+/// Inclusion proof: the sibling digests from leaf to root.
+struct MerkleProof {
+  size_t leaf_index = 0;
+  /// (digest, is_left) pairs bottom-up; is_left tells whether the sibling
+  /// sits on the left of the running hash.
+  std::vector<std::pair<Digest, bool>> path;
+};
+
+/// Builds the proof for `leaf_index` (must be < leaves.size()).
+MerkleProof BuildMerkleProof(const std::vector<Digest>& leaves,
+                             size_t leaf_index);
+
+/// Verifies that `leaf` at proof.leaf_index hashes up to `root`.
+bool VerifyMerkleProof(const Digest& leaf, const MerkleProof& proof,
+                       const Digest& root);
+
+}  // namespace fabricpp::crypto
+
+#endif  // FABRICPP_CRYPTO_MERKLE_H_

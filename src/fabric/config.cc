@@ -1,0 +1,27 @@
+#include "fabric/config.h"
+
+namespace fabricpp::fabric {
+
+FabricConfig FabricConfig::Vanilla() {
+  FabricConfig config;
+  config.enable_reordering = false;
+  config.enable_early_abort_sim = false;
+  config.enable_early_abort_ordering = false;
+  config.concurrency = ConcurrencyMode::kCoarseLock;
+  // Vanilla Fabric has no unique-keys batch condition (paper §5.1.2 adds
+  // it in Fabric++).
+  config.block.max_unique_keys = 0;
+  return config;
+}
+
+FabricConfig FabricConfig::FabricPlusPlus() {
+  FabricConfig config;
+  config.enable_reordering = true;
+  config.enable_early_abort_sim = true;
+  config.enable_early_abort_ordering = true;
+  config.concurrency = ConcurrencyMode::kFineGrained;
+  config.block.max_unique_keys = 16384;
+  return config;
+}
+
+}  // namespace fabricpp::fabric

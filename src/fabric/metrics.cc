@@ -1,0 +1,112 @@
+#include "fabric/metrics.h"
+
+#include "common/strings.h"
+
+namespace fabricpp::fabric {
+
+std::string_view TxOutcomeToString(TxOutcome outcome) {
+  switch (outcome) {
+    case TxOutcome::kSuccess:
+      return "SUCCESS";
+    case TxOutcome::kAbortMvcc:
+      return "ABORT_MVCC";
+    case TxOutcome::kAbortPolicy:
+      return "ABORT_POLICY";
+    case TxOutcome::kAbortStaleSimulation:
+      return "ABORT_STALE_SIMULATION";
+    case TxOutcome::kAbortReorderer:
+      return "ABORT_REORDERER";
+    case TxOutcome::kAbortVersionSkew:
+      return "ABORT_VERSION_SKEW";
+    case TxOutcome::kAbortRwsetMismatch:
+      return "ABORT_RWSET_MISMATCH";
+    case TxOutcome::kAbortChaincodeError:
+      return "ABORT_CHAINCODE_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
+  return StrFormat("%s/%llu", client.c_str(),
+                   static_cast<unsigned long long>(proposal_id));
+}
+
+void Metrics::NoteFired(const std::string& key, sim::SimTime fired_at) {
+  fired_at_[key] = fired_at;
+}
+
+void Metrics::Resolve(const std::string& key, TxOutcome outcome,
+                      sim::SimTime now) {
+  sim::SimTime fired = now;
+  if (const auto it = fired_at_.find(key); it != fired_at_.end()) {
+    fired = it->second;
+    fired_at_.erase(it);
+  }
+  if (!InWindow(now)) return;
+  if (outcome == TxOutcome::kSuccess) {
+    ++successful_;
+    latency_us_.Add(now - fired);
+  } else {
+    ++failed_;
+    ++aborts_[static_cast<size_t>(outcome)];
+  }
+}
+
+void Metrics::NoteBlockCommitted(uint32_t num_txs, sim::SimTime now) {
+  if (!InWindow(now)) return;
+  ++blocks_committed_;
+  block_tx_total_ += num_txs;
+}
+
+RunReport Metrics::Report() const {
+  RunReport report;
+  report.measure_seconds =
+      sim::ToSeconds(window_end_ == ~0ULL ? 0 : window_end_ - window_start_);
+  report.successful = successful_;
+  report.failed = failed_;
+  for (size_t i = 0; i < 8; ++i) report.aborts[i] = aborts_[i];
+  if (report.measure_seconds > 0) {
+    report.successful_tps =
+        static_cast<double>(successful_) / report.measure_seconds;
+    report.failed_tps = static_cast<double>(failed_) / report.measure_seconds;
+  }
+  if (latency_us_.count() > 0) {
+    report.latency_avg_ms = latency_us_.Mean() / 1000.0;
+    report.latency_min_ms = static_cast<double>(latency_us_.min()) / 1000.0;
+    report.latency_max_ms = static_cast<double>(latency_us_.max()) / 1000.0;
+    report.latency_p50_ms = latency_us_.Quantile(0.5) / 1000.0;
+    report.latency_p95_ms = latency_us_.Quantile(0.95) / 1000.0;
+    report.latency_p99_ms = latency_us_.Quantile(0.99) / 1000.0;
+  }
+  report.blocks_committed = blocks_committed_;
+  if (blocks_committed_ > 0) {
+    report.avg_block_size =
+        static_cast<double>(block_tx_total_) / blocks_committed_;
+  }
+  return report;
+}
+
+std::string RunReport::ToString() const {
+  std::string out = StrFormat(
+      "successful=%llu (%.1f tps) failed=%llu (%.1f tps) latency avg=%.1fms "
+      "p50=%.1fms p95=%.1fms blocks=%llu avg_block=%.1f",
+      static_cast<unsigned long long>(successful), successful_tps,
+      static_cast<unsigned long long>(failed), failed_tps, latency_avg_ms,
+      latency_p50_ms, latency_p95_ms,
+      static_cast<unsigned long long>(blocks_committed), avg_block_size);
+  bool any = false;
+  for (uint64_t a : aborts) any |= (a != 0);
+  if (any) {
+    out += "\n  aborts:";
+    for (size_t i = 1; i < 8; ++i) {
+      if (aborts[i] == 0) continue;
+      out += StrFormat(" %s=%llu",
+                       std::string(TxOutcomeToString(static_cast<TxOutcome>(i)))
+                           .c_str(),
+                       static_cast<unsigned long long>(aborts[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace fabricpp::fabric

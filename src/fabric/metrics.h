@@ -1,0 +1,109 @@
+#ifndef FABRICPP_FABRIC_METRICS_H_
+#define FABRICPP_FABRIC_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/histogram.h"
+#include "proto/transaction.h"
+#include "sim/time.h"
+
+namespace fabricpp::fabric {
+
+/// Where in the pipeline a transaction's fate was decided.
+enum class TxOutcome : uint8_t {
+  kSuccess = 0,
+  /// Validator MVCC conflict (the paper's "serialization conflict" aborts).
+  kAbortMvcc,
+  /// Endorsement policy / signature failure at validation.
+  kAbortPolicy,
+  /// Fabric++: stale read detected during simulation (paper §5.2.1).
+  kAbortStaleSimulation,
+  /// Fabric++: removed by the reorderer as a cycle victim (paper §5.1).
+  kAbortReorderer,
+  /// Fabric++: within-block version skew in the orderer (paper §5.2.2).
+  kAbortVersionSkew,
+  /// Client saw mismatching read/write sets across endorsers.
+  kAbortRwsetMismatch,
+  /// The chaincode itself returned an error during simulation.
+  kAbortChaincodeError,
+};
+
+std::string_view TxOutcomeToString(TxOutcome outcome);
+
+/// Aggregated results of one run (what every bench prints).
+struct RunReport {
+  double measure_seconds = 0;
+  uint64_t successful = 0;
+  uint64_t failed = 0;  ///< Sum of all abort categories.
+  double successful_tps = 0;
+  double failed_tps = 0;
+  uint64_t aborts[8] = {0};  ///< Indexed by TxOutcome.
+  // Latency of successful transactions (proposal fired -> committed),
+  // milliseconds.
+  double latency_avg_ms = 0;
+  double latency_min_ms = 0;
+  double latency_max_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p95_ms = 0;
+  double latency_p99_ms = 0;
+  uint64_t blocks_committed = 0;
+  double avg_block_size = 0;
+
+  std::string ToString() const;
+};
+
+/// Collects transaction outcomes during a simulation run.
+///
+/// Only events inside the measurement window [window_start, window_end)
+/// count — the warm-up ramp and the drain are excluded, mirroring how the
+/// paper reports steady-state transactions per second.
+class Metrics {
+ public:
+  void SetWindow(sim::SimTime start, sim::SimTime end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  /// Clients call this when a proposal is fired, so commit-side latency can
+  /// be computed. `key` identifies the proposal (client + proposal id).
+  void NoteFired(const std::string& key, sim::SimTime fired_at);
+
+  /// Records a resolved transaction (commit or any abort). `key` must match
+  /// a NoteFired call; unknown keys are counted without latency.
+  void Resolve(const std::string& key, TxOutcome outcome, sim::SimTime now);
+
+  /// Records a committed block (observer peer only).
+  void NoteBlockCommitted(uint32_t num_txs, sim::SimTime now);
+
+  RunReport Report() const;
+
+  uint64_t successful() const { return successful_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t aborts(TxOutcome outcome) const {
+    return aborts_[static_cast<size_t>(outcome)];
+  }
+
+ private:
+  bool InWindow(sim::SimTime t) const {
+    return t >= window_start_ && t < window_end_;
+  }
+
+  sim::SimTime window_start_ = 0;
+  sim::SimTime window_end_ = ~0ULL;
+  std::unordered_map<std::string, sim::SimTime> fired_at_;
+  uint64_t successful_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t aborts_[8] = {0};
+  Histogram latency_us_;
+  uint64_t blocks_committed_ = 0;
+  uint64_t block_tx_total_ = 0;
+};
+
+/// A stable key for (client, proposal) used by Metrics.
+std::string ProposalKey(const std::string& client, uint64_t proposal_id);
+
+}  // namespace fabricpp::fabric
+
+#endif  // FABRICPP_FABRIC_METRICS_H_

@@ -1,0 +1,725 @@
+#include "fabric/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "ordering/early_abort.h"
+#include "ordering/reorderer.h"
+
+namespace fabricpp::fabric {
+
+namespace {
+
+/// Fixed per-message envelope overhead (headers, signatures) in bytes.
+constexpr uint64_t kMessageOverhead = 300;
+
+TxOutcome OutcomeFromValidationCode(proto::TxValidationCode code) {
+  switch (code) {
+    case proto::TxValidationCode::kValid:
+      return TxOutcome::kSuccess;
+    case proto::TxValidationCode::kMvccConflict:
+      return TxOutcome::kAbortMvcc;
+    case proto::TxValidationCode::kEndorsementPolicyFailure:
+      return TxOutcome::kAbortPolicy;
+    default:
+      return TxOutcome::kAbortChaincodeError;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PeerNode
+// ---------------------------------------------------------------------------
+
+PeerNode::PeerNode(FabricNetwork* net, uint32_t index, std::string name,
+                   std::string org)
+    : net_(net),
+      index_(index),
+      name_(std::move(name)),
+      org_(std::move(org)),
+      node_id_(net->network().AddNode(name_)),
+      cpu_(&net->env(), name_ + "-cpu", net->config().peer_cores),
+      endorser_(name_, org_, net->config().seed, net->registry_.get()),
+      validator_(net->config().seed, &net->policies_),
+      channels_(net->config().num_channels) {}
+
+void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
+                              uint32_t client_index) {
+  ChannelState& ch = channels_[channel];
+  PendingSim sim{std::move(proposal), client_index};
+  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
+      ch.commit_phase) {
+    // Vanilla: a block's commit stage wants (or holds) the exclusive state
+    // lock; the simulation's read lock must wait (paper §4.2.1).
+    ch.pending_sims.push_back(std::move(sim));
+    return;
+  }
+  StartSimulation(channel, std::move(sim));
+}
+
+void PeerNode::StartSimulation(uint32_t channel, PendingSim sim) {
+  ChannelState& ch = channels_[channel];
+  ++ch.active_sims;
+
+  // The chaincode's effects are determined by the state at simulation
+  // start; the CPU job then models the wall time the simulation occupies.
+  const bool stale_checks = net_->config().enable_early_abort_sim;
+  Result<peer::EndorsementResponse> response = endorser_.Endorse(
+      sim.proposal, net_->default_policy_id(), ch.db, stale_checks);
+
+  const CostModel& cost = net_->config().cost;
+  sim::SimTime service = cost.verify + cost.chaincode_base;
+  if (response.ok()) {
+    service += cost.per_read * response->rwset.reads.size() +
+               cost.per_write * response->rwset.writes.size() + cost.sign;
+  }
+  const uint64_t proposal_id = sim.proposal.proposal_id;
+  const uint32_t client_index = sim.client_index;
+  cpu_.Submit(service, [this, channel, client_index, proposal_id,
+                        response = std::move(response)]() mutable {
+    FinishSimulation(channel, client_index, proposal_id, std::move(response));
+  });
+}
+
+void PeerNode::FinishSimulation(uint32_t channel, uint32_t client_index,
+                                uint64_t proposal_id,
+                                Result<peer::EndorsementResponse> response) {
+  ChannelState& ch = channels_[channel];
+  --ch.active_sims;
+
+  // Fabric++ early abort in the simulation phase (paper §5.2.1): with the
+  // fine-grained concurrency control, a block may have committed while this
+  // simulation ran; re-checking the read versions detects exactly the stale
+  // reads the vanilla version would only discover in its validation phase.
+  if (response.ok() && net_->config().enable_early_abort_sim) {
+    for (const proto::ReadItem& r : response->rwset.reads) {
+      if (ch.db.GetVersion(r.key) != r.version) {
+        response = Status::StaleRead("overtaken by commit during simulation");
+        break;
+      }
+    }
+  }
+
+  uint64_t reply_size = kMessageOverhead;
+  if (response.ok()) reply_size += response->rwset.ByteSize();
+  ClientNode* client = &net_->client(client_index);
+  net_->network().Send(node_id_, net_->client_machine_node(), reply_size,
+                       [client, proposal_id,
+                        response = std::move(response)]() mutable {
+                         client->HandleEndorsement(proposal_id,
+                                                   std::move(response));
+                       });
+
+  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
+      ch.active_sims == 0 && ch.commit_phase) {
+    TryStartCommit(channel);
+  }
+}
+
+void PeerNode::HandleBlock(uint32_t channel,
+                           std::shared_ptr<proto::Block> block) {
+  ChannelState& ch = channels_[channel];
+  ch.pending_blocks.push_back(std::move(block));
+  MaybeStartValidation(channel);
+}
+
+void PeerNode::MaybeStartValidation(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  if (ch.validating || ch.pending_blocks.empty()) return;
+  ch.validating = true;
+  ch.current_block = ch.pending_blocks.front();
+  ch.pending_blocks.pop_front();
+
+  const CostModel& cost = net_->config().cost;
+  const size_t num_txs = ch.current_block->transactions.size();
+
+  // Endorsement-policy evaluation parallelizes across the peer's cores
+  // (Fabric 1.2's validator workers) and runs *outside* the state lock;
+  // only the subsequent commit stage needs exclusivity.
+  auto on_policy_done = [this, channel]() {
+    ChannelState& state = channels_[channel];
+    state.commit_phase = true;
+    TryStartCommit(channel);
+  };
+
+  if (num_txs == 0) {
+    on_policy_done();
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(num_txs);
+  for (const proto::Transaction& tx : ch.current_block->transactions) {
+    const sim::SimTime policy_service =
+        cost.validate_per_tx + cost.verify * tx.endorsements.size();
+    cpu_.Submit(policy_service, [remaining, on_policy_done]() {
+      if (--*remaining == 0) on_policy_done();
+    });
+  }
+}
+
+void PeerNode::TryStartCommit(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  if (ch.commit_submitted) return;
+  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
+      ch.active_sims > 0) {
+    // Vanilla: the exclusive lock waits for running simulations
+    // (paper §4.2.1's "the block has to wait").
+    return;
+  }
+  ch.commit_submitted = true;
+  const CostModel& cost = net_->config().cost;
+  const std::shared_ptr<proto::Block>& block = ch.current_block;
+  sim::SimTime commit_service =
+      cost.block_fixed_commit +
+      cost.ledger_append_per_kb * (block->ByteSize() / 1024 + 1);
+  for (const proto::Transaction& tx : block->transactions) {
+    commit_service += cost.per_read * tx.rwset.reads.size() +
+                      cost.commit_per_write * tx.rwset.writes.size();
+  }
+  cpu_.Submit(commit_service, [this, channel]() { FinishCommit(channel); });
+}
+
+void PeerNode::FinishCommit(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  const std::shared_ptr<proto::Block> block = std::move(ch.current_block);
+  const peer::BlockValidationResult result =
+      validator_.ValidateAndCommit(*block, &ch.db, &ch.ledger);
+
+  if (net_->IsObserver(*this)) {
+    const sim::SimTime now = net_->env().Now();
+    for (uint32_t i = 0; i < block->transactions.size(); ++i) {
+      const proto::Transaction& tx = block->transactions[i];
+      net_->metrics().Resolve(ProposalKey(tx.client, tx.proposal_id),
+                              OutcomeFromValidationCode(result.codes[i]), now);
+      // Commit-event notification to the submitting client (Fabric's event
+      // service); an aborted transaction triggers resubmission there.
+      if (ClientNode* client = net_->FindClient(tx.client)) {
+        const bool success =
+            result.codes[i] == proto::TxValidationCode::kValid;
+        const uint64_t proposal_id = tx.proposal_id;
+        net_->network().Send(node_id_, net_->client_machine_node(),
+                             kMessageOverhead,
+                             [client, proposal_id, success]() {
+                               client->HandleOutcome(proposal_id, success);
+                             });
+      }
+    }
+    net_->metrics().NoteBlockCommitted(
+        static_cast<uint32_t>(block->transactions.size()), now);
+  }
+
+  ch.validating = false;
+  ch.commit_phase = false;
+  ch.commit_submitted = false;
+  // Vanilla: admit the queued simulations before the next block's commit
+  // takes the exclusive lock again (reader batch between writers).
+  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock) {
+    std::deque<PendingSim> sims;
+    sims.swap(ch.pending_sims);
+    for (PendingSim& sim : sims) StartSimulation(channel, std::move(sim));
+  }
+  MaybeStartValidation(channel);
+}
+
+// ---------------------------------------------------------------------------
+// OrdererNode
+// ---------------------------------------------------------------------------
+
+OrdererNode::OrdererNode(FabricNetwork* net)
+    : net_(net),
+      node_id_(net->network().AddNode("orderer")),
+      cpu_(&net->env(), "orderer-cpu", net->config().orderer_cores) {
+  const crypto::Digest genesis_hash = ledger::Ledger().LastHash();
+  channels_.reserve(net->config().num_channels);
+  for (uint32_t c = 0; c < net->config().num_channels; ++c) {
+    channels_.emplace_back(net->config().block);
+    channels_.back().prev_hash = genesis_hash;
+  }
+  if (net->config().ordering_backend == OrderingBackend::kRaft) {
+    raft_ = std::make_unique<raft::RaftCluster>(
+        &net->env(), net->config().raft_cluster_size, net->config().seed,
+        net->config().raft_params);
+    raft_->Start();
+    // Dispatch each block exactly once, at the earliest replica apply
+    // (monotonic guard; replicas apply in log order).
+    raft_->SetCommitCallbackOnAll([this](uint64_t index, const Bytes&) {
+      if (index <= raft_dispatched_) return;
+      raft_dispatched_ = index;
+      const auto it = raft_pending_.find(index);
+      if (it == raft_pending_.end()) return;
+      ConsensusPending pending = std::move(it->second);
+      raft_pending_.erase(it);
+      DispatchBlock(pending.channel, std::move(pending.block),
+                    pending.block_bytes);
+    });
+  }
+}
+
+void OrdererNode::SubmitToConsensus(uint32_t channel,
+                                    std::shared_ptr<proto::Block> block,
+                                    uint64_t block_bytes) {
+  if (raft_ == nullptr) {
+    DispatchBlock(channel, std::move(block), block_bytes);
+    return;
+  }
+  // The consensus entry carries the block's bytes (size matters for the
+  // replication cost model; the content is tracked out-of-band).
+  const auto index = raft_->Propose(Bytes(block_bytes, 0));
+  if (index.has_value()) {
+    raft_pending_[*index] =
+        ConsensusPending{channel, std::move(block), block_bytes};
+    return;
+  }
+  // No leader right now (election in progress): retry shortly.
+  net_->env().Schedule(20 * sim::kMillisecond,
+                       [this, channel, block = std::move(block),
+                        block_bytes]() mutable {
+                         SubmitToConsensus(channel, std::move(block),
+                                           block_bytes);
+                       });
+}
+
+void OrdererNode::DispatchBlock(uint32_t channel,
+                                std::shared_ptr<proto::Block> block,
+                                uint64_t block_bytes) {
+  // Distribute to every peer (paper §2.2.2 / Appendix A.2 steps 8-9).
+  if (!net_->config().gossip_blocks) {
+    for (uint32_t p = 0; p < net_->num_peers(); ++p) {
+      PeerNode* peer = &net_->peer(p);
+      net_->network().Send(node_id_, peer->node_id(), block_bytes,
+                           [peer, channel, block]() {
+                             peer->HandleBlock(channel, block);
+                           });
+    }
+    return;
+  }
+  // Gossip: one copy to each org's leader peer (its first), which forwards
+  // to the org's remaining members — "partially from ordering service to
+  // peers directly ... and partially between the peers using a gossip
+  // protocol" (Appendix A.2 step 9).
+  const uint32_t peers_per_org = net_->config().peers_per_org;
+  for (uint32_t org = 0; org < net_->config().num_orgs; ++org) {
+    PeerNode* leader = &net_->peer(org * peers_per_org);
+    FabricNetwork* net = net_;
+    net_->network().Send(
+        node_id_, leader->node_id(), block_bytes,
+        [net, leader, org, peers_per_org, channel, block, block_bytes]() {
+          leader->HandleBlock(channel, block);
+          for (uint32_t m = 1; m < peers_per_org; ++m) {
+            PeerNode* member = &net->peer(org * peers_per_org + m);
+            net->network().Send(leader->node_id(), member->node_id(),
+                                block_bytes, [member, channel, block]() {
+                                  member->HandleBlock(channel, block);
+                                });
+          }
+        });
+  }
+}
+
+void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
+  const CostModel& cost = net_->config().cost;
+  // The ordering service authenticates the submitting client before
+  // enqueueing (one signature verification per transaction).
+  cpu_.Submit(cost.verify + cost.order_per_tx,
+              [this, channel, tx = std::move(tx)]() mutable {
+                Enqueue(channel, std::move(tx));
+              });
+}
+
+void OrdererNode::NotifyEarlyAbort(const proto::Transaction& tx) {
+  // Early abort notification to the client (paper §5.2: aborted
+  // transactions leave the pipeline immediately and the client learns of it
+  // without waiting for validation).
+  ClientNode* client = net_->FindClient(tx.client);
+  if (client == nullptr) return;
+  const uint64_t proposal_id = tx.proposal_id;
+  net_->network().Send(node_id_, net_->client_machine_node(),
+                       kMessageOverhead, [client, proposal_id]() {
+                         client->HandleOutcome(proposal_id, false);
+                       });
+}
+
+void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
+  ChannelState& ch = channels_[channel];
+  const bool was_empty = ch.cutter.pending_transactions() == 0;
+  std::optional<ordering::Batch> batch = ch.cutter.Add(std::move(tx));
+  if (batch.has_value()) {
+    ++ch.timer_generation;  // Cancel the pending timeout.
+    ch.batch_queue.push_back(std::move(*batch));
+    MaybeProcessNextBatch(channel);
+  } else if (was_empty) {
+    ArmTimer(channel);
+  }
+}
+
+void OrdererNode::MaybeProcessNextBatch(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  if (ch.processing || ch.batch_queue.empty()) return;
+  ch.processing = true;
+  ordering::Batch batch = std::move(ch.batch_queue.front());
+  ch.batch_queue.pop_front();
+  ProcessBatch(channel, std::move(batch));
+}
+
+void OrdererNode::ArmTimer(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  const uint64_t generation = ch.timer_generation;
+  net_->env().Schedule(
+      net_->config().block.batch_timeout, [this, channel, generation]() {
+        ChannelState& state = channels_[channel];
+        if (state.timer_generation != generation) return;  // Was cut already.
+        ++state.timer_generation;
+        std::optional<ordering::Batch> batch =
+            state.cutter.Flush(ordering::CutReason::kTimeout);
+        if (batch.has_value()) {
+          state.batch_queue.push_back(std::move(*batch));
+          MaybeProcessNextBatch(channel);
+        }
+      });
+}
+
+void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
+  const FabricConfig& config = net_->config();
+  const CostModel& cost = net_->config().cost;
+  const sim::SimTime now = net_->env().Now();
+  sim::SimTime service = cost.block_fixed_order;
+
+  std::vector<proto::Transaction>& txs = batch.transactions;
+  std::vector<bool> dropped(txs.size(), false);
+
+  // Fabric++ early abort in the ordering phase (paper §5.2.2): transactions
+  // whose reads are version-skewed against a sibling in the same batch can
+  // never commit; drop them before reordering and distribution.
+  if (config.enable_early_abort_ordering) {
+    std::vector<const proto::ReadWriteSet*> rwsets;
+    rwsets.reserve(txs.size());
+    for (const proto::Transaction& tx : txs) rwsets.push_back(&tx.rwset);
+    for (const uint32_t victim : ordering::FindVersionSkewAborts(rwsets)) {
+      dropped[victim] = true;
+      net_->metrics().Resolve(
+          ProposalKey(txs[victim].client, txs[victim].proposal_id),
+          TxOutcome::kAbortVersionSkew, now);
+      NotifyEarlyAbort(txs[victim]);
+    }
+    service += cost.order_per_tx * txs.size();  // The skew scan.
+  }
+
+  std::vector<uint32_t> survivors;
+  survivors.reserve(txs.size());
+  for (uint32_t i = 0; i < txs.size(); ++i) {
+    if (!dropped[i]) survivors.push_back(i);
+  }
+
+  // Fabric++ transaction reordering (paper §5.1): replace the arrival order
+  // by a serializable schedule, aborting cycle participants.
+  std::vector<uint32_t> final_order = survivors;
+  if (config.enable_reordering && !survivors.empty()) {
+    std::vector<const proto::ReadWriteSet*> rwsets;
+    rwsets.reserve(survivors.size());
+    for (const uint32_t i : survivors) rwsets.push_back(&txs[i].rwset);
+    ordering::ReorderResult reorder =
+        ordering::ReorderTransactions(rwsets, config.reorder);
+    last_reorder_stats_ = reorder.stats;
+    for (const uint32_t victim : reorder.aborted) {
+      const proto::Transaction& tx = txs[survivors[victim]];
+      net_->metrics().Resolve(ProposalKey(tx.client, tx.proposal_id),
+                              TxOutcome::kAbortReorderer, now);
+      NotifyEarlyAbort(tx);
+    }
+    final_order.clear();
+    for (const uint32_t pos : reorder.order) {
+      final_order.push_back(survivors[pos]);
+    }
+    service += cost.reorder_per_tx * reorder.stats.num_transactions +
+               cost.reorder_per_cycle * reorder.stats.num_cycles_found;
+  }
+
+  if (final_order.empty()) {
+    // Nothing survived; no block to distribute.
+    channels_[channel].processing = false;
+    MaybeProcessNextBatch(channel);
+    return;
+  }
+
+  auto block = std::make_shared<proto::Block>();
+  block->transactions.reserve(final_order.size());
+  for (const uint32_t i : final_order) {
+    block->transactions.push_back(std::move(txs[i]));
+  }
+
+  ChannelState& ch = channels_[channel];
+  block->header.number = ch.next_block_number++;
+  block->header.previous_hash = ch.prev_hash;
+  block->SealDataHash();
+  ch.prev_hash = block->header.Hash();
+  ++blocks_cut_;
+
+  const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
+  service += cost.hash_per_kb * (block_bytes / 1024 + 1);
+
+  cpu_.Submit(service, [this, channel, block, block_bytes]() {
+    SubmitToConsensus(channel, block, block_bytes);
+    channels_[channel].processing = false;
+    MaybeProcessNextBatch(channel);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ClientNode
+// ---------------------------------------------------------------------------
+
+ClientNode::ClientNode(FabricNetwork* net, uint32_t index, uint32_t channel,
+                       std::string name, uint64_t rng_seed)
+    : net_(net),
+      index_(index),
+      channel_(channel),
+      name_(std::move(name)),
+      rng_(rng_seed) {}
+
+void ClientNode::StartFiring(sim::SimTime deadline) {
+  fire_deadline_ = deadline;
+  const double interval_us = 1e6 / net_->config().client_fire_rate_tps;
+  // Stagger clients across one interval so firing is uniform in aggregate.
+  next_fire_us_ = interval_us * static_cast<double>(index_) /
+                  static_cast<double>(net_->num_clients());
+  net_->env().ScheduleAt(static_cast<sim::SimTime>(next_fire_us_),
+                         [this]() { FireFromWorkload(); });
+}
+
+void ClientNode::FireFromWorkload() {
+  if (net_->env().Now() >= fire_deadline_) return;
+  const uint32_t max_inflight = net_->config().client_max_inflight;
+  if (max_inflight == 0 || inflight_.size() < max_inflight) {
+    FireProposal(net_->workload()->NextArgs(rng_));
+  }
+  const double interval_us = 1e6 / net_->config().client_fire_rate_tps;
+  next_fire_us_ += interval_us;
+  net_->env().ScheduleAt(static_cast<sim::SimTime>(next_fire_us_),
+                         [this]() { FireFromWorkload(); });
+}
+
+void ClientNode::FireProposal(std::vector<std::string> args) {
+  FireWithRetries(std::move(args), 0);
+}
+
+void ClientNode::FireWithRetries(std::vector<std::string> args,
+                                 uint32_t retries_used) {
+  proto::Proposal proposal;
+  proposal.proposal_id = next_proposal_id_++;
+  proposal.client = name_;
+  proposal.channel = StrFormat("ch%u", channel_);
+  proposal.chaincode = net_->workload()->chaincode();
+  proposal.args = args;
+  proposal.nonce = rng_.Next();
+  inflight_[proposal.proposal_id] =
+      InflightProposal{std::move(args), retries_used};
+  net_->metrics().NoteFired(ProposalKey(name_, proposal.proposal_id),
+                            net_->env().Now());
+  Submit(std::move(proposal));
+}
+
+void ClientNode::MaybeResubmit(uint64_t proposal_id) {
+  const auto it = inflight_.find(proposal_id);
+  if (it == inflight_.end()) return;
+  InflightProposal inflight = std::move(it->second);
+  inflight_.erase(it);
+  if (inflight.retries_used >= net_->config().client_max_retries) return;
+  if (net_->env().Now() >= fire_deadline_) return;
+  // Resubmit the same logical work as a fresh proposal: new simulation,
+  // new read versions (paper §4.1 / §5.2.1).
+  FireWithRetries(std::move(inflight.args), inflight.retries_used + 1);
+}
+
+void ClientNode::HandleOutcome(uint64_t proposal_id, bool success) {
+  if (success) {
+    inflight_.erase(proposal_id);
+    return;
+  }
+  MaybeResubmit(proposal_id);
+}
+
+void ClientNode::Submit(proto::Proposal proposal) {
+  // Client CPU: sign the proposal, then ship it to one endorser per org.
+  const CostModel& cost = net_->config().cost;
+  net_->client_cpu().Submit(
+      cost.sign, [this, proposal = std::move(proposal)]() mutable {
+        const uint64_t size = proposal.ByteSize() + kMessageOverhead;
+        std::vector<PeerNode*> endorsers =
+            net_->EndorsersFor(proposal.proposal_id + index_);
+        PendingProposal pending;
+        pending.proposal = proposal;
+        pending.expected = static_cast<uint32_t>(endorsers.size());
+        pending_.emplace(proposal.proposal_id, std::move(pending));
+        for (PeerNode* peer : endorsers) {
+          net_->network().Send(
+              net_->client_machine_node(), peer->node_id(), size,
+              [peer, channel = channel_, proposal, index = index_]() mutable {
+                peer->HandleProposal(channel, std::move(proposal), index);
+              });
+        }
+      });
+}
+
+void ClientNode::HandleEndorsement(uint64_t proposal_id,
+                                   Result<peer::EndorsementResponse> response) {
+  const auto it = pending_.find(proposal_id);
+  if (it == pending_.end()) return;
+  PendingProposal& pending = it->second;
+
+  if (!response.ok()) {
+    // A failed simulation aborts the proposal immediately — the client does
+    // not wait for the remaining endorsers (paper §5.2.1: "we directly
+    // notify the corresponding client about the abort"). Late replies find
+    // no pending entry and are dropped.
+    const TxOutcome outcome =
+        response.status().code() == StatusCode::kStaleRead
+            ? TxOutcome::kAbortStaleSimulation
+            : TxOutcome::kAbortChaincodeError;
+    pending_.erase(it);
+    net_->metrics().Resolve(ProposalKey(name_, proposal_id), outcome,
+                            net_->env().Now());
+    MaybeResubmit(proposal_id);
+    return;
+  }
+
+  pending.responses.push_back(std::move(response).value());
+  if (pending.responses.size() < pending.expected) return;
+
+  PendingProposal done = std::move(pending);
+  pending_.erase(it);
+
+  // All read/write sets must match (paper §2.2.1); otherwise the proposal
+  // cannot become a transaction.
+  for (size_t i = 1; i < done.responses.size(); ++i) {
+    if (!(done.responses[i].rwset == done.responses[0].rwset)) {
+      net_->metrics().Resolve(ProposalKey(name_, proposal_id),
+                              TxOutcome::kAbortRwsetMismatch,
+                              net_->env().Now());
+      MaybeResubmit(proposal_id);
+      return;
+    }
+  }
+  Assemble(std::move(done));
+}
+
+void ClientNode::Assemble(PendingProposal pending) {
+  const CostModel& cost = net_->config().cost;
+  net_->client_cpu().Submit(
+      cost.client_assemble + cost.sign,
+      [this, pending = std::move(pending)]() mutable {
+        proto::Transaction tx;
+        tx.proposal_id = pending.proposal.proposal_id;
+        tx.client = name_;
+        tx.channel = pending.proposal.channel;
+        tx.chaincode = pending.proposal.chaincode;
+        tx.policy_id = net_->default_policy_id();
+        tx.rwset = pending.responses[0].rwset;
+        for (const peer::EndorsementResponse& r : pending.responses) {
+          tx.endorsements.push_back(r.endorsement);
+        }
+        tx.ComputeTxId(pending.proposal);
+        const uint64_t size = tx.ByteSize() + kMessageOverhead;
+        OrdererNode* orderer = &net_->orderer();
+        net_->network().Send(
+            net_->client_machine_node(), orderer->node_id(), size,
+            [orderer, channel = channel_, tx = std::move(tx)]() mutable {
+              orderer->HandleTransaction(channel, std::move(tx));
+            });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// FabricNetwork
+// ---------------------------------------------------------------------------
+
+FabricNetwork::FabricNetwork(FabricConfig config,
+                             const workload::Workload* workload)
+    : config_(config),
+      workload_(workload),
+      env_(),
+      net_(&env_, config.network),
+      registry_(chaincode::ChaincodeRegistry::WithBuiltins()),
+      client_cpu_(&env_, "client-cpu", config.client_machine_cores),
+      client_machine_node_(net_.AddNode("clients")) {
+  // Endorsement policy: one peer of every org (paper §2.2.1).
+  peer::EndorsementPolicy policy;
+  policy.id = "AND(all-orgs)";
+  for (uint32_t o = 0; o < config_.num_orgs; ++o) {
+    policy.required_orgs.push_back(std::string(1, static_cast<char>('A' + o)));
+  }
+  default_policy_id_ = policy.id;
+  (void)policies_.Register(std::move(policy));
+
+  // Peers, org-major: A1 A2 ... B1 B2 ...
+  for (uint32_t o = 0; o < config_.num_orgs; ++o) {
+    const std::string org(1, static_cast<char>('A' + o));
+    for (uint32_t p = 0; p < config_.peers_per_org; ++p) {
+      const uint32_t index = o * config_.peers_per_org + p;
+      peers_.push_back(std::make_unique<PeerNode>(
+          this, index, StrFormat("%s%u", org.c_str(), p + 1), org));
+    }
+  }
+
+  orderer_ = std::make_unique<OrdererNode>(this);
+
+  // Seed every (peer, channel) state database identically.
+  for (auto& peer : peers_) {
+    for (uint32_t c = 0; c < config_.num_channels; ++c) {
+      workload_->SeedState(peer->mutable_state_db(c));
+    }
+  }
+
+  // Clients, channel-major.
+  for (uint32_t c = 0; c < config_.num_channels; ++c) {
+    for (uint32_t i = 0; i < config_.clients_per_channel; ++i) {
+      const uint32_t index =
+          c * config_.clients_per_channel + i;
+      clients_.push_back(std::make_unique<ClientNode>(
+          this, index, c, StrFormat("client_c%u_%u", c, i),
+          config_.seed * 0x9e3779b97f4a7c15ULL + index + 1));
+      clients_by_name_[clients_.back()->name()] = clients_.back().get();
+    }
+  }
+}
+
+ClientNode* FabricNetwork::FindClient(const std::string& name) {
+  const auto it = clients_by_name_.find(name);
+  return it == clients_by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<PeerNode*> FabricNetwork::EndorsersFor(uint64_t proposal_id) {
+  std::vector<PeerNode*> endorsers;
+  endorsers.reserve(config_.num_orgs);
+  for (uint32_t o = 0; o < config_.num_orgs; ++o) {
+    const uint32_t p = static_cast<uint32_t>(proposal_id % config_.peers_per_org);
+    endorsers.push_back(peers_[o * config_.peers_per_org + p].get());
+  }
+  return endorsers;
+}
+
+RunReport FabricNetwork::RunFor(sim::SimTime duration, sim::SimTime warmup) {
+  metrics_.SetWindow(warmup, duration);
+  for (auto& client : clients_) client->StartFiring(duration);
+  env_.RunUntil(duration);
+  return metrics_.Report();
+}
+
+void FabricNetwork::SubmitProposal(uint32_t channel, uint32_t client_index,
+                                   std::vector<std::string> args) {
+  ClientNode& client = *clients_[channel * config_.clients_per_channel +
+                                 client_index];
+  env_.Schedule(0, [&client, args = std::move(args)]() mutable {
+    client.FireProposal(std::move(args));
+  });
+}
+
+void FabricNetwork::SubmitExternalTransaction(uint32_t channel,
+                                              proto::Transaction tx) {
+  OrdererNode* orderer = orderer_.get();
+  env_.Schedule(0, [orderer, channel, tx = std::move(tx)]() mutable {
+    orderer->HandleTransaction(channel, std::move(tx));
+  });
+}
+
+}  // namespace fabricpp::fabric

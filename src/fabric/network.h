@@ -1,0 +1,320 @@
+#ifndef FABRICPP_FABRIC_NETWORK_H_
+#define FABRICPP_FABRIC_NETWORK_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+#include "crypto/sha256.h"
+#include "fabric/config.h"
+#include "fabric/metrics.h"
+#include "ledger/ledger.h"
+#include "ordering/batch_cutter.h"
+#include "peer/endorser.h"
+#include "peer/policy.h"
+#include "peer/validator.h"
+#include "proto/block.h"
+#include "proto/transaction.h"
+#include "raft/raft_node.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+#include "statedb/state_db.h"
+#include "workload/workload.h"
+
+namespace fabricpp::fabric {
+
+class FabricNetwork;
+
+/// One peer of the network inside the simulation: endorsement (simulation
+/// phase) and validation + commit, per channel, on a shared CPU.
+class PeerNode {
+ public:
+  PeerNode(FabricNetwork* net, uint32_t index, std::string name,
+           std::string org);
+
+  const std::string& name() const { return name_; }
+  const std::string& org() const { return org_; }
+  uint32_t index() const { return index_; }
+  sim::NodeId node_id() const { return node_id_; }
+
+  /// Delivery of a proposal from a client (simulation phase entry).
+  void HandleProposal(uint32_t channel, proto::Proposal proposal,
+                      uint32_t client_index);
+
+  /// Delivery of a block from the ordering service (validation entry).
+  void HandleBlock(uint32_t channel, std::shared_ptr<proto::Block> block);
+
+  const ledger::Ledger& ledger(uint32_t channel) const {
+    return channels_[channel].ledger;
+  }
+  const statedb::StateDb& state_db(uint32_t channel) const {
+    return channels_[channel].db;
+  }
+  statedb::StateDb* mutable_state_db(uint32_t channel) {
+    return &channels_[channel].db;
+  }
+
+  sim::Resource& cpu() { return cpu_; }
+
+ private:
+  friend class FabricNetwork;
+
+  struct PendingSim {
+    proto::Proposal proposal;
+    uint32_t client_index;
+  };
+
+  /// Per-channel peer state, including the vanilla coarse-lock bookkeeping
+  /// (paper §4.2.1): simulations hold the shared side of the state lock;
+  /// the block's *commit stage* (MVCC check + state update) needs the
+  /// exclusive side. Endorsement-policy verification does not touch the
+  /// state and runs outside the lock, as in Fabric 1.2.
+  struct ChannelState {
+    statedb::StateDb db;
+    ledger::Ledger ledger;
+    uint32_t active_sims = 0;
+    /// A block is in the validation pipeline (serializes blocks).
+    bool validating = false;
+    /// The block finished policy checks and is waiting for / holding the
+    /// exclusive lock; simulations queue while set (coarse mode).
+    bool commit_phase = false;
+    bool commit_submitted = false;
+    std::shared_ptr<proto::Block> current_block;
+    std::deque<PendingSim> pending_sims;
+    std::deque<std::shared_ptr<proto::Block>> pending_blocks;
+  };
+
+  void StartSimulation(uint32_t channel, PendingSim sim);
+  void FinishSimulation(uint32_t channel, uint32_t client_index,
+                        uint64_t proposal_id,
+                        Result<peer::EndorsementResponse> response);
+  void MaybeStartValidation(uint32_t channel);
+  void TryStartCommit(uint32_t channel);
+  void FinishCommit(uint32_t channel);
+
+  FabricNetwork* net_;
+  uint32_t index_;
+  std::string name_;
+  std::string org_;
+  sim::NodeId node_id_;
+  sim::Resource cpu_;
+  peer::Endorser endorser_;
+  peer::Validator validator_;
+  std::vector<ChannelState> channels_;
+};
+
+/// The (trusted) ordering service: receives endorsed transactions, cuts
+/// batches, optionally early-aborts and reorders (Fabric++), seals blocks,
+/// and distributes them to every peer.
+class OrdererNode {
+ public:
+  explicit OrdererNode(FabricNetwork* net);
+
+  sim::NodeId node_id() const { return node_id_; }
+
+  /// Delivery of a transaction from a client.
+  void HandleTransaction(uint32_t channel, proto::Transaction tx);
+
+  uint64_t blocks_cut() const { return blocks_cut_; }
+  const ordering::ReorderStats& last_reorder_stats() const {
+    return last_reorder_stats_;
+  }
+
+ private:
+  friend class FabricNetwork;
+
+  struct ChannelState {
+    explicit ChannelState(ordering::BatchCutConfig config)
+        : cutter(config) {}
+    ordering::BatchCutter cutter;
+    uint64_t next_block_number = 1;
+    crypto::Digest prev_hash{};
+    uint64_t timer_generation = 0;
+    /// Batches are processed strictly one at a time per channel so blocks
+    /// are dispatched in chain order (the consensus log is sequential).
+    std::deque<ordering::Batch> batch_queue;
+    bool processing = false;
+  };
+
+  void Enqueue(uint32_t channel, proto::Transaction tx);
+  void NotifyEarlyAbort(const proto::Transaction& tx);
+  void ArmTimer(uint32_t channel);
+  void MaybeProcessNextBatch(uint32_t channel);
+  /// Runs the Fabric++ ordering-phase logic on a cut batch (early abort +
+  /// reordering), charges its virtual cost, seals the block, distributes.
+  void ProcessBatch(uint32_t channel, ordering::Batch batch);
+  /// Hands a sealed block to the configured consensus backend; distribution
+  /// happens on consensus commit (immediately for kSolo).
+  void SubmitToConsensus(uint32_t channel,
+                         std::shared_ptr<proto::Block> block,
+                         uint64_t block_bytes);
+  /// Ships a consensus-committed block to every peer.
+  void DispatchBlock(uint32_t channel, std::shared_ptr<proto::Block> block,
+                     uint64_t block_bytes);
+
+  struct ConsensusPending {
+    uint32_t channel;
+    std::shared_ptr<proto::Block> block;
+    uint64_t block_bytes;
+  };
+
+  FabricNetwork* net_;
+  sim::NodeId node_id_;
+  sim::Resource cpu_;
+  std::vector<ChannelState> channels_;
+  uint64_t blocks_cut_ = 0;
+  ordering::ReorderStats last_reorder_stats_;
+  /// Raft backend state (null for kSolo).
+  std::unique_ptr<raft::RaftCluster> raft_;
+  std::unordered_map<uint64_t, ConsensusPending> raft_pending_;
+  uint64_t raft_dispatched_ = 0;
+};
+
+/// One client: fires proposals at the configured rate, collects
+/// endorsements, assembles transactions, submits them for ordering. All
+/// clients share one simulated client machine (paper §6.1: one server fires
+/// all proposals).
+class ClientNode {
+ public:
+  ClientNode(FabricNetwork* net, uint32_t index, uint32_t channel,
+             std::string name, uint64_t rng_seed);
+
+  const std::string& name() const { return name_; }
+  uint32_t channel() const { return channel_; }
+
+  /// Arms periodic firing until `deadline` (virtual time).
+  void StartFiring(sim::SimTime deadline);
+
+  /// Fires a single proposal with explicit args (examples/tests).
+  void FireProposal(std::vector<std::string> args);
+
+  /// Endorsement reply delivery.
+  void HandleEndorsement(uint64_t proposal_id,
+                         Result<peer::EndorsementResponse> response);
+
+  /// Final outcome notification (from the orderer's early aborts or the
+  /// observer peer's commit events). An aborted proposal is resubmitted
+  /// with the same arguments while the firing window is open and retries
+  /// remain — the paper's client resubmission loop.
+  void HandleOutcome(uint64_t proposal_id, bool success);
+
+ private:
+  friend class FabricNetwork;
+
+  struct PendingProposal {
+    proto::Proposal proposal;
+    uint32_t expected = 0;
+    std::vector<peer::EndorsementResponse> responses;
+  };
+
+  /// Retry bookkeeping for every in-flight proposal.
+  struct InflightProposal {
+    std::vector<std::string> args;
+    uint32_t retries_used = 0;
+  };
+
+  void FireFromWorkload();
+  void FireWithRetries(std::vector<std::string> args, uint32_t retries_used);
+  void Submit(proto::Proposal proposal);
+  void Assemble(PendingProposal pending);
+  void MaybeResubmit(uint64_t proposal_id);
+
+  FabricNetwork* net_;
+  uint32_t index_;
+  uint32_t channel_;
+  std::string name_;
+  Rng rng_;
+  uint64_t next_proposal_id_ = 1;
+  double next_fire_us_ = 0;
+  sim::SimTime fire_deadline_ = 0;
+  std::unordered_map<uint64_t, PendingProposal> pending_;
+  std::unordered_map<uint64_t, InflightProposal> inflight_;
+};
+
+/// The whole simulated Fabric network: topology, pipeline wiring, and the
+/// experiment driver. This is the main entry point of the library — see
+/// examples/quickstart.cpp.
+class FabricNetwork {
+ public:
+  /// Builds the network. `workload` seeds each channel's initial state and
+  /// generates proposal arguments; it must outlive the network.
+  FabricNetwork(FabricConfig config, const workload::Workload* workload);
+
+  FabricNetwork(const FabricNetwork&) = delete;
+  FabricNetwork& operator=(const FabricNetwork&) = delete;
+
+  /// Runs the standard experiment: clients fire for `duration`, outcomes
+  /// are measured in [warmup, duration), and the report is returned.
+  RunReport RunFor(sim::SimTime duration, sim::SimTime warmup = 0);
+
+  /// Manual driving (examples): submit one proposal through a client, then
+  /// run the event loop until it drains.
+  void SubmitProposal(uint32_t channel, uint32_t client_index,
+                      std::vector<std::string> args);
+  /// Injects a fully-formed transaction directly into the ordering service
+  /// (used to demonstrate tamper detection, Appendix A.3.1).
+  void SubmitExternalTransaction(uint32_t channel, proto::Transaction tx);
+  /// Drains the event queue. Only valid with the solo ordering backend —
+  /// a Raft cluster's heartbeat timers keep the queue alive forever; use
+  /// env().RunUntil(...) there.
+  void RunUntilIdle() { env_.Run(); }
+
+  // --- Component access ---
+  sim::Environment& env() { return env_; }
+  sim::Network& network() { return net_; }
+  Metrics& metrics() { return metrics_; }
+  const FabricConfig& config() const { return config_; }
+  const workload::Workload* workload() const { return workload_; }
+  const chaincode::ChaincodeRegistry& registry() const { return *registry_; }
+  const peer::PolicyRegistry& policies() const { return policies_; }
+  sim::Resource& client_cpu() { return client_cpu_; }
+  sim::NodeId client_machine_node() const { return client_machine_node_; }
+
+  size_t num_peers() const { return peers_.size(); }
+  PeerNode& peer(uint32_t i) { return *peers_[i]; }
+  const PeerNode& peer(uint32_t i) const { return *peers_[i]; }
+  OrdererNode& orderer() { return *orderer_; }
+  size_t num_clients() const { return clients_.size(); }
+  ClientNode& client(uint32_t i) { return *clients_[i]; }
+  /// Client lookup by name; nullptr for unknown submitters (e.g. externally
+  /// injected transactions).
+  ClientNode* FindClient(const std::string& name);
+
+  /// The peers a proposal with the given id is endorsed by: one peer per
+  /// org, rotated by proposal id for load balance.
+  std::vector<PeerNode*> EndorsersFor(uint64_t proposal_id);
+
+  /// Endorsement policy id used by all transactions.
+  const std::string& default_policy_id() const { return default_policy_id_; }
+
+  /// Observer peer whose commits feed the metrics (peer 0).
+  bool IsObserver(const PeerNode& peer) const { return peer.index() == 0; }
+
+ private:
+  friend class PeerNode;
+  friend class OrdererNode;
+  friend class ClientNode;
+
+  FabricConfig config_;
+  const workload::Workload* workload_;
+  sim::Environment env_;
+  sim::Network net_;
+  Metrics metrics_;
+  std::unique_ptr<chaincode::ChaincodeRegistry> registry_;
+  peer::PolicyRegistry policies_;
+  std::string default_policy_id_;
+  sim::Resource client_cpu_;
+  sim::NodeId client_machine_node_;
+  std::vector<std::unique_ptr<PeerNode>> peers_;
+  std::unique_ptr<OrdererNode> orderer_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+  std::unordered_map<std::string, ClientNode*> clients_by_name_;
+};
+
+}  // namespace fabricpp::fabric
+
+#endif  // FABRICPP_FABRIC_NETWORK_H_

@@ -1,0 +1,117 @@
+#include "ledger/block_store.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "storage/crc32.h"
+
+namespace fabricpp::ledger {
+
+namespace {
+
+/// Serializes a stored block (block bytes + validation codes).
+Bytes EncodeStored(const StoredBlock& stored) {
+  Bytes out;
+  ByteWriter writer(&out);
+  const Bytes block_bytes = stored.block.Encode();
+  writer.PutBytes(block_bytes);
+  writer.PutVarint(stored.validation_codes.size());
+  for (const proto::TxValidationCode code : stored.validation_codes) {
+    writer.PutU8(static_cast<uint8_t>(code));
+  }
+  return out;
+}
+
+Result<StoredBlock> DecodeStored(const Bytes& data) {
+  ByteReader reader(data);
+  StoredBlock stored;
+  FABRICPP_ASSIGN_OR_RETURN(const Bytes block_bytes, reader.GetBytes());
+  {
+    ByteReader block_reader(block_bytes);
+    FABRICPP_ASSIGN_OR_RETURN(stored.block,
+                              proto::Block::Decode(&block_reader));
+  }
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_codes, reader.GetVarint());
+  stored.validation_codes.reserve(num_codes);
+  for (uint64_t i = 0; i < num_codes; ++i) {
+    FABRICPP_ASSIGN_OR_RETURN(const uint8_t code, reader.GetU8());
+    stored.validation_codes.push_back(
+        static_cast<proto::TxValidationCode>(code));
+  }
+  return stored;
+}
+
+}  // namespace
+
+PersistentLedger::~PersistentLedger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<PersistentLedger>> PersistentLedger::Open(
+    const std::string& path) {
+  std::unique_ptr<PersistentLedger> ledger(new PersistentLedger(path));
+
+  // Replay: records are u32 crc | u32 length | payload, like the WAL.
+  if (std::FILE* file = std::fopen(path.c_str(), "rb")) {
+    while (true) {
+      uint8_t header[8];
+      if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) {
+        break;
+      }
+      uint32_t crc = 0, length = 0;
+      for (int i = 0; i < 4; ++i) {
+        crc |= static_cast<uint32_t>(header[i]) << (8 * i);
+        length |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+      }
+      if (length > (256u << 20)) break;
+      Bytes payload(length);
+      if (std::fread(payload.data(), 1, length, file) != length) break;
+      if (storage::Crc32(payload.data(), payload.size()) != crc) break;
+      auto stored = DecodeStored(payload);
+      if (!stored.ok()) break;
+      const Status append = ledger->ledger_.Append(std::move(stored).value());
+      if (!append.ok()) {
+        std::fclose(file);
+        return Status::Internal("ledger file chain broken: " +
+                                append.ToString());
+      }
+      ++ledger->blocks_recovered_;
+    }
+    std::fclose(file);
+  }
+  FABRICPP_RETURN_IF_ERROR(ledger->ledger_.VerifyChain());
+
+  ledger->file_ = std::fopen(path.c_str(), "ab");
+  if (ledger->file_ == nullptr) {
+    return Status::Internal("cannot open ledger file " + path + ": " +
+                            std::strerror(errno));
+  }
+  return ledger;
+}
+
+Status PersistentLedger::AppendToFile(const StoredBlock& stored) {
+  const Bytes payload = EncodeStored(stored);
+  uint8_t header[8];
+  const uint32_t crc = storage::Crc32(payload.data(), payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(crc >> (8 * i));
+    header[4 + i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("ledger file write failed");
+  }
+  return Status::OK();
+}
+
+Status PersistentLedger::Append(StoredBlock stored) {
+  const StoredBlock copy = stored;  // Ledger::Append consumes it.
+  FABRICPP_RETURN_IF_ERROR(ledger_.Append(std::move(stored)));
+  return AppendToFile(copy);
+}
+
+}  // namespace fabricpp::ledger

@@ -1,0 +1,49 @@
+#ifndef FABRICPP_LEDGER_BLOCK_STORE_H_
+#define FABRICPP_LEDGER_BLOCK_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "ledger/ledger.h"
+
+namespace fabricpp::ledger {
+
+/// A durable ledger: the in-memory hash-chained Ledger backed by an
+/// append-only block file (Fabric's blockfile storage). Each record is a
+/// CRC-protected serialized block plus its validation flags; recovery
+/// replays intact records and stops cleanly at a torn tail, then verifies
+/// the whole chain.
+class PersistentLedger {
+ public:
+  /// Opens `path`, replaying any existing blocks. Fails if the recovered
+  /// chain does not verify.
+  static Result<std::unique_ptr<PersistentLedger>> Open(
+      const std::string& path);
+
+  ~PersistentLedger();
+  PersistentLedger(const PersistentLedger&) = delete;
+  PersistentLedger& operator=(const PersistentLedger&) = delete;
+
+  /// Validates against the chain, appends in memory, then persists.
+  Status Append(StoredBlock stored);
+
+  /// The recovered + appended chain.
+  const Ledger& ledger() const { return ledger_; }
+
+  uint64_t blocks_recovered() const { return blocks_recovered_; }
+
+ private:
+  explicit PersistentLedger(std::string path) : path_(std::move(path)) {}
+
+  Status AppendToFile(const StoredBlock& stored);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Ledger ledger_;
+  uint64_t blocks_recovered_ = 0;
+};
+
+}  // namespace fabricpp::ledger
+
+#endif  // FABRICPP_LEDGER_BLOCK_STORE_H_

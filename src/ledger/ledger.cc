@@ -1,0 +1,92 @@
+#include "ledger/ledger.h"
+
+#include "common/strings.h"
+
+namespace fabricpp::ledger {
+
+Ledger::Ledger() {
+  // Genesis block: number 0, zero previous hash, no transactions.
+  StoredBlock genesis;
+  genesis.block.header.number = 0;
+  genesis.block.header.previous_hash.fill(0);
+  genesis.block.SealDataHash();
+  blocks_.push_back(std::move(genesis));
+}
+
+crypto::Digest Ledger::LastHash() const {
+  return blocks_.back().block.header.Hash();
+}
+
+Status Ledger::Append(StoredBlock stored) {
+  const proto::Block& block = stored.block;
+  if (block.header.number != blocks_.size()) {
+    return Status::FailedPrecondition(
+        StrFormat("block number %llu does not extend chain of height %zu",
+                  static_cast<unsigned long long>(block.header.number),
+                  blocks_.size()));
+  }
+  if (block.header.previous_hash != LastHash()) {
+    return Status::FailedPrecondition("previous-hash link mismatch");
+  }
+  if (!block.VerifyDataHash()) {
+    return Status::FailedPrecondition("block data hash mismatch");
+  }
+  if (stored.validation_codes.size() != block.transactions.size()) {
+    return Status::InvalidArgument(
+        "validation codes do not match transaction count");
+  }
+  for (uint32_t i = 0; i < block.transactions.size(); ++i) {
+    tx_index_[block.transactions[i].tx_id] = {block.header.number, i};
+    ++total_txs_;
+    if (stored.validation_codes[i] == proto::TxValidationCode::kValid) {
+      ++total_valid_txs_;
+    }
+  }
+  blocks_.push_back(std::move(stored));
+  return Status::OK();
+}
+
+Result<const StoredBlock*> Ledger::GetBlock(uint64_t number) const {
+  if (number >= blocks_.size()) {
+    return Status::OutOfRange(
+        StrFormat("block %llu beyond chain height %zu",
+                  static_cast<unsigned long long>(number), blocks_.size()));
+  }
+  return &blocks_[number];
+}
+
+Result<std::pair<uint64_t, uint32_t>> Ledger::FindTransaction(
+    const std::string& tx_id) const {
+  const auto it = tx_index_.find(tx_id);
+  if (it == tx_index_.end()) {
+    return Status::NotFound("transaction not in ledger: " + tx_id);
+  }
+  return it->second;
+}
+
+Result<proto::TxValidationCode> Ledger::GetValidationCode(
+    const std::string& tx_id) const {
+  FABRICPP_ASSIGN_OR_RETURN(const auto loc, FindTransaction(tx_id));
+  return blocks_[loc.first].validation_codes[loc.second];
+}
+
+Status Ledger::VerifyChain() const {
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const proto::Block& block = blocks_[i].block;
+    if (block.header.number != i) {
+      return Status::Internal(StrFormat("block %zu has wrong number", i));
+    }
+    if (!block.VerifyDataHash()) {
+      return Status::Internal(StrFormat("block %zu data hash mismatch", i));
+    }
+    if (i > 0) {
+      if (block.header.previous_hash != blocks_[i - 1].block.header.Hash()) {
+        return Status::Internal(
+            StrFormat("block %zu previous-hash link broken", i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fabricpp::ledger

@@ -1,0 +1,51 @@
+#include "ordering/batch_cutter.h"
+
+namespace fabricpp::ordering {
+
+std::string_view CutReasonToString(CutReason reason) {
+  switch (reason) {
+    case CutReason::kTransactionCount:
+      return "TRANSACTION_COUNT";
+    case CutReason::kBytes:
+      return "BYTES";
+    case CutReason::kTimeout:
+      return "TIMEOUT";
+    case CutReason::kUniqueKeys:
+      return "UNIQUE_KEYS";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<Batch> BatchCutter::Add(proto::Transaction tx) {
+  pending_bytes_ += tx.ByteSize();
+  for (const proto::ReadItem& r : tx.rwset.reads) pending_keys_.insert(r.key);
+  for (const proto::WriteItem& w : tx.rwset.writes) {
+    pending_keys_.insert(w.key);
+  }
+  pending_.push_back(std::move(tx));
+
+  if (pending_.size() >= config_.max_transactions) {
+    return Flush(CutReason::kTransactionCount);
+  }
+  if (pending_bytes_ >= config_.max_bytes) {
+    return Flush(CutReason::kBytes);
+  }
+  if (config_.max_unique_keys > 0 &&
+      pending_keys_.size() >= config_.max_unique_keys) {
+    return Flush(CutReason::kUniqueKeys);
+  }
+  return std::nullopt;
+}
+
+std::optional<Batch> BatchCutter::Flush(CutReason reason) {
+  if (pending_.empty()) return std::nullopt;
+  Batch batch;
+  batch.transactions = std::move(pending_);
+  batch.reason = reason;
+  pending_.clear();
+  pending_keys_.clear();
+  pending_bytes_ = 0;
+  return batch;
+}
+
+}  // namespace fabricpp::ordering

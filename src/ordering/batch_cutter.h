@@ -1,0 +1,71 @@
+#ifndef FABRICPP_ORDERING_BATCH_CUTTER_H_
+#define FABRICPP_ORDERING_BATCH_CUTTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/transaction.h"
+#include "sim/time.h"
+
+namespace fabricpp::ordering {
+
+/// Why a batch was cut (paper §5.1.2 conditions (a)-(d)).
+enum class CutReason {
+  kTransactionCount,  ///< (a) the batch holds max_transactions.
+  kBytes,             ///< (b) the batch reached max_bytes.
+  kTimeout,           ///< (c) batch_timeout elapsed since the first tx.
+  kUniqueKeys,        ///< (d) Fabric++ only: too many unique keys accessed.
+};
+
+std::string_view CutReasonToString(CutReason reason);
+
+/// Batch-cutting configuration. The defaults mirror the paper's Table 5
+/// system parameters (1024 txs, 2 MB, 1 s, 16384 unique keys).
+struct BatchCutConfig {
+  uint32_t max_transactions = 1024;
+  uint64_t max_bytes = 2 * 1024 * 1024;
+  sim::SimTime batch_timeout = 1 * sim::kSecond;
+  /// Condition (d); 0 disables it (vanilla Fabric has no such condition —
+  /// it exists to bound the reorderer's conflict-graph work).
+  uint32_t max_unique_keys = 16384;
+};
+
+/// A finalized batch of transactions, ready to become a block.
+struct Batch {
+  std::vector<proto::Transaction> transactions;
+  CutReason reason = CutReason::kTimeout;
+};
+
+/// Accumulates the orderer's incoming transaction stream and decides when
+/// to "cut" a batch (paper §5.1.2). Pure logic: the timeout condition is
+/// driven by the caller (fabric::OrdererNode owns the virtual-time timer
+/// and calls Flush when it fires).
+class BatchCutter {
+ public:
+  explicit BatchCutter(BatchCutConfig config) : config_(config) {}
+
+  /// Adds a transaction. Returns a cut batch when the addition completed
+  /// one (conditions (a), (b) or (d)); the new batch is then already empty.
+  std::optional<Batch> Add(proto::Transaction tx);
+
+  /// Cuts whatever is pending (the timeout path); nullopt when empty.
+  std::optional<Batch> Flush(CutReason reason = CutReason::kTimeout);
+
+  size_t pending_transactions() const { return pending_.size(); }
+  uint64_t pending_bytes() const { return pending_bytes_; }
+  size_t pending_unique_keys() const { return pending_keys_.size(); }
+  const BatchCutConfig& config() const { return config_; }
+
+ private:
+  BatchCutConfig config_;
+  std::vector<proto::Transaction> pending_;
+  std::unordered_set<std::string> pending_keys_;
+  uint64_t pending_bytes_ = 0;
+};
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_BATCH_CUTTER_H_

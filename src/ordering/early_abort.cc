@@ -1,0 +1,36 @@
+#include "ordering/early_abort.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "proto/version.h"
+
+namespace fabricpp::ordering {
+
+std::vector<uint32_t> FindVersionSkewAborts(
+    const std::vector<const proto::ReadWriteSet*>& rwsets) {
+  // Newest version observed per key across the whole batch.
+  std::unordered_map<std::string, proto::Version> newest;
+  for (const proto::ReadWriteSet* set : rwsets) {
+    for (const proto::ReadItem& r : set->reads) {
+      auto [it, inserted] = newest.emplace(r.key, r.version);
+      if (!inserted && it->second < r.version) it->second = r.version;
+    }
+  }
+
+  std::vector<uint32_t> aborts;
+  for (uint32_t i = 0; i < rwsets.size(); ++i) {
+    for (const proto::ReadItem& r : rwsets[i]->reads) {
+      if (r.version < newest.at(r.key)) {
+        // This transaction simulated against a state older than a sibling
+        // in the same block: it is doomed (paper §5.2.2, corrected).
+        aborts.push_back(i);
+        break;
+      }
+    }
+  }
+  return aborts;  // Already ascending by construction.
+}
+
+}  // namespace fabricpp::ordering

@@ -1,0 +1,27 @@
+#ifndef FABRICPP_ORDERING_EARLY_ABORT_H_
+#define FABRICPP_ORDERING_EARLY_ABORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/rwset.h"
+
+namespace fabricpp::ordering {
+
+/// Early abort in the ordering phase (paper §5.2.2): within one block, all
+/// transactions that read a key must have read the *same version* of it —
+/// the block commits atomically, so two different versions prove that a
+/// block committed between the two simulations and the transaction holding
+/// the OLDER version can never pass validation.
+///
+/// (The paper's example text says the later transaction aborts; its
+/// published correction clarifies it is the transaction with the older read
+/// version — T6, not T7 — and that is what we implement.)
+///
+/// Returns the batch positions to abort, sorted ascending.
+std::vector<uint32_t> FindVersionSkewAborts(
+    const std::vector<const proto::ReadWriteSet*>& rwsets);
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_EARLY_ABORT_H_

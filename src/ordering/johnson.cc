@@ -1,0 +1,159 @@
+#include "ordering/johnson.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "ordering/tarjan.h"
+
+namespace fabricpp::ordering {
+
+namespace {
+
+/// Johnson's elementary-circuit search over a local (dense-index) graph.
+class JohnsonEnumerator {
+ public:
+  JohnsonEnumerator(std::vector<std::vector<uint32_t>> local_adj,
+                    std::vector<uint32_t> local_to_global, uint64_t max_cycles)
+      : adj_(std::move(local_adj)),
+        local_to_global_(std::move(local_to_global)),
+        max_cycles_(max_cycles),
+        n_(static_cast<uint32_t>(adj_.size())),
+        blocked_(n_, false),
+        b_sets_(n_) {}
+
+  CycleEnumeration Run() {
+    // Classic Johnson outer loop: for ascending start vertex s, work on the
+    // SCC (within the subgraph induced by vertices >= s) that contains the
+    // least vertex; enumerate all circuits through that vertex; advance s.
+    uint32_t s = 0;
+    while (s < n_ && !out_.budget_exhausted) {
+      const auto scc = LeastScc(s);
+      if (scc.empty()) break;
+      const uint32_t start = *std::min_element(scc.begin(), scc.end());
+      in_current_scc_.assign(n_, false);
+      for (const uint32_t v : scc) in_current_scc_[v] = true;
+      std::fill(blocked_.begin(), blocked_.end(), false);
+      for (auto& b : b_sets_) b.clear();
+      s = start;
+      Circuit(start, start);
+      ++s;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Returns the nodes of the SCC containing the smallest vertex >= s that
+  /// lies in a non-trivial SCC of the induced subgraph; empty if none.
+  std::vector<uint32_t> LeastScc(uint32_t s) {
+    // Children filtered to the subgraph {v >= s}.
+    std::vector<std::vector<uint32_t>> filtered(n_);
+    for (uint32_t v = s; v < n_; ++v) {
+      for (const uint32_t w : adj_[v]) {
+        if (w >= s) filtered[v].push_back(w);
+      }
+    }
+    const auto sccs = StronglyConnectedComponents(
+        n_, [&](uint32_t v) -> const std::vector<uint32_t>& {
+          return filtered[v];
+        });
+    std::vector<uint32_t> best;
+    uint32_t best_min = ~0u;
+    for (const auto& comp : sccs) {
+      if (comp.size() < 2) continue;
+      if (comp.front() < s) continue;  // Entirely within the subgraph only.
+      if (comp.front() < best_min) {
+        best_min = comp.front();
+        best = comp;
+      }
+    }
+    return best;
+  }
+
+  bool Circuit(uint32_t v, uint32_t start) {
+    if (out_.budget_exhausted) return false;
+    bool found = false;
+    stack_.push_back(v);
+    blocked_[v] = true;
+    for (const uint32_t w : adj_[v]) {
+      if (!in_current_scc_[w] || w < start) continue;
+      if (w == start) {
+        EmitCycle();
+        found = true;
+        if (out_.cycles.size() >= max_cycles_) {
+          out_.budget_exhausted = true;
+          break;
+        }
+      } else if (!blocked_[w]) {
+        if (Circuit(w, start)) found = true;
+        if (out_.budget_exhausted) break;
+      }
+    }
+    if (found) {
+      Unblock(v);
+    } else {
+      for (const uint32_t w : adj_[v]) {
+        if (!in_current_scc_[w] || w < start) continue;
+        b_sets_[w].insert(v);
+      }
+    }
+    stack_.pop_back();
+    return found;
+  }
+
+  void Unblock(uint32_t v) {
+    blocked_[v] = false;
+    auto pending = std::move(b_sets_[v]);
+    b_sets_[v].clear();
+    for (const uint32_t w : pending) {
+      if (blocked_[w]) Unblock(w);
+    }
+  }
+
+  void EmitCycle() {
+    std::vector<uint32_t> cycle;
+    cycle.reserve(stack_.size());
+    for (const uint32_t v : stack_) cycle.push_back(local_to_global_[v]);
+    // The stack starts at the smallest vertex of the SCC search, so the
+    // cycle is already rotated to its smallest local id.
+    out_.cycles.push_back(std::move(cycle));
+  }
+
+  std::vector<std::vector<uint32_t>> adj_;
+  std::vector<uint32_t> local_to_global_;
+  uint64_t max_cycles_;
+  uint32_t n_;
+  std::vector<bool> blocked_;
+  std::vector<std::unordered_set<uint32_t>> b_sets_;
+  std::vector<bool> in_current_scc_;
+  std::vector<uint32_t> stack_;
+  CycleEnumeration out_;
+};
+
+}  // namespace
+
+CycleEnumeration FindElementaryCycles(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    const std::vector<uint32_t>& nodes, uint64_t max_cycles) {
+  // Re-index the SCC's nodes densely.
+  std::vector<uint32_t> sorted_nodes = nodes;
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
+  std::vector<uint32_t> global_to_local(
+      sorted_nodes.empty() ? 0 : sorted_nodes.back() + 1, ~0u);
+  for (uint32_t i = 0; i < sorted_nodes.size(); ++i) {
+    global_to_local[sorted_nodes[i]] = i;
+  }
+  std::vector<std::vector<uint32_t>> local_adj(sorted_nodes.size());
+  for (uint32_t i = 0; i < sorted_nodes.size(); ++i) {
+    for (const uint32_t w : adjacency[sorted_nodes[i]]) {
+      if (w < global_to_local.size() && global_to_local[w] != ~0u) {
+        local_adj[i].push_back(global_to_local[w]);
+      }
+    }
+    std::sort(local_adj[i].begin(), local_adj[i].end());
+  }
+  JohnsonEnumerator enumerator(std::move(local_adj), std::move(sorted_nodes),
+                               max_cycles);
+  return enumerator.Run();
+}
+
+}  // namespace fabricpp::ordering

@@ -1,0 +1,32 @@
+#ifndef FABRICPP_ORDERING_JOHNSON_H_
+#define FABRICPP_ORDERING_JOHNSON_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fabricpp::ordering {
+
+/// Result of elementary-cycle enumeration.
+struct CycleEnumeration {
+  /// Each cycle is the list of node ids along it (no repeated endpoint).
+  std::vector<std::vector<uint32_t>> cycles;
+  /// True when enumeration stopped early because `max_cycles` was reached.
+  /// The caller (the reorderer) must then iterate: break the cycles found so
+  /// far and re-run, since uncounted cycles may remain (DESIGN.md §5).
+  bool budget_exhausted = false;
+};
+
+/// Johnson's algorithm for all elementary circuits of a directed graph
+/// (paper §5.1 step 2, citing [15]), bounded by `max_cycles`.
+///
+/// `adjacency` is the full graph; `nodes` restricts enumeration to the
+/// induced subgraph on those node ids (the strongly connected subgraphs
+/// Tarjan produced — cycles cannot cross SCCs). Output cycles are rotated
+/// so each starts at its smallest node id, and cycle order is deterministic.
+CycleEnumeration FindElementaryCycles(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    const std::vector<uint32_t>& nodes, uint64_t max_cycles);
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_JOHNSON_H_

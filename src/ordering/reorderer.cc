@@ -1,0 +1,250 @@
+#include "ordering/reorderer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+
+#include "ordering/johnson.h"
+#include "ordering/tarjan.h"
+
+namespace fabricpp::ordering {
+
+namespace {
+
+/// Filtered adjacency: edges of `graph` restricted to alive nodes.
+std::vector<std::vector<uint32_t>> FilterAdjacency(
+    const ConflictGraph& graph, const std::vector<bool>& alive) {
+  std::vector<std::vector<uint32_t>> adj(graph.num_nodes());
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
+    if (!alive[i]) continue;
+    for (const uint32_t j : graph.Children(i)) {
+      if (alive[j]) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
+std::vector<std::vector<uint32_t>> NontrivialSccs(
+    const std::vector<std::vector<uint32_t>>& adj) {
+  const auto sccs = StronglyConnectedComponents(
+      static_cast<uint32_t>(adj.size()),
+      [&](uint32_t v) -> const std::vector<uint32_t>& { return adj[v]; });
+  std::vector<std::vector<uint32_t>> out;
+  for (const auto& scc : sccs) {
+    if (scc.size() > 1) out.push_back(scc);
+  }
+  return out;
+}
+
+/// Steps 3+4 of Algorithm 1: greedily removes the transaction occurring in
+/// the most (enumerated) cycles until every enumerated cycle is broken.
+/// Ties go to the smallest batch position ("the one with the smaller
+/// subscript"), keeping the algorithm deterministic. Appends removed nodes
+/// to `aborted` and clears them in `alive`.
+void BreakCycles(const std::vector<std::vector<uint32_t>>& cycles,
+                 std::vector<bool>* alive, std::vector<uint32_t>* aborted) {
+  const size_t n = alive->size();
+  std::vector<uint32_t> count(n, 0);
+  std::vector<std::vector<uint32_t>> tx_to_cycles(n);
+  for (uint32_t c = 0; c < cycles.size(); ++c) {
+    for (const uint32_t tx : cycles[c]) {
+      ++count[tx];
+      tx_to_cycles[tx].push_back(c);
+    }
+  }
+
+  // Max-heap keyed by (count desc, index asc) with lazy invalidation.
+  using Entry = std::pair<uint32_t, uint32_t>;  // (count, tx)
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;  // Smaller index pops first on equal count.
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (uint32_t tx = 0; tx < n; ++tx) {
+    if (count[tx] > 0) heap.push({count[tx], tx});
+  }
+
+  std::vector<bool> cycle_open(cycles.size(), true);
+  size_t open_cycles = cycles.size();
+
+  while (open_cycles > 0 && !heap.empty()) {
+    const auto [heap_count, tx] = heap.top();
+    heap.pop();
+    if (heap_count != count[tx] || count[tx] == 0) continue;  // Stale entry.
+    // Abort tx: every open cycle through it is now broken.
+    (*alive)[tx] = false;
+    aborted->push_back(tx);
+    for (const uint32_t c : tx_to_cycles[tx]) {
+      if (!cycle_open[c]) continue;
+      cycle_open[c] = false;
+      --open_cycles;
+      for (const uint32_t member : cycles[c]) {
+        if (count[member] > 0) {
+          --count[member];
+          if (member != tx && count[member] > 0) {
+            heap.push({count[member], member});
+          }
+        }
+      }
+    }
+    count[tx] = 0;
+  }
+}
+
+/// Last-resort fallback for adversarial graphs: repeatedly removes the
+/// highest-degree decile of every remaining non-trivial SCC until the graph
+/// is acyclic. Aborts more transactions than the cycle-count heuristic but
+/// runs in near-linear time per round.
+void ShatterSccs(const ConflictGraph& graph, std::vector<bool>* alive,
+                 std::vector<uint32_t>* aborted) {
+  while (true) {
+    const auto adj = FilterAdjacency(graph, *alive);
+    const auto sccs = NontrivialSccs(adj);
+    if (sccs.empty()) return;
+    for (const auto& scc : sccs) {
+      // Degree within the alive subgraph.
+      std::vector<std::pair<size_t, uint32_t>> degree;  // (degree, node)
+      degree.reserve(scc.size());
+      for (const uint32_t v : scc) {
+        size_t in_degree = 0;
+        for (const uint32_t p : graph.Parents(v)) {
+          if ((*alive)[p]) ++in_degree;
+        }
+        degree.push_back({adj[v].size() + in_degree, v});
+      }
+      std::sort(degree.begin(), degree.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      const size_t to_remove = std::max<size_t>(1, scc.size() / 10);
+      for (size_t i = 0; i < to_remove && i < degree.size(); ++i) {
+        const uint32_t victim = degree[i].second;
+        (*alive)[victim] = false;
+        aborted->push_back(victim);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
+                                      const std::vector<uint32_t>& alive) {
+  // Step 5 of Algorithm 1: repeatedly chase parent pointers upward to a
+  // source (a transaction none of whose alive, unscheduled parents remain),
+  // schedule it, then walk back down through its children. The accumulated
+  // order is inverted at the end, so sources — transactions that overwrite
+  // others' reads — commit last.
+  const size_t n = graph.num_nodes();
+  std::vector<bool> in_alive(n, false);
+  for (const uint32_t v : alive) in_alive[v] = true;
+  std::vector<bool> scheduled(n, false);
+
+  std::vector<uint32_t> order;
+  order.reserve(alive.size());
+  if (alive.empty()) return order;
+
+  // getNextNode(): the smallest-position alive transaction not yet
+  // scheduled (the paper starts at "the node representing the transaction
+  // with the smallest subscript").
+  size_t scan = 0;  // Index into `alive` (which is kept sorted by caller).
+  auto next_node = [&]() -> uint32_t {
+    while (scan < alive.size() && scheduled[alive[scan]]) ++scan;
+    return alive[scan];
+  };
+
+  uint32_t start_node = next_node();
+  while (order.size() < alive.size()) {
+    if (scheduled[start_node]) {
+      start_node = next_node();
+      continue;
+    }
+    bool add_node = true;
+    // Traverse upwards to find a source.
+    for (const uint32_t parent : graph.Parents(start_node)) {
+      if (in_alive[parent] && !scheduled[parent]) {
+        start_node = parent;
+        add_node = false;
+        break;
+      }
+    }
+    if (add_node) {
+      scheduled[start_node] = true;
+      order.push_back(start_node);
+      // A source has been scheduled; traverse downwards.
+      for (const uint32_t child : graph.Children(start_node)) {
+        if (in_alive[child] && !scheduled[child]) {
+          start_node = child;
+          break;
+        }
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+ReorderResult ReorderTransactions(
+    const std::vector<const proto::ReadWriteSet*>& rwsets,
+    const ReorderConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ReorderResult result;
+  const size_t n = rwsets.size();
+  result.stats.num_transactions = n;
+
+  // Step 1: conflict graph.
+  const ConflictGraph graph = ConflictGraph::Build(rwsets);
+  result.stats.num_edges = graph.num_edges();
+  result.stats.num_unique_keys = graph.num_unique_keys();
+
+  std::vector<bool> alive(n, true);
+
+  // Steps 2-4, iterated: enumerate cycles (budgeted), break them, and loop
+  // until the alive subgraph is acyclic.
+  for (uint32_t round = 1;; ++round) {
+    result.stats.rounds = round;
+    const auto adj = FilterAdjacency(graph, alive);
+    const auto sccs = NontrivialSccs(adj);
+    if (round == 1) result.stats.num_nontrivial_sccs = sccs.size();
+    if (sccs.empty()) break;  // Acyclic — proceed to scheduling.
+
+    if (round > config.max_rounds) {
+      ShatterSccs(graph, &alive, &result.aborted);
+      result.stats.fallback_used = true;
+      break;
+    }
+
+    // Step 2: all elementary cycles of every strongly connected subgraph.
+    std::vector<std::vector<uint32_t>> cycles;
+    uint64_t budget = config.max_cycles_per_round;
+    for (const auto& scc : sccs) {
+      if (budget == 0) break;
+      CycleEnumeration enumeration = FindElementaryCycles(adj, scc, budget);
+      budget -= std::min<uint64_t>(budget, enumeration.cycles.size());
+      for (auto& c : enumeration.cycles) cycles.push_back(std::move(c));
+    }
+    result.stats.num_cycles_found += cycles.size();
+
+    // Steps 3+4: greedy cycle cover removal.
+    BreakCycles(cycles, &alive, &result.aborted);
+    // If enumeration was complete, the next round's SCC pass will find the
+    // graph acyclic and exit; if the budget tripped, it re-enumerates.
+  }
+
+  // Step 5: serializable schedule of the survivors.
+  std::vector<uint32_t> alive_list;
+  alive_list.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (alive[i]) alive_list.push_back(i);
+  }
+  result.order = ScheduleAcyclic(graph, alive_list);
+  std::sort(result.aborted.begin(), result.aborted.end());
+
+  result.stats.elapsed_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
+}
+
+}  // namespace fabricpp::ordering

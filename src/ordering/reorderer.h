@@ -1,0 +1,82 @@
+#ifndef FABRICPP_ORDERING_REORDERER_H_
+#define FABRICPP_ORDERING_REORDERER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ordering/conflict_graph.h"
+#include "proto/rwset.h"
+
+namespace fabricpp::ordering {
+
+/// Tuning knobs for the reordering mechanism.
+struct ReorderConfig {
+  /// Johnson enumeration budget per round. The paper bounds reordering cost
+  /// through the unique-keys batch-cutting condition (§5.1.2); the budget is
+  /// our additional safety net for adversarially dense conflict graphs —
+  /// when it trips, the reorderer breaks the cycles found so far and
+  /// re-enumerates (see ReorderStats::rounds). The reorderer is a stage of
+  /// the ordering pipeline, so the budget directly bounds per-block latency;
+  /// the default keeps worst-case hot-key blocks in the low hundreds of
+  /// milliseconds (the regime of the paper's Figure 16 timings).
+  uint64_t max_cycles_per_round = 2048;
+  /// Hard cap on break-and-re-enumerate rounds; beyond it the reorderer
+  /// falls back to degree-based SCC shattering, which is abort-heavier but
+  /// near-linear.
+  uint32_t max_rounds = 4;
+};
+
+/// Statistics of one reordering run (reported by the benches; the Appendix
+/// B micro-benchmarks plot elapsed_us).
+struct ReorderStats {
+  size_t num_transactions = 0;
+  size_t num_edges = 0;
+  size_t num_unique_keys = 0;
+  size_t num_nontrivial_sccs = 0;
+  size_t num_cycles_found = 0;
+  uint32_t rounds = 1;
+  bool fallback_used = false;
+  /// Host (real) microseconds spent reordering.
+  uint64_t elapsed_us = 0;
+};
+
+/// Output of the reorderer.
+struct ReorderResult {
+  /// Serializable schedule: positions into the input batch, in final commit
+  /// order. For every remaining conflict "i writes a key j reads", j comes
+  /// before i.
+  std::vector<uint32_t> order;
+  /// Input positions aborted to break conflict cycles (paper step 4); the
+  /// orderer drops these from the block and they count as
+  /// kAbortedByReorderer.
+  std::vector<uint32_t> aborted;
+  ReorderStats stats;
+};
+
+/// The Fabric++ transaction reordering mechanism (paper §5.1, Algorithm 1):
+///
+///   (1) build the conflict graph of the batch,
+///   (2) Tarjan-decompose it into strongly connected subgraphs and
+///       enumerate each subgraph's elementary cycles with Johnson,
+///   (3) count, per transaction, the number of cycles it participates in,
+///   (4) greedily abort the transaction in the most cycles (smallest batch
+///       position on ties — the paper's determinism rule) until no cycle
+///       remains,
+///   (5) emit a serializable schedule of the survivors via the paper's
+///       parent-chasing source traversal, inverted.
+///
+/// The returned schedule is asserted against the paper's worked example
+/// (Table 3 -> T5, T1, T3, T4) in tests/ordering/reorderer_test.cc.
+ReorderResult ReorderTransactions(
+    const std::vector<const proto::ReadWriteSet*>& rwsets,
+    const ReorderConfig& config = {});
+
+/// Step 5 in isolation: builds a serializable schedule for an *acyclic*
+/// conflict graph restricted to `alive` (batch positions). Exposed for unit
+/// testing and for the micro-benchmarks.
+std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
+                                      const std::vector<uint32_t>& alive);
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_REORDERER_H_

@@ -1,0 +1,74 @@
+#include "ordering/tarjan.h"
+
+#include <algorithm>
+
+namespace fabricpp::ordering {
+
+std::vector<std::vector<uint32_t>> StronglyConnectedComponents(
+    uint32_t num_nodes,
+    const std::function<const std::vector<uint32_t>&(uint32_t)>& children) {
+  constexpr uint32_t kUnvisited = ~0u;
+  std::vector<uint32_t> index(num_nodes, kUnvisited);
+  std::vector<uint32_t> lowlink(num_nodes, 0);
+  std::vector<bool> on_stack(num_nodes, false);
+  std::vector<uint32_t> stack;
+  std::vector<std::vector<uint32_t>> components;
+  uint32_t next_index = 0;
+
+  // Explicit DFS frame: node plus position within its child list.
+  struct Frame {
+    uint32_t node;
+    size_t child_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (uint32_t root = 0; root < num_nodes; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const uint32_t v = frame.node;
+      const std::vector<uint32_t>& kids = children(v);
+      if (frame.child_pos < kids.size()) {
+        const uint32_t w = kids[frame.child_pos++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        // All children explored: close v.
+        if (lowlink[v] == index[v]) {
+          std::vector<uint32_t> component;
+          while (true) {
+            const uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const uint32_t parent = dfs.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return components;
+}
+
+}  // namespace fabricpp::ordering

@@ -1,0 +1,24 @@
+#ifndef FABRICPP_ORDERING_TARJAN_H_
+#define FABRICPP_ORDERING_TARJAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fabricpp::ordering {
+
+/// Tarjan's strongly-connected-components algorithm (paper §5.1 step 2,
+/// citing [22]), iterative so deep graphs cannot overflow the call stack.
+///
+/// `num_nodes` nodes 0..n-1; `children(i)` yields the outgoing neighbours of
+/// node i (the callback form lets callers run Tarjan on filtered subgraphs
+/// without materializing them). Returns the components; nodes within a
+/// component are sorted ascending, and the component list itself is sorted
+/// by its smallest node, so output is deterministic.
+std::vector<std::vector<uint32_t>> StronglyConnectedComponents(
+    uint32_t num_nodes,
+    const std::function<const std::vector<uint32_t>&(uint32_t)>& children);
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_TARJAN_H_

@@ -1,0 +1,65 @@
+#ifndef FABRICPP_PEER_ENDORSER_H_
+#define FABRICPP_PEER_ENDORSER_H_
+
+#include <string>
+
+#include "chaincode/chaincode.h"
+#include "common/result.h"
+#include "crypto/identity.h"
+#include "proto/transaction.h"
+#include "statedb/state_db.h"
+
+namespace fabricpp::peer {
+
+/// Result of simulating one proposal on one endorsement peer.
+struct EndorsementResponse {
+  proto::ReadWriteSet rwset;
+  proto::Endorsement endorsement;
+};
+
+/// The simulation-phase logic of an endorsement peer (paper §2.2.1 /
+/// Appendix A.1): run the proposal's chaincode against the local current
+/// state, record the read/write sets, and sign them.
+///
+/// Pure logic — virtual-time costs (chaincode execution, signing) and the
+/// vanilla simulation/validation lock live in fabric::PeerNode.
+class Endorser {
+ public:
+  /// `registry` and `db` are borrowed and must outlive the endorser.
+  Endorser(std::string peer_name, std::string org, uint64_t network_seed,
+           const chaincode::ChaincodeRegistry* registry);
+
+  /// Simulates `proposal` against `db`.
+  ///
+  /// `stale_check_enabled` turns on the Fabric++ simulation-phase early
+  /// abort (paper §5.2.1): the TxContext then compares every read's version
+  /// against the snapshot's last-block-id and the simulation fails fast with
+  /// kStaleRead when a concurrent commit invalidated it.
+  ///
+  /// On success the returned endorsement signs the canonical payload
+  /// (channel, chaincode, policy, read/write set) with this peer's identity.
+  Result<EndorsementResponse> Endorse(const proto::Proposal& proposal,
+                                      const std::string& policy_id,
+                                      const statedb::StateDb& db,
+                                      bool stale_check_enabled) const;
+
+  const std::string& peer_name() const { return peer_name_; }
+  const std::string& org() const { return org_; }
+
+ private:
+  std::string peer_name_;
+  std::string org_;
+  crypto::Identity identity_;
+  const chaincode::ChaincodeRegistry* registry_;
+};
+
+/// The canonical byte payload an endorser signs for the given effects: must
+/// match proto::Transaction::SignedPayload so validators can recompute it.
+Bytes EndorsementPayload(const std::string& channel,
+                         const std::string& chaincode,
+                         const std::string& policy_id,
+                         const proto::ReadWriteSet& rwset);
+
+}  // namespace fabricpp::peer
+
+#endif  // FABRICPP_PEER_ENDORSER_H_

@@ -1,0 +1,20 @@
+#include "peer/policy.h"
+
+namespace fabricpp::peer {
+
+Status PolicyRegistry::Register(EndorsementPolicy policy) {
+  const std::string id = policy.id;
+  const auto [it, inserted] = map_.emplace(id, std::move(policy));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("policy exists: " + id);
+  return Status::OK();
+}
+
+Result<const EndorsementPolicy*> PolicyRegistry::Get(
+    const std::string& id) const {
+  const auto it = map_.find(id);
+  if (it == map_.end()) return Status::NotFound("unknown policy: " + id);
+  return static_cast<const EndorsementPolicy*>(&it->second);
+}
+
+}  // namespace fabricpp::peer

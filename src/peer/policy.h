@@ -1,0 +1,35 @@
+#ifndef FABRICPP_PEER_POLICY_H_
+#define FABRICPP_PEER_POLICY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fabricpp::peer {
+
+/// An endorsement policy: which organizations must endorse a proposal
+/// (paper §2.2.1: "typically ... at least one peer of each involved
+/// organization has to simulate the transaction proposal").
+struct EndorsementPolicy {
+  std::string id;
+  /// The policy is satisfied iff for every listed org at least one verified
+  /// endorsement from a peer of that org is present.
+  std::vector<std::string> required_orgs;
+};
+
+/// Policy id -> policy lookup shared by clients and validators.
+class PolicyRegistry {
+ public:
+  Status Register(EndorsementPolicy policy);
+  Result<const EndorsementPolicy*> Get(const std::string& id) const;
+
+ private:
+  std::unordered_map<std::string, EndorsementPolicy> map_;
+};
+
+}  // namespace fabricpp::peer
+
+#endif  // FABRICPP_PEER_POLICY_H_

@@ -1,0 +1,61 @@
+#ifndef FABRICPP_PROTO_RWSET_H_
+#define FABRICPP_PROTO_RWSET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "proto/version.h"
+
+namespace fabricpp::proto {
+
+/// One read recorded during simulation: the key and the version observed.
+struct ReadItem {
+  std::string key;
+  Version version;
+
+  friend bool operator==(const ReadItem& a, const ReadItem& b) {
+    return a.key == b.key && a.version == b.version;
+  }
+};
+
+/// One write recorded during simulation. A delete is a write with
+/// `is_delete` set (the value is ignored).
+struct WriteItem {
+  std::string key;
+  std::string value;
+  bool is_delete = false;
+
+  friend bool operator==(const WriteItem& a, const WriteItem& b) {
+    return a.key == b.key && a.value == b.value && a.is_delete == b.is_delete;
+  }
+};
+
+/// The read set and write set a transaction's simulation produced
+/// (paper §2.2.1). Reads and writes are kept in first-access order; a key
+/// appears at most once in each set (TxContext deduplicates).
+struct ReadWriteSet {
+  std::vector<ReadItem> reads;
+  std::vector<WriteItem> writes;
+
+  /// Canonical byte encoding — the payload endorsers sign. Two endorsers
+  /// producing equal sets produce byte-identical encodings.
+  void EncodeTo(ByteWriter* w) const;
+  Bytes Encode() const;
+  static Result<ReadWriteSet> Decode(ByteReader* r);
+
+  /// Wire size in bytes (used by the network cost model).
+  uint64_t ByteSize() const;
+
+  bool ReadsKey(const std::string& key) const;
+  bool WritesKey(const std::string& key) const;
+
+  friend bool operator==(const ReadWriteSet& a, const ReadWriteSet& b) {
+    return a.reads == b.reads && a.writes == b.writes;
+  }
+};
+
+}  // namespace fabricpp::proto
+
+#endif  // FABRICPP_PROTO_RWSET_H_

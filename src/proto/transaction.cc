@@ -1,0 +1,116 @@
+#include "proto/transaction.h"
+
+namespace fabricpp::proto {
+
+Bytes Proposal::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutVarint(proposal_id);
+  w.PutString(client);
+  w.PutString(channel);
+  w.PutString(chaincode);
+  w.PutVarint(args.size());
+  for (const std::string& a : args) w.PutString(a);
+  w.PutU64(nonce);
+  return out;
+}
+
+std::string_view TxValidationCodeToString(TxValidationCode code) {
+  switch (code) {
+    case TxValidationCode::kValid:
+      return "VALID";
+    case TxValidationCode::kMvccConflict:
+      return "MVCC_CONFLICT";
+    case TxValidationCode::kEndorsementPolicyFailure:
+      return "ENDORSEMENT_POLICY_FAILURE";
+    case TxValidationCode::kAbortedByReorderer:
+      return "ABORTED_BY_REORDERER";
+    case TxValidationCode::kAbortedVersionSkew:
+      return "ABORTED_VERSION_SKEW";
+    case TxValidationCode::kAbortedStaleSimulation:
+      return "ABORTED_STALE_SIMULATION";
+    case TxValidationCode::kNotValidated:
+      return "NOT_VALIDATED";
+  }
+  return "UNKNOWN";
+}
+
+bool IsAbort(TxValidationCode code) {
+  return code != TxValidationCode::kValid &&
+         code != TxValidationCode::kNotValidated;
+}
+
+Bytes Transaction::SignedPayload() const {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutString(channel);
+  w.PutString(chaincode);
+  w.PutString(policy_id);
+  rwset.EncodeTo(&w);
+  return out;
+}
+
+void Transaction::ComputeTxId(const Proposal& proposal) {
+  crypto::Sha256 h;
+  h.Update(proposal.Encode());
+  h.Update(rwset.Encode());
+  tx_id = crypto::DigestToHex(h.Finalize());
+}
+
+void Transaction::EncodeTo(ByteWriter* w) const {
+  w->PutString(tx_id);
+  w->PutVarint(proposal_id);
+  w->PutString(client);
+  w->PutString(channel);
+  w->PutString(chaincode);
+  w->PutString(policy_id);
+  rwset.EncodeTo(w);
+  w->PutVarint(endorsements.size());
+  for (const Endorsement& e : endorsements) {
+    w->PutString(e.peer);
+    w->PutString(e.org);
+    w->PutString(e.signature.signer);
+    w->PutRaw(e.signature.tag.data(), e.signature.tag.size());
+  }
+}
+
+Bytes Transaction::Encode() const {
+  Bytes out;
+  ByteWriter w(&out);
+  EncodeTo(&w);
+  return out;
+}
+
+Result<Transaction> Transaction::Decode(ByteReader* r) {
+  Transaction tx;
+  FABRICPP_ASSIGN_OR_RETURN(tx.tx_id, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(tx.proposal_id, r->GetVarint());
+  FABRICPP_ASSIGN_OR_RETURN(tx.client, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(tx.channel, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(tx.chaincode, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(tx.policy_id, r->GetString());
+  {
+    FABRICPP_ASSIGN_OR_RETURN(tx.rwset, ReadWriteSet::Decode(r));
+  }
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_endorsements, r->GetVarint());
+  tx.endorsements.reserve(num_endorsements);
+  for (uint64_t i = 0; i < num_endorsements; ++i) {
+    Endorsement e;
+    FABRICPP_ASSIGN_OR_RETURN(e.peer, r->GetString());
+    FABRICPP_ASSIGN_OR_RETURN(e.org, r->GetString());
+    FABRICPP_ASSIGN_OR_RETURN(e.signature.signer, r->GetString());
+    for (size_t b = 0; b < e.signature.tag.size(); ++b) {
+      FABRICPP_ASSIGN_OR_RETURN(e.signature.tag[b], r->GetU8());
+    }
+    tx.endorsements.push_back(std::move(e));
+  }
+  return tx;
+}
+
+uint64_t Transaction::ByteSize() const { return Encode().size(); }
+
+crypto::Digest Transaction::ContentDigest() const {
+  return crypto::Sha256::Hash(Encode());
+}
+
+}  // namespace fabricpp::proto

@@ -1,0 +1,41 @@
+#ifndef FABRICPP_PROTO_VERSION_H_
+#define FABRICPP_PROTO_VERSION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fabricpp::proto {
+
+/// MVCC version of a state-database value.
+///
+/// As in Fabric (paper §5.2.1): "the version-number is actually composed of
+/// the ID of the transaction that performed the update, as well as the ID of
+/// the block that contains the transaction". The block id is what the
+/// Fabric++ fine-grained concurrency control compares against the simulation
+/// snapshot's last-block-id to detect stale reads.
+struct Version {
+  uint64_t block_num = 0;
+  uint32_t tx_num = 0;
+
+  friend bool operator==(const Version& a, const Version& b) {
+    return a.block_num == b.block_num && a.tx_num == b.tx_num;
+  }
+  friend bool operator!=(const Version& a, const Version& b) {
+    return !(a == b);
+  }
+  /// Commit order: block first, then transaction position within the block.
+  friend bool operator<(const Version& a, const Version& b) {
+    if (a.block_num != b.block_num) return a.block_num < b.block_num;
+    return a.tx_num < b.tx_num;
+  }
+
+  std::string ToString() const;
+};
+
+/// Version of a key that has never been written (Fabric's "nil version"):
+/// block 0 is the genesis block, which carries no user transactions.
+inline constexpr Version kNilVersion{0, 0};
+
+}  // namespace fabricpp::proto
+
+#endif  // FABRICPP_PROTO_VERSION_H_

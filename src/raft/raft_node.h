@@ -1,0 +1,211 @@
+#ifndef FABRICPP_RAFT_RAFT_NODE_H_
+#define FABRICPP_RAFT_RAFT_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+
+namespace fabricpp::raft {
+
+/// Raft replica role.
+enum class Role { kFollower = 0, kCandidate, kLeader };
+std::string_view RoleToString(Role role);
+
+/// One replicated log entry.
+struct LogEntry {
+  uint64_t term = 0;
+  Bytes payload;
+};
+
+class RaftCluster;
+
+/// A single Raft replica (Ongaro & Ousterhout, "In Search of an
+/// Understandable Consensus Algorithm", 2014) running inside the
+/// discrete-event simulation.
+///
+/// Implements leader election with randomized timeouts, log replication
+/// with the AppendEntries consistency check, commit-index advancement by
+/// majority match, and follower log repair. This is the consensus substrate
+/// behind the crash-fault-tolerant ordering-service option — Fabric's
+/// ordering service is such a cluster (Kafka in 1.2, Raft from 1.4); the
+/// paper treats it as a trustworthy black box (§2.1).
+///
+/// Omitted relative to full Raft: persistence of term/vote across restarts
+/// and snapshotting/log compaction — crash-recovery with disk state is out
+/// of scope for the simulation (a stopped node that resumes rejoins with
+/// its in-memory state intact).
+class RaftNode {
+ public:
+  /// `on_commit(index, payload)` fires on every node, in log order, exactly
+  /// once per committed entry.
+  using CommitCallback = std::function<void(uint64_t, const Bytes&)>;
+
+  RaftNode(RaftCluster* cluster, uint32_t id, uint32_t cluster_size,
+           uint64_t seed);
+
+  uint32_t id() const { return id_; }
+  Role role() const { return role_; }
+  uint64_t current_term() const { return current_term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  const std::vector<LogEntry>& log() const { return log_; }
+  bool stopped() const { return stopped_; }
+
+  void set_commit_callback(CommitCallback cb) { on_commit_ = std::move(cb); }
+
+  /// Client entry point: appends to the leader's log and starts
+  /// replication. Returns the assigned (1-based) log index, or nullopt on
+  /// non-leaders — callers retry via RaftCluster::Propose, which routes to
+  /// the current leader.
+  std::optional<uint64_t> Propose(Bytes payload);
+
+  /// Crash simulation: a stopped node ignores timers and messages.
+  void Stop() { stopped_ = true; }
+  void Resume();
+
+  // --- Message handlers (invoked by RaftCluster on delivery) ---
+  struct RequestVote {
+    uint64_t term;
+    uint32_t candidate;
+    uint64_t last_log_index;
+    uint64_t last_log_term;
+  };
+  struct VoteReply {
+    uint64_t term;
+    uint32_t voter;
+    bool granted;
+  };
+  struct AppendEntries {
+    uint64_t term;
+    uint32_t leader;
+    uint64_t prev_log_index;
+    uint64_t prev_log_term;
+    std::vector<LogEntry> entries;
+    uint64_t leader_commit;
+  };
+  struct AppendReply {
+    uint64_t term;
+    uint32_t follower;
+    bool success;
+    uint64_t match_index;
+  };
+
+  void Handle(const RequestVote& msg);
+  void Handle(const VoteReply& msg);
+  void Handle(const AppendEntries& msg);
+  void Handle(const AppendReply& msg);
+
+  /// Arms the initial election timer (called once by the cluster).
+  void Start();
+
+ private:
+  void BecomeFollower(uint64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void BroadcastAppendEntries();
+  void SendAppendEntriesTo(uint32_t peer);
+  void AdvanceCommitIndex();
+  void ApplyCommitted();
+  void ResetElectionTimer();
+  sim::SimTime ElectionTimeout();
+
+  uint64_t LastLogIndex() const { return log_.size(); }
+  uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
+  /// Term of the entry at 1-based `index` (0 for index 0).
+  uint64_t TermAt(uint64_t index) const {
+    return index == 0 ? 0 : log_[index - 1].term;
+  }
+
+  RaftCluster* cluster_;
+  uint32_t id_;
+  uint32_t cluster_size_;
+  Rng rng_;
+
+  Role role_ = Role::kFollower;
+  bool stopped_ = false;
+  uint64_t current_term_ = 0;
+  std::optional<uint32_t> voted_for_;
+  std::vector<LogEntry> log_;  // 1-based indexing via helpers.
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+
+  // Candidate state.
+  uint32_t votes_received_ = 0;
+
+  // Leader state (1-based indices).
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+
+  uint64_t election_timer_generation_ = 0;
+  CommitCallback on_commit_;
+};
+
+/// A fully wired Raft cluster inside one simulation Environment.
+class RaftCluster {
+ public:
+  /// Message-delay model: one-way latency plus payload transmission cost.
+  struct Params {
+    sim::SimTime message_latency = 300;
+    double bytes_per_us = 125.0;
+    sim::SimTime election_timeout_min = 150 * sim::kMillisecond;
+    sim::SimTime election_timeout_max = 300 * sim::kMillisecond;
+    sim::SimTime heartbeat_interval = 50 * sim::kMillisecond;
+  };
+
+  RaftCluster(sim::Environment* env, uint32_t num_nodes, uint64_t seed);
+  RaftCluster(sim::Environment* env, uint32_t num_nodes, uint64_t seed,
+              Params params);
+
+  /// Arms all election timers.
+  void Start();
+
+  /// Routes a proposal to the current leader (if any). Returns the
+  /// assigned log index, or nullopt when no live leader exists — the
+  /// caller retries after a delay.
+  std::optional<uint64_t> Propose(Bytes payload);
+
+  RaftNode& node(uint32_t id) { return *nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const Params& params() const { return params_; }
+  sim::Environment& env() { return *env_; }
+
+  /// The current leader id, if exactly one live node believes it leads in
+  /// the highest term.
+  std::optional<uint32_t> FindLeader() const;
+
+  /// Sets one commit callback on every node (tests usually only need the
+  /// leader's, but the ordering service wants every replica's view).
+  void SetCommitCallbackOnAll(const RaftNode::CommitCallback& cb);
+
+  // --- Transport (used by RaftNode) ---
+  template <typename Message>
+  void Send(uint32_t from, uint32_t to, uint64_t payload_bytes, Message msg) {
+    (void)from;
+    const sim::SimTime delay =
+        params_.message_latency +
+        static_cast<sim::SimTime>(payload_bytes / params_.bytes_per_us);
+    env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
+      nodes_[to]->Handle(msg);
+    });
+  }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  void CountMessage() { ++messages_sent_; }
+
+ private:
+  sim::Environment* env_;
+  Params params_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  uint64_t messages_sent_ = 0;
+};
+
+}  // namespace fabricpp::raft
+
+#endif  // FABRICPP_RAFT_RAFT_NODE_H_

@@ -1,0 +1,38 @@
+#include "sim/environment.h"
+
+#include <utility>
+
+namespace fabricpp::sim {
+
+void Environment::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Environment::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out before pop() is
+  // safe because the comparator never inspects `fn`.
+  Event& top = const_cast<Event&>(queue_.top());
+  const SimTime time = top.time;
+  Callback fn = std::move(top.fn);
+  queue_.pop();
+  now_ = time;
+  ++executed_events_;
+  fn();
+  return true;
+}
+
+void Environment::Run() {
+  while (Step()) {
+  }
+}
+
+void Environment::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace fabricpp::sim

@@ -1,0 +1,72 @@
+#ifndef FABRICPP_SIM_ENVIRONMENT_H_
+#define FABRICPP_SIM_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fabricpp::sim {
+
+/// The discrete-event simulation engine: a virtual clock plus a priority
+/// queue of pending events.
+///
+/// Events at equal timestamps fire in scheduling order (a monotonically
+/// increasing sequence number breaks ties), which keeps runs bit-for-bit
+/// deterministic. The engine is single-threaded by design.
+class Environment {
+ public:
+  using Callback = std::function<void()>;
+
+  Environment() = default;
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` microseconds from now.
+  void Schedule(SimTime delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at an absolute virtual time (clamped to `Now()` if in
+  /// the past — events can never rewind the clock).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Runs events until the queue drains.
+  void Run();
+
+  /// Runs events with timestamp <= `deadline`; afterwards Now() == deadline
+  /// (unless the queue drained earlier with Now() already past it).
+  void RunUntil(SimTime deadline);
+
+  /// Executes the single next event; returns false when the queue is empty.
+  bool Step();
+
+  bool Empty() const { return queue_.empty(); }
+  size_t PendingEvents() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_events_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // Min-heap on time.
+      return a.seq > b.seq;                          // FIFO within a tick.
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+};
+
+}  // namespace fabricpp::sim
+
+#endif  // FABRICPP_SIM_ENVIRONMENT_H_

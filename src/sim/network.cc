@@ -1,0 +1,28 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fabricpp::sim {
+
+NodeId Network::AddNode(std::string name) {
+  nodes_.push_back(Node{std::move(name), 0});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::Send(NodeId from, NodeId to, uint64_t size_bytes,
+                   Callback on_deliver) {
+  assert(from < nodes_.size() && to < nodes_.size());
+  (void)to;
+  Node& sender = nodes_[from];
+  const SimTime start = std::max(sender.egress_free_at, env_->Now());
+  const SimTime tx_time = static_cast<SimTime>(
+      static_cast<double>(size_bytes) / params_.bandwidth_bytes_per_us);
+  sender.egress_free_at = start + tx_time;
+  const SimTime deliver_at = sender.egress_free_at + params_.latency;
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  env_->ScheduleAt(deliver_at, std::move(on_deliver));
+}
+
+}  // namespace fabricpp::sim

@@ -1,0 +1,68 @@
+#ifndef FABRICPP_SIM_NETWORK_H_
+#define FABRICPP_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/time.h"
+
+namespace fabricpp::sim {
+
+/// Node handle within the simulated network (dense id).
+using NodeId = uint32_t;
+
+/// Network cost parameters modeling the paper's rack-local gigabit Ethernet
+/// (§6.1: six servers in one rack).
+struct NetworkParams {
+  /// One-way propagation + protocol latency per message.
+  SimTime latency = 150;  // 150 us — rack-local RPC round half.
+  /// Egress bandwidth per node in bytes per microsecond (125 B/us = 1 Gbit/s).
+  double bandwidth_bytes_per_us = 125.0;
+};
+
+/// Point-to-point message fabric with per-node egress serialization.
+///
+/// Delivery time = egress queueing (a node's NIC transmits one message at a
+/// time at `bandwidth`) + transmission time + propagation latency. Gigabit
+/// egress is the resource the paper's block distribution contends on; larger
+/// blocks amortize per-message latency, which is exactly the Figure 7
+/// block-size effect.
+class Network {
+ public:
+  using Callback = std::function<void()>;
+
+  Network(Environment* env, NetworkParams params)
+      : env_(env), params_(params) {}
+
+  /// Registers a node; returns its id.
+  NodeId AddNode(std::string name);
+
+  /// Sends `size_bytes` from `from` to `to`; `on_deliver` runs at the
+  /// receiver when the message arrives.
+  void Send(NodeId from, NodeId to, uint64_t size_bytes, Callback on_deliver);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const { return nodes_[id].name; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Node {
+    std::string name;
+    SimTime egress_free_at = 0;  // When the NIC finishes its current send.
+  };
+
+  Environment* env_;
+  NetworkParams params_;
+  std::vector<Node> nodes_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace fabricpp::sim
+
+#endif  // FABRICPP_SIM_NETWORK_H_

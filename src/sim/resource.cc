@@ -1,0 +1,48 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+namespace fabricpp::sim {
+
+Resource::Resource(Environment* env, std::string name, uint32_t num_servers)
+    : env_(env), name_(std::move(name)), num_servers_(num_servers) {}
+
+void Resource::Submit(SimTime service_time, Callback on_complete) {
+  Job job{service_time, std::move(on_complete)};
+  if (busy_servers_ < num_servers_) {
+    StartJob(std::move(job));
+  } else {
+    queue_.push_back(std::move(job));
+  }
+}
+
+void Resource::StartJob(Job job) {
+  ++busy_servers_;
+  busy_time_ += job.service_time;
+  // Completion callback runs after the service time elapses; then the next
+  // queued job (if any) grabs the freed server.
+  env_->Schedule(job.service_time,
+                 [this, cb = std::move(job.on_complete)]() mutable {
+                   OnJobDone();
+                   cb();
+                 });
+}
+
+void Resource::OnJobDone() {
+  --busy_servers_;
+  ++jobs_completed_;
+  if (!queue_.empty() && busy_servers_ < num_servers_) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(next));
+  }
+}
+
+double Resource::Utilization() const {
+  const SimTime now = env_->Now();
+  if (now == 0 || num_servers_ == 0) return 0.0;
+  return static_cast<double>(busy_time_) /
+         (static_cast<double>(now) * num_servers_);
+}
+
+}  // namespace fabricpp::sim

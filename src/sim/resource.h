@@ -1,0 +1,60 @@
+#ifndef FABRICPP_SIM_RESOURCE_H_
+#define FABRICPP_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/environment.h"
+#include "sim/time.h"
+
+namespace fabricpp::sim {
+
+/// A FIFO service station with `num_servers` parallel servers — the queueing
+/// model of a CPU (or thread pool) inside a peer or the ordering service.
+///
+/// Work submitted while all servers are busy queues up; this is what makes
+/// peers saturate under load and produces the contention effects the paper
+/// measures when scaling channels and clients (Figure 11).
+class Resource {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `name` is used in stats reporting only.
+  Resource(Environment* env, std::string name, uint32_t num_servers);
+
+  /// Submits a job requiring `service_time` virtual microseconds of a
+  /// server; `on_complete` fires when the job finishes.
+  void Submit(SimTime service_time, Callback on_complete);
+
+  const std::string& name() const { return name_; }
+  uint32_t num_servers() const { return num_servers_; }
+  uint64_t jobs_completed() const { return jobs_completed_; }
+  size_t queue_length() const { return queue_.size(); }
+  /// Aggregate busy server-time, for utilization reports.
+  SimTime busy_time() const { return busy_time_; }
+  /// Utilization in [0,1] over the window [0, now].
+  double Utilization() const;
+
+ private:
+  struct Job {
+    SimTime service_time;
+    Callback on_complete;
+  };
+
+  void StartJob(Job job);
+  void OnJobDone();
+
+  Environment* env_;
+  std::string name_;
+  uint32_t num_servers_;
+  uint32_t busy_servers_ = 0;
+  uint64_t jobs_completed_ = 0;
+  SimTime busy_time_ = 0;
+  std::deque<Job> queue_;
+};
+
+}  // namespace fabricpp::sim
+
+#endif  // FABRICPP_SIM_RESOURCE_H_

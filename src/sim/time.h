@@ -1,0 +1,25 @@
+#ifndef FABRICPP_SIM_TIME_H_
+#define FABRICPP_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace fabricpp::sim {
+
+/// Virtual time in microseconds since simulation start.
+///
+/// All pipeline costs (crypto, chaincode execution, validation, network
+/// transfer) are expressed in virtual microseconds; the simulator advances
+/// this clock event by event, which makes every experiment deterministic and
+/// independent of host speed (see DESIGN.md §2).
+using SimTime = uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+/// Converts virtual time to floating-point seconds (for reporting).
+inline double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace fabricpp::sim
+
+#endif  // FABRICPP_SIM_TIME_H_

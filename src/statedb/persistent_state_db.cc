@@ -1,0 +1,101 @@
+#include "statedb/persistent_state_db.h"
+
+#include "common/bytes.h"
+
+namespace fabricpp::statedb {
+
+namespace {
+/// Reserved metadata key (the 0x00 prefix keeps it out of user key space —
+/// chaincode keys are printable). Explicit length: the leading NUL would
+/// otherwise terminate a C-string conversion.
+const std::string kHeightKey("\x00__fabricpp_height", 18);
+}  // namespace
+
+Result<std::unique_ptr<PersistentStateDb>> PersistentStateDb::Open(
+    const std::string& dir, storage::DbOptions options) {
+  FABRICPP_ASSIGN_OR_RETURN(std::unique_ptr<storage::Db> raw,
+                            storage::Db::Open(dir, options));
+  std::unique_ptr<PersistentStateDb> db(
+      new PersistentStateDb(std::move(raw)));
+  const auto height = db->db_->Get(kHeightKey);
+  if (height.ok()) {
+    db->last_committed_block_ = std::strtoull(height->c_str(), nullptr, 10);
+  } else if (height.status().code() != StatusCode::kNotFound) {
+    return height.status();
+  }
+  return db;
+}
+
+Bytes PersistentStateDb::EncodeValue(const std::string& value,
+                                     proto::Version version) {
+  Bytes out;
+  ByteWriter writer(&out);
+  writer.PutVarint(version.block_num);
+  writer.PutVarint(version.tx_num);
+  writer.PutString(value);
+  return out;
+}
+
+Result<VersionedValue> PersistentStateDb::DecodeValue(const std::string& raw) {
+  ByteReader reader(reinterpret_cast<const uint8_t*>(raw.data()), raw.size());
+  VersionedValue vv;
+  FABRICPP_ASSIGN_OR_RETURN(vv.version.block_num, reader.GetVarint());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t tx_num, reader.GetVarint());
+  vv.version.tx_num = static_cast<uint32_t>(tx_num);
+  FABRICPP_ASSIGN_OR_RETURN(vv.value, reader.GetString());
+  return vv;
+}
+
+Result<VersionedValue> PersistentStateDb::Get(const std::string& key) const {
+  FABRICPP_ASSIGN_OR_RETURN(const std::string raw, db_->Get(key));
+  return DecodeValue(raw);
+}
+
+proto::Version PersistentStateDb::GetVersion(const std::string& key) const {
+  const auto vv = Get(key);
+  return vv.ok() ? vv->version : proto::kNilVersion;
+}
+
+Status PersistentStateDb::SeedInitialState(const std::string& key,
+                                           const std::string& value) {
+  const Bytes encoded = EncodeValue(value, proto::kNilVersion);
+  return db_->Put(key,
+                  std::string_view(reinterpret_cast<const char*>(
+                                       encoded.data()),
+                                   encoded.size()));
+}
+
+Status PersistentStateDb::ApplyWrites(
+    const std::vector<proto::WriteItem>& writes, proto::Version version) {
+  for (const proto::WriteItem& w : writes) {
+    if (w.is_delete) {
+      FABRICPP_RETURN_IF_ERROR(db_->Delete(w.key));
+    } else {
+      const Bytes encoded = EncodeValue(w.value, version);
+      FABRICPP_RETURN_IF_ERROR(
+          db_->Put(w.key, std::string_view(reinterpret_cast<const char*>(
+                                               encoded.data()),
+                                           encoded.size())));
+    }
+  }
+  return Status::OK();
+}
+
+Status PersistentStateDb::set_last_committed_block(uint64_t block) {
+  last_committed_block_ = block;
+  return db_->Put(kHeightKey, std::to_string(block));
+}
+
+void PersistentStateDb::ExportTo(StateDb* out) const {
+  db_->ForEach([&](const std::string& key, const std::string& raw) {
+    if (key == kHeightKey) return;
+    const auto vv = DecodeValue(raw);
+    if (!vv.ok()) return;
+    // Replays both value and version (SeedInitialState would reset the
+    // version, so apply as a one-entry write batch instead).
+    out->ApplyWrites({proto::WriteItem{key, vv->value, false}}, vv->version);
+  });
+  out->set_last_committed_block(last_committed_block_);
+}
+
+}  // namespace fabricpp::statedb

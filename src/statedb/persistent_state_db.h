@@ -1,0 +1,59 @@
+#ifndef FABRICPP_STATEDB_PERSISTENT_STATE_DB_H_
+#define FABRICPP_STATEDB_PERSISTENT_STATE_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "statedb/state_db.h"
+#include "storage/db.h"
+
+namespace fabricpp::statedb {
+
+/// A peer state database persisted through the LSM storage engine — the
+/// equivalent of Fabric's LevelDB-backed stateleveldb (paper §6.1).
+///
+/// Stores each key's value together with its MVCC version; survives process
+/// restarts (WAL + SSTables) and recovers the last-committed-block height
+/// from a reserved metadata key. Used by the durability tests and the
+/// storage benches; the simulation's in-memory StateDb models its cost via
+/// the CostModel constants (see DESIGN.md §2).
+class PersistentStateDb {
+ public:
+  /// Opens (or creates) the database in `dir`.
+  static Result<std::unique_ptr<PersistentStateDb>> Open(
+      const std::string& dir, storage::DbOptions options = {});
+
+  /// See StateDb::Get.
+  Result<VersionedValue> Get(const std::string& key) const;
+  proto::Version GetVersion(const std::string& key) const;
+
+  Status SeedInitialState(const std::string& key, const std::string& value);
+
+  /// See StateDb::ApplyWrites. All writes of one transaction are logged
+  /// before the height is advanced.
+  Status ApplyWrites(const std::vector<proto::WriteItem>& writes,
+                     proto::Version version);
+
+  uint64_t last_committed_block() const { return last_committed_block_; }
+  Status set_last_committed_block(uint64_t block);
+
+  /// Copies the full state into an in-memory StateDb (tests compare the
+  /// two implementations entry by entry).
+  void ExportTo(StateDb* out) const;
+
+  storage::Db& raw_db() { return *db_; }
+
+ private:
+  explicit PersistentStateDb(std::unique_ptr<storage::Db> db)
+      : db_(std::move(db)) {}
+
+  static Bytes EncodeValue(const std::string& value, proto::Version version);
+  static Result<VersionedValue> DecodeValue(const std::string& raw);
+
+  std::unique_ptr<storage::Db> db_;
+  uint64_t last_committed_block_ = 0;
+};
+
+}  // namespace fabricpp::statedb
+
+#endif  // FABRICPP_STATEDB_PERSISTENT_STATE_DB_H_

@@ -1,0 +1,38 @@
+#include "statedb/state_db.h"
+
+namespace fabricpp::statedb {
+
+Result<VersionedValue> StateDb::Get(const std::string& key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("key not found: " + key);
+  return it->second;
+}
+
+proto::Version StateDb::GetVersion(const std::string& key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return proto::kNilVersion;
+  return it->second.version;
+}
+
+void StateDb::SeedInitialState(const std::string& key, std::string value) {
+  map_[key] = VersionedValue{std::move(value), proto::kNilVersion};
+}
+
+void StateDb::ApplyWrites(const std::vector<proto::WriteItem>& writes,
+                          proto::Version version) {
+  for (const proto::WriteItem& w : writes) {
+    if (w.is_delete) {
+      map_.erase(w.key);
+    } else {
+      map_[w.key] = VersionedValue{w.value, version};
+    }
+  }
+}
+
+void StateDb::ForEach(const std::function<void(const std::string&,
+                                               const VersionedValue&)>& fn)
+    const {
+  for (const auto& [key, vv] : map_) fn(key, vv);
+}
+
+}  // namespace fabricpp::statedb

@@ -1,0 +1,77 @@
+#ifndef FABRICPP_STATEDB_STATE_DB_H_
+#define FABRICPP_STATEDB_STATE_DB_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "proto/rwset.h"
+#include "proto/version.h"
+
+namespace fabricpp::statedb {
+
+/// A value together with its MVCC version.
+struct VersionedValue {
+  std::string value;
+  proto::Version version;
+};
+
+/// The peer's current-state database: key -> (value, version).
+///
+/// Mirrors Fabric's LevelDB-backed state store (paper §2.1): the state is
+/// the result of applying all *valid* transactions in ledger order, and
+/// every value carries the (block, tx) version of the transaction that last
+/// wrote it. The validator's MVCC serializability check and the Fabric++
+/// fine-grained stale-read detection both compare against these versions.
+///
+/// Thread-safety: none required — the simulation substrate is
+/// single-threaded (DESIGN.md §5); concurrency *semantics* (vanilla's
+/// coarse simulation/validation lock vs Fabric++'s lock-free version
+/// checks) are modeled in virtual time by fabric::PeerNode.
+class StateDb {
+ public:
+  StateDb() = default;
+
+  /// Reads a key. NotFound if the key was never written (reads of missing
+  /// keys are recorded with kNilVersion by the TxContext, matching Fabric).
+  Result<VersionedValue> Get(const std::string& key) const;
+
+  /// Returns the version of `key`, or kNilVersion if absent.
+  proto::Version GetVersion(const std::string& key) const;
+
+  /// Direct write used for genesis/bootstrap state (version = kNilVersion's
+  /// block, i.e. block 0). Workloads use this to install initial balances.
+  void SeedInitialState(const std::string& key, std::string value);
+
+  /// Applies the write set of one committed transaction with version
+  /// {block_num, tx_num}. Called by the committer for each *valid*
+  /// transaction, in block order.
+  void ApplyWrites(const std::vector<proto::WriteItem>& writes,
+                   proto::Version version);
+
+  /// Height bookkeeping: the id of the last block whose writes have been
+  /// fully applied. Fabric++'s simulation-phase early abort compares read
+  /// versions against the value this had when the simulation started
+  /// ("last-block-ID", paper Figure 6).
+  uint64_t last_committed_block() const { return last_committed_block_; }
+  void set_last_committed_block(uint64_t b) { last_committed_block_ = b; }
+
+  size_t NumKeys() const { return map_.size(); }
+
+  /// Iterates all entries (test/inspection helper; unspecified order).
+  void ForEach(const std::function<void(const std::string&,
+                                        const VersionedValue&)>& fn) const;
+
+ private:
+  std::unordered_map<std::string, VersionedValue> map_;
+  uint64_t last_committed_block_ = 0;
+};
+
+}  // namespace fabricpp::statedb
+
+#endif  // FABRICPP_STATEDB_STATE_DB_H_

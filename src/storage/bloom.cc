@@ -1,0 +1,79 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fabricpp::storage {
+
+namespace {
+
+/// 64-bit string hash (FNV-1a core with a splitmix finalizer).
+uint64_t HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t num_keys, uint32_t bits_per_key) {
+  // k = ln(2) * bits/key rounded, clamped to [1, 30].
+  num_probes_ = std::clamp<uint32_t>(
+      static_cast<uint32_t>(bits_per_key * 0.69), 1, 30);
+  size_t bits = std::max<size_t>(64, num_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+}
+
+BloomFilter BloomFilter::Deserialize(const Bytes& data) {
+  BloomFilter filter;
+  if (data.empty()) {
+    filter.num_probes_ = 1;
+    filter.bits_.assign(8, 0);
+    return filter;
+  }
+  filter.num_probes_ = data[0];
+  filter.bits_.assign(data.begin() + 1, data.end());
+  if (filter.bits_.empty()) filter.bits_.assign(8, 0);
+  return filter;
+}
+
+Bytes BloomFilter::Serialize() const {
+  Bytes out;
+  out.reserve(1 + bits_.size());
+  out.push_back(static_cast<uint8_t>(num_probes_));
+  out.insert(out.end(), bits_.begin(), bits_.end());
+  return out;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const uint64_t h = HashKey(key);
+  const uint64_t h1 = h;
+  const uint64_t h2 = (h >> 33) | (h << 31);
+  const size_t bits = bits_.size() * 8;
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    const size_t bit = (h1 + i * h2) % bits;
+    bits_[bit / 8] |= (1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h = HashKey(key);
+  const uint64_t h1 = h;
+  const uint64_t h2 = (h >> 33) | (h << 31);
+  const size_t bits = bits_.size() * 8;
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    const size_t bit = (h1 + i * h2) % bits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fabricpp::storage

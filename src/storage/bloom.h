@@ -1,0 +1,41 @@
+#ifndef FABRICPP_STORAGE_BLOOM_H_
+#define FABRICPP_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace fabricpp::storage {
+
+/// Blocked-less classic Bloom filter used by SSTables to skip files that
+/// cannot contain a key. Double hashing (Kirsch-Mitzenmacher) over two
+/// 64-bit hashes derived from one mixing pass.
+class BloomFilter {
+ public:
+  /// Builds a filter sized for `num_keys` keys at `bits_per_key`.
+  BloomFilter(size_t num_keys, uint32_t bits_per_key);
+
+  /// Reconstructs a filter from its serialized form.
+  static BloomFilter Deserialize(const Bytes& data);
+
+  void Add(std::string_view key);
+
+  /// False positives possible, false negatives impossible.
+  bool MayContain(std::string_view key) const;
+
+  Bytes Serialize() const;
+
+  size_t num_bits() const { return bits_.size() * 8; }
+
+ private:
+  BloomFilter() = default;
+
+  uint32_t num_probes_ = 1;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_BLOOM_H_

@@ -1,0 +1,18 @@
+#ifndef FABRICPP_STORAGE_CRC32_H_
+#define FABRICPP_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fabricpp::storage {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Protects WAL records and
+/// SSTable footers against torn writes and bit rot.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: `crc` is the running value (start with 0).
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_CRC32_H_

@@ -1,0 +1,294 @@
+#include "storage/db.h"
+
+#include <filesystem>
+#include <optional>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace fabricpp::storage {
+
+namespace fs = std::filesystem;
+
+Db::Db(std::string dir, DbOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      memtable_(std::make_unique<SkipList<MemEntry>>()) {}
+
+Db::~Db() { wal_.Close(); }
+
+std::string Db::TableFileName(uint64_t number) const {
+  return dir_ + "/" + StrFormat("%06llu.sst",
+                                static_cast<unsigned long long>(number));
+}
+std::string Db::WalFileName() const { return dir_ + "/wal.log"; }
+std::string Db::ManifestFileName() const { return dir_ + "/MANIFEST"; }
+
+Result<std::unique_ptr<Db>> Db::Open(const std::string& dir,
+                                     DbOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create db dir: " + dir);
+
+  std::unique_ptr<Db> db(new Db(dir, options));
+  FABRICPP_RETURN_IF_ERROR(db->LoadManifest());
+
+  // Recover the memtable from the WAL (idempotent against a completed but
+  // not yet truncated flush: replayed writes simply overwrite).
+  const auto replayed = ReplayWal(db->WalFileName(), [&](const Bytes& rec) {
+    ByteReader reader(rec);
+    const auto type = reader.GetU8();
+    const auto key = reader.GetString();
+    const auto value = reader.GetString();
+    if (!type.ok() || !key.ok() || !value.ok()) return;
+    db->memtable_->Insert(*key,
+                          MemEntry{static_cast<EntryType>(*type), *value});
+    db->memtable_bytes_ += key->size() + value->size() + 16;
+  });
+  FABRICPP_RETURN_IF_ERROR(replayed.status());
+  db->wal_records_replayed_ = *replayed;
+
+  FABRICPP_RETURN_IF_ERROR(db->wal_.Open(db->WalFileName()));
+  return db;
+}
+
+Status Db::LoadManifest() {
+  std::FILE* file = std::fopen(ManifestFileName().c_str(), "rb");
+  if (file == nullptr) return Status::OK();  // Fresh database.
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    const uint64_t number = std::strtoull(line, nullptr, 10);
+    if (number == 0) continue;
+    auto table = Sstable::Open(TableFileName(number));
+    if (!table.ok()) {
+      std::fclose(file);
+      return table.status();
+    }
+    tables_.push_back(std::move(table).value());
+    table_numbers_.push_back(number);
+    next_file_number_ = std::max(next_file_number_, number + 1);
+  }
+  std::fclose(file);
+  return Status::OK();
+}
+
+Status Db::WriteManifest() {
+  // Atomic replace: write a temp file, then rename over the manifest.
+  const std::string tmp = ManifestFileName() + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return Status::Internal("cannot write manifest");
+  for (const uint64_t number : table_numbers_) {
+    std::fprintf(file, "%llu\n", static_cast<unsigned long long>(number));
+  }
+  std::fclose(file);
+  std::error_code ec;
+  fs::rename(tmp, ManifestFileName(), ec);
+  if (ec) return Status::Internal("manifest rename failed");
+  return Status::OK();
+}
+
+Status Db::Write(EntryType type, std::string_view key,
+                 std::string_view value) {
+  Bytes record;
+  ByteWriter writer(&record);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutString(key);
+  writer.PutString(value);
+  FABRICPP_RETURN_IF_ERROR(wal_.Append(record, options_.sync_writes));
+  memtable_->Insert(key, MemEntry{type, std::string(value)});
+  memtable_bytes_ += key.size() + value.size() + 16;
+  return MaybeFlushAndCompact();
+}
+
+Status Db::Put(std::string_view key, std::string_view value) {
+  return Write(EntryType::kPut, key, value);
+}
+
+Status Db::Delete(std::string_view key) {
+  return Write(EntryType::kDelete, key, "");
+}
+
+Result<std::string> Db::Get(std::string_view key) const {
+  if (const MemEntry* entry = memtable_->Find(key)) {
+    if (entry->type == EntryType::kDelete) {
+      return Status::NotFound("deleted: " + std::string(key));
+    }
+    return entry->value;
+  }
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    const auto entry = it->Get(key);
+    if (entry.has_value()) {
+      if (entry->type == EntryType::kDelete) {
+        return Status::NotFound("deleted: " + std::string(key));
+      }
+      return entry->value;
+    }
+  }
+  return Status::NotFound("no such key: " + std::string(key));
+}
+
+Status Db::Flush() {
+  if (memtable_->empty()) return Status::OK();
+  SstableBuilder builder(options_.bloom_bits_per_key);
+  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+    builder.Add(it.key(), it.value().type, it.value().value);
+  }
+  const uint64_t number = next_file_number_++;
+  FABRICPP_RETURN_IF_ERROR(builder.Finish(TableFileName(number)));
+  FABRICPP_ASSIGN_OR_RETURN(Sstable table, Sstable::Open(TableFileName(number)));
+  tables_.push_back(std::move(table));
+  table_numbers_.push_back(number);
+  FABRICPP_RETURN_IF_ERROR(WriteManifest());
+
+  // Reset memtable + WAL. Crash before the WAL truncation replays writes
+  // that are already in the new table — harmless (overwrites).
+  memtable_ = std::make_unique<SkipList<MemEntry>>();
+  memtable_bytes_ = 0;
+  wal_.Close();
+  std::error_code ec;
+  fs::remove(WalFileName(), ec);
+  return wal_.Open(WalFileName());
+}
+
+Status Db::CompactAll() {
+  FABRICPP_RETURN_IF_ERROR(Flush());
+  if (tables_.size() <= 1) return Status::OK();
+
+  // Full merge, newest table wins; tombstones drop out entirely.
+  std::map<std::string, MemEntry> merged;
+  for (const Sstable& table : tables_) {  // Oldest -> newest.
+    table.ForEach([&](const TableEntry& entry) {
+      merged[entry.key] = MemEntry{entry.type, entry.value};
+    });
+  }
+
+  SstableBuilder builder(options_.bloom_bits_per_key);
+  for (const auto& [key, entry] : merged) {
+    if (entry.type == EntryType::kDelete) continue;
+    builder.Add(key, EntryType::kPut, entry.value);
+  }
+  const uint64_t number = next_file_number_++;
+  FABRICPP_RETURN_IF_ERROR(builder.Finish(TableFileName(number)));
+  FABRICPP_ASSIGN_OR_RETURN(Sstable table, Sstable::Open(TableFileName(number)));
+
+  const std::vector<uint64_t> old_numbers = table_numbers_;
+  tables_.clear();
+  table_numbers_.clear();
+  tables_.push_back(std::move(table));
+  table_numbers_.push_back(number);
+  FABRICPP_RETURN_IF_ERROR(WriteManifest());
+  for (const uint64_t old_number : old_numbers) {
+    std::error_code ec;
+    fs::remove(TableFileName(old_number), ec);
+  }
+  return Status::OK();
+}
+
+Status Db::MaybeFlushAndCompact() {
+  if (memtable_bytes_ >= options_.memtable_max_bytes) {
+    FABRICPP_RETURN_IF_ERROR(Flush());
+  }
+  if (tables_.size() >= options_.compaction_trigger) {
+    FABRICPP_RETURN_IF_ERROR(CompactAll());
+  }
+  return Status::OK();
+}
+
+void Db::ForEach(const std::function<void(const std::string&,
+                                          const std::string&)>& fn) const {
+  std::map<std::string, MemEntry> merged;
+  for (const Sstable& table : tables_) {
+    table.ForEach([&](const TableEntry& entry) {
+      merged[entry.key] = MemEntry{entry.type, entry.value};
+    });
+  }
+  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
+    merged[it.key()] = it.value();
+  }
+  for (const auto& [key, entry] : merged) {
+    if (entry.type == EntryType::kDelete) continue;
+    fn(key, entry.value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Db::Iterator — lazy k-way merge.
+// ---------------------------------------------------------------------------
+
+struct Db::Iterator::Source {
+  /// Higher priority = newer data (memtable > newest table > ... > oldest).
+  int priority = 0;
+  std::optional<SkipList<MemEntry>::Iterator> mem;
+  std::optional<Sstable::Iterator> table;
+
+  bool Valid() const {
+    return mem.has_value() ? mem->Valid() : table->Valid();
+  }
+  const std::string& key() const {
+    return mem.has_value() ? mem->key() : table->entry().key;
+  }
+  EntryType type() const {
+    return mem.has_value() ? mem->value().type : table->entry().type;
+  }
+  const std::string& value() const {
+    return mem.has_value() ? mem->value().value : table->entry().value;
+  }
+  void Next() {
+    if (mem.has_value()) {
+      mem->Next();
+    } else {
+      table->Next();
+    }
+  }
+};
+
+Db::Iterator::Iterator(const Db* db) {
+  int priority = 0;
+  for (const Sstable& table : db->tables_) {  // Oldest first.
+    auto source = std::make_shared<Source>();
+    source->priority = priority++;
+    source->table.emplace(table.NewIterator());
+    sources_.push_back(std::move(source));
+  }
+  auto mem_source = std::make_shared<Source>();
+  mem_source->priority = priority;
+  mem_source->mem.emplace(db->memtable_->NewIterator());
+  sources_.push_back(std::move(mem_source));
+  Advance();
+}
+
+void Db::Iterator::Next() { Advance(); }
+
+void Db::Iterator::Advance() {
+  while (true) {
+    // Smallest key among valid sources; newest source wins ties.
+    Source* winner = nullptr;
+    for (const auto& source : sources_) {
+      if (!source->Valid()) continue;
+      if (winner == nullptr || source->key() < winner->key() ||
+          (source->key() == winner->key() &&
+           source->priority > winner->priority)) {
+        winner = source.get();
+      }
+    }
+    if (winner == nullptr) {
+      valid_ = false;
+      return;
+    }
+    const std::string key = winner->key();
+    const EntryType type = winner->type();
+    const std::string value = winner->value();
+    // Consume this key from every source that carries it.
+    for (const auto& source : sources_) {
+      while (source->Valid() && source->key() == key) source->Next();
+    }
+    if (type == EntryType::kDelete) continue;  // Shadowed by tombstone.
+    key_ = key;
+    value_ = value;
+    valid_ = true;
+    return;
+  }
+}
+
+}  // namespace fabricpp::storage

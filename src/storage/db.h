@@ -1,0 +1,125 @@
+#ifndef FABRICPP_STORAGE_DB_H_
+#define FABRICPP_STORAGE_DB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/skiplist.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace fabricpp::storage {
+
+/// Tuning knobs of the storage engine.
+struct DbOptions {
+  /// Memtable size that triggers a flush to an SSTable.
+  size_t memtable_max_bytes = 4 << 20;
+  uint32_t bloom_bits_per_key = 10;
+  /// Number of live SSTables that triggers a full merge compaction.
+  size_t compaction_trigger = 8;
+  /// fsync the WAL on every write (durability vs throughput).
+  bool sync_writes = false;
+};
+
+/// A small LSM-tree key-value store — the persistent substrate standing in
+/// for the LevelDB instance behind Fabric's state database (paper §6.1:
+/// "Fabric is set up to use LevelDB as the current state database").
+///
+/// Architecture: WAL -> memtable (skip list) -> immutable SSTables with
+/// sparse indexes and Bloom filters -> full-merge compaction. Writes are
+/// logged before being applied; recovery replays the WAL and reloads the
+/// manifest. Single-threaded by design (the simulation substrate is
+/// single-threaded; see DESIGN.md §5).
+class Db {
+ public:
+  /// Opens (or creates) a database in `dir`, replaying any WAL left behind.
+  static Result<std::unique_ptr<Db>> Open(const std::string& dir,
+                                          DbOptions options = {});
+
+  ~Db();
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// Point lookup: memtable first, then SSTables newest-to-oldest.
+  Result<std::string> Get(std::string_view key) const;
+
+  /// Forces the memtable into an SSTable (also rotates the WAL).
+  Status Flush();
+
+  /// Merges every live SSTable into one, dropping shadowed values and
+  /// tombstones.
+  Status CompactAll();
+
+  /// Visits all live (non-deleted) entries in ascending key order.
+  void ForEach(const std::function<void(const std::string&,
+                                        const std::string&)>& fn) const;
+
+  /// Streaming merged iterator over all live entries, ascending by key —
+  /// a lazy k-way merge of the memtable and every SSTable, newest source
+  /// winning per key, tombstones skipped. O(log sources) per step; unlike
+  /// ForEach it does not materialize the key space.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+    void Next();
+
+   private:
+    friend class Db;
+    struct Source;
+    explicit Iterator(const Db* db);
+    void Advance();
+
+    std::vector<std::shared_ptr<Source>> sources_;
+    bool valid_ = false;
+    std::string key_;
+    std::string value_;
+  };
+  /// The iterator is a point-in-time view; mutating the Db while iterating
+  /// is undefined.
+  Iterator NewIterator() const { return Iterator(this); }
+
+  // --- Introspection (tests, benches) ---
+  size_t num_sstables() const { return tables_.size(); }
+  size_t memtable_entries() const { return memtable_->size(); }
+  size_t memtable_bytes() const { return memtable_bytes_; }
+  uint64_t wal_records_replayed() const { return wal_records_replayed_; }
+
+ private:
+  struct MemEntry {
+    EntryType type = EntryType::kPut;
+    std::string value;
+  };
+
+  explicit Db(std::string dir, DbOptions options);
+
+  Status Write(EntryType type, std::string_view key, std::string_view value);
+  Status MaybeFlushAndCompact();
+  Status LoadManifest();
+  Status WriteManifest();
+  std::string TableFileName(uint64_t number) const;
+  std::string WalFileName() const;
+  std::string ManifestFileName() const;
+
+  std::string dir_;
+  DbOptions options_;
+  std::unique_ptr<SkipList<MemEntry>> memtable_;
+  size_t memtable_bytes_ = 0;
+  WalWriter wal_;
+  std::vector<Sstable> tables_;  // Oldest first.
+  std::vector<uint64_t> table_numbers_;
+  uint64_t next_file_number_ = 1;
+  uint64_t wal_records_replayed_ = 0;
+};
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_DB_H_

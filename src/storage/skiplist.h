@@ -1,0 +1,130 @@
+#ifndef FABRICPP_STORAGE_SKIPLIST_H_
+#define FABRICPP_STORAGE_SKIPLIST_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fabricpp::storage {
+
+/// A probabilistic skip list mapping string keys to values of type V —
+/// the memtable's core index (the same structure LevelDB/RocksDB use).
+///
+/// Keys are unique: Insert overwrites in place. Heights are drawn from a
+/// deterministic PRNG so a given insertion sequence always builds the same
+/// tower structure (keeps tests and the DES reproducible).
+template <typename V>
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0x5e1f1157ULL), head_(MakeNode("", V{}, kMaxHeight)) {}
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Insert(std::string_view key, V value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) {
+      node->value = std::move(value);
+      return false;
+    }
+    const int height = RandomHeight();
+    Node* fresh = MakeNode(key, std::move(value), height);
+    for (int level = 0; level < height; ++level) {
+      fresh->next[level] = prev[level]->next[level];
+      prev[level]->next[level] = fresh;
+    }
+    ++size_;
+    return true;
+  }
+
+  /// Looks a key up; nullptr when absent.
+  const V* Find(std::string_view key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+  V* FindMutable(std::string_view key) {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forward iterator over (key, value) in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : node_(list->head_->next[0]) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+    const std::string& key() const { return node_->key; }
+    const V& value() const { return node_->value; }
+
+   private:
+    const typename SkipList::Node* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  struct Node {
+    std::string key;
+    V value;
+    std::vector<Node*> next;  // One forward pointer per level.
+  };
+
+  Node* MakeNode(std::string_view key, V value, int height) {
+    auto node = std::make_unique<Node>();
+    node->key = std::string(key);
+    node->value = std::move(value);
+    node->next.assign(height, nullptr);
+    Node* raw = node.get();
+    arena_.push_back(std::move(node));
+    return raw;
+  }
+
+  int RandomHeight() {
+    // Geometric with p = 1/4, as in LevelDB.
+    int height = 1;
+    while (height < kMaxHeight && (rng_.Next() & 3) == 0) ++height;
+    return height;
+  }
+
+  /// Returns the first node with key >= target (nullptr if none). When
+  /// `prev` is non-null it receives the predecessor tower for insertion.
+  Node* FindGreaterOrEqual(std::string_view target, Node** prev) const {
+    Node* node = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (node->next[level] != nullptr &&
+             node->next[level]->key < target) {
+        node = node->next[level];
+      }
+      if (prev != nullptr) prev[level] = node;
+    }
+    return node->next[0];
+  }
+
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> arena_;
+  Node* head_;
+  size_t size_ = 0;
+};
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_SKIPLIST_H_

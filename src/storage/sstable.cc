@@ -1,0 +1,216 @@
+#include "storage/sstable.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/crc32.h"
+
+namespace fabricpp::storage {
+
+namespace {
+
+constexpr uint64_t kMagic = 0xfab81c557ab1e001ULL;
+constexpr size_t kIndexInterval = 16;
+constexpr size_t kFooterSize = 8 + 8 + 8 + 4 + 8;  // offsets, count, crc, magic.
+
+}  // namespace
+
+void SstableBuilder::Add(std::string_view key, EntryType type,
+                         std::string_view value) {
+  assert(entries_.empty() || entries_.back().key < key);
+  entries_.push_back(
+      TableEntry{std::string(key), type, std::string(value)});
+}
+
+Status SstableBuilder::Finish(const std::string& path) {
+  Bytes out;
+  ByteWriter writer(&out);
+
+  BloomFilter bloom(entries_.size(), bloom_bits_per_key_);
+  std::vector<std::pair<std::string, uint64_t>> index;
+
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const TableEntry& entry = entries_[i];
+    if (i % kIndexInterval == 0) {
+      index.emplace_back(entry.key, out.size());
+    }
+    bloom.Add(entry.key);
+    writer.PutString(entry.key);
+    writer.PutU8(static_cast<uint8_t>(entry.type));
+    writer.PutString(entry.value);
+  }
+
+  const uint64_t index_offset = out.size();
+  writer.PutVarint(index.size());
+  for (const auto& [key, offset] : index) {
+    writer.PutString(key);
+    writer.PutU64(offset);
+  }
+
+  const uint64_t bloom_offset = out.size();
+  writer.PutBytes(bloom.Serialize());
+
+  // Footer (fixed size): index_offset, bloom_offset, num_entries, crc(data
+  // up to footer), magic.
+  const uint32_t crc = Crc32(out.data(), out.size());
+  writer.PutU64(index_offset);
+  writer.PutU64(bloom_offset);
+  writer.PutU64(entries_.size());
+  writer.PutU32(crc);
+  writer.PutU64(kMagic);
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot create sstable " + path + ": " +
+                            std::strerror(errno));
+  }
+  const bool ok = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  std::fclose(file);
+  if (!ok) return Status::Internal("sstable write failed: " + path);
+  entries_.clear();
+  return Status::OK();
+}
+
+Result<Sstable> Sstable::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("sstable missing: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  Bytes data(static_cast<size_t>(size));
+  const bool ok =
+      std::fread(data.data(), 1, data.size(), file) == data.size();
+  std::fclose(file);
+  if (!ok) return Status::Internal("sstable read failed: " + path);
+  if (data.size() < kFooterSize) {
+    return Status::Internal("sstable truncated: " + path);
+  }
+
+  ByteReader footer(data.data() + data.size() - kFooterSize, kFooterSize);
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t index_offset, footer.GetU64());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t bloom_offset, footer.GetU64());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_entries, footer.GetU64());
+  FABRICPP_ASSIGN_OR_RETURN(const uint32_t crc, footer.GetU32());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t magic, footer.GetU64());
+  if (magic != kMagic) {
+    return Status::Internal("sstable bad magic: " + path);
+  }
+  if (bloom_offset > data.size() || index_offset > bloom_offset) {
+    return Status::Internal("sstable bad offsets: " + path);
+  }
+  if (Crc32(data.data(), data.size() - kFooterSize) != crc) {
+    return Status::Internal("sstable crc mismatch: " + path);
+  }
+
+  Sstable table;
+  table.path_ = path;
+  table.data_ = std::move(data);
+  table.index_offset_ = index_offset;
+  table.num_entries_ = num_entries;
+
+  // Index block.
+  {
+    ByteReader reader(table.data_.data() + index_offset,
+                      bloom_offset - index_offset);
+    FABRICPP_ASSIGN_OR_RETURN(const uint64_t count, reader.GetVarint());
+    table.index_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      FABRICPP_ASSIGN_OR_RETURN(std::string key, reader.GetString());
+      FABRICPP_ASSIGN_OR_RETURN(const uint64_t offset, reader.GetU64());
+      table.index_.emplace_back(std::move(key), offset);
+    }
+  }
+  // Bloom block.
+  {
+    ByteReader reader(table.data_.data() + bloom_offset,
+                      table.data_.size() - kFooterSize - bloom_offset);
+    FABRICPP_ASSIGN_OR_RETURN(const Bytes bloom_bytes, reader.GetBytes());
+    table.bloom_ = BloomFilter::Deserialize(bloom_bytes);
+  }
+  if (num_entries > 0) {
+    size_t pos = 0;
+    FABRICPP_ASSIGN_OR_RETURN(const TableEntry first,
+                              table.DecodeEntryAt(&pos));
+    table.smallest_key_ = first.key;
+    // Largest key: last index point, then scan to the end.
+    size_t scan = table.index_.empty()
+                      ? 0
+                      : static_cast<size_t>(table.index_.back().second);
+    std::string largest;
+    while (scan < table.index_offset_) {
+      FABRICPP_ASSIGN_OR_RETURN(const TableEntry entry,
+                                table.DecodeEntryAt(&scan));
+      largest = entry.key;
+    }
+    table.largest_key_ = largest;
+  }
+  return table;
+}
+
+Result<TableEntry> Sstable::DecodeEntryAt(size_t* pos) const {
+  ByteReader reader(data_.data() + *pos, index_offset_ - *pos);
+  TableEntry entry;
+  FABRICPP_ASSIGN_OR_RETURN(entry.key, reader.GetString());
+  FABRICPP_ASSIGN_OR_RETURN(const uint8_t type, reader.GetU8());
+  entry.type = static_cast<EntryType>(type);
+  FABRICPP_ASSIGN_OR_RETURN(entry.value, reader.GetString());
+  *pos = index_offset_ - reader.remaining();
+  return entry;
+}
+
+std::optional<TableEntry> Sstable::Get(std::string_view key) const {
+  if (num_entries_ == 0 || !bloom_.MayContain(key)) return std::nullopt;
+  if (key < smallest_key_ || key > largest_key_) return std::nullopt;
+
+  // Greatest index point with index_key <= key.
+  size_t lo = 0, hi = index_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (index_[mid].first <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return std::nullopt;  // key < first entry.
+  size_t pos = static_cast<size_t>(index_[lo - 1].second);
+
+  // Linear scan within the index interval.
+  while (pos < index_offset_) {
+    const auto entry = DecodeEntryAt(&pos);
+    if (!entry.ok()) return std::nullopt;
+    if (entry->key == key) return *entry;
+    if (entry->key > key) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void Sstable::Iterator::Advance() {
+  if (pos_ >= table_->index_offset_) {
+    valid_ = false;
+    return;
+  }
+  const auto entry = table_->DecodeEntryAt(&pos_);
+  if (!entry.ok()) {
+    valid_ = false;
+    return;
+  }
+  entry_ = *entry;
+  valid_ = true;
+}
+
+void Sstable::ForEach(
+    const std::function<void(const TableEntry&)>& fn) const {
+  size_t pos = 0;
+  while (pos < index_offset_) {
+    const auto entry = DecodeEntryAt(&pos);
+    if (!entry.ok()) return;
+    fn(*entry);
+  }
+}
+
+}  // namespace fabricpp::storage

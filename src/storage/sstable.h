@@ -1,0 +1,107 @@
+#ifndef FABRICPP_STORAGE_SSTABLE_H_
+#define FABRICPP_STORAGE_SSTABLE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bloom.h"
+
+namespace fabricpp::storage {
+
+/// Kind of a stored entry. Tombstones persist until compaction so that
+/// older tables' values stay shadowed.
+enum class EntryType : uint8_t { kPut = 0, kDelete = 1 };
+
+/// One key-value entry as stored in an SSTable.
+struct TableEntry {
+  std::string key;
+  EntryType type = EntryType::kPut;
+  std::string value;
+};
+
+/// Writes a sorted run of entries into an immutable table file.
+///
+/// File layout:
+///   [entries...] [sparse index] [bloom filter] [footer]
+/// The sparse index holds every 16th key with its file offset; the footer
+/// carries section offsets, the entry count, a CRC and a magic number.
+class SstableBuilder {
+ public:
+  explicit SstableBuilder(uint32_t bloom_bits_per_key = 10)
+      : bloom_bits_per_key_(bloom_bits_per_key) {}
+
+  /// Adds an entry; keys must arrive in strictly increasing order.
+  void Add(std::string_view key, EntryType type, std::string_view value);
+
+  /// Writes the table to `path`. The builder is spent afterwards.
+  Status Finish(const std::string& path);
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  uint32_t bloom_bits_per_key_;
+  std::vector<TableEntry> entries_;
+};
+
+/// An open, immutable table. The file content is held in memory (tables
+/// are bounded by the memtable flush threshold).
+class Sstable {
+ public:
+  /// Opens and validates the footer/CRC.
+  static Result<Sstable> Open(const std::string& path);
+
+  /// Point lookup. Returns nullopt when the key is absent from this table
+  /// (a found tombstone IS returned — callers must stop searching older
+  /// tables and report not-found).
+  std::optional<TableEntry> Get(std::string_view key) const;
+
+  /// In-order scan of all entries (compaction, iterators).
+  void ForEach(const std::function<void(const TableEntry&)>& fn) const;
+
+  /// Positional in-order iterator over the table's entries.
+  class Iterator {
+   public:
+    explicit Iterator(const Sstable* table) : table_(table) { Advance(); }
+    bool Valid() const { return valid_; }
+    const TableEntry& entry() const { return entry_; }
+    void Next() { Advance(); }
+
+   private:
+    void Advance();
+    const Sstable* table_;
+    size_t pos_ = 0;
+    bool valid_ = false;
+    TableEntry entry_;
+  };
+  Iterator NewIterator() const { return Iterator(this); }
+
+  size_t num_entries() const { return num_entries_; }
+  const std::string& path() const { return path_; }
+  const std::string& smallest_key() const { return smallest_key_; }
+  const std::string& largest_key() const { return largest_key_; }
+
+ private:
+  Sstable() : bloom_(0, 10) {}
+
+  Result<TableEntry> DecodeEntryAt(size_t* pos) const;
+
+  std::string path_;
+  Bytes data_;
+  size_t index_offset_ = 0;
+  size_t num_entries_ = 0;
+  BloomFilter bloom_;
+  /// Sparse index: (key, entry offset), ascending.
+  std::vector<std::pair<std::string, uint64_t>> index_;
+  std::string smallest_key_;
+  std::string largest_key_;
+};
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_SSTABLE_H_

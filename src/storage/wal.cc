@@ -1,0 +1,78 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/crc32.h"
+
+namespace fabricpp::storage {
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open wal " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(const Bytes& payload, bool sync) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  uint8_t header[8];
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(crc >> (8 * i));
+    header[4 + i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::Internal("wal write failed");
+  }
+  if (sync) return Sync();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal not open");
+  if (std::fflush(file_) != 0) return Status::Internal("wal flush failed");
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<size_t> ReplayWal(const std::string& path,
+                         const std::function<void(const Bytes&)>& fn) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return size_t{0};  // Fresh database.
+  size_t records = 0;
+  while (true) {
+    uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) break;
+    uint32_t crc = 0;
+    uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+      crc |= static_cast<uint32_t>(header[i]) << (8 * i);
+      length |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+    }
+    if (length > (64u << 20)) break;  // Corrupt length; stop replay.
+    Bytes payload(length);
+    if (std::fread(payload.data(), 1, length, file) != length) break;
+    if (Crc32(payload.data(), payload.size()) != crc) break;  // Torn tail.
+    fn(payload);
+    ++records;
+  }
+  std::fclose(file);
+  return records;
+}
+
+}  // namespace fabricpp::storage

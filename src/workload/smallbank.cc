@@ -1,0 +1,59 @@
+#include "workload/smallbank.h"
+
+#include "chaincode/builtin_chaincodes.h"
+
+namespace fabricpp::workload {
+
+SmallbankWorkload::SmallbankWorkload(SmallbankConfig config)
+    : config_(config), zipf_(config.num_users, config.zipf_s) {}
+
+void SmallbankWorkload::SeedState(statedb::StateDb* db) const {
+  // Fixed seed: all peers install byte-identical initial state.
+  Rng rng(0x5ba11ba2c0ffeeULL ^ config_.num_users);
+  const int64_t span = config_.max_balance - config_.min_balance + 1;
+  for (uint64_t user = 0; user < config_.num_users; ++user) {
+    const int64_t checking =
+        config_.min_balance + static_cast<int64_t>(rng.NextUint64(span));
+    const int64_t savings =
+        config_.min_balance + static_cast<int64_t>(rng.NextUint64(span));
+    db->SeedInitialState(chaincode::SmallbankChaincode::CheckingKey(user),
+                         std::to_string(checking));
+    db->SeedInitialState(chaincode::SmallbankChaincode::SavingsKey(user),
+                         std::to_string(savings));
+  }
+}
+
+uint64_t SmallbankWorkload::PickUser(Rng& rng) const {
+  return zipf_.Next(rng);
+}
+
+std::vector<std::string> SmallbankWorkload::NextArgs(Rng& rng) const {
+  const std::string amount =
+      std::to_string(1 + static_cast<int64_t>(
+                             rng.NextUint64(config_.max_amount)));
+  if (!rng.NextBool(config_.prob_write)) {
+    return {"query", std::to_string(PickUser(rng))};
+  }
+  // One of the five modifying transactions, uniformly (paper §6.2.2).
+  switch (rng.NextUint64(5)) {
+    case 0:
+      return {"transact_savings", std::to_string(PickUser(rng)), amount};
+    case 1:
+      return {"deposit_checking", std::to_string(PickUser(rng)), amount};
+    case 2: {
+      const uint64_t from = PickUser(rng);
+      uint64_t to = PickUser(rng);
+      if (config_.num_users > 1) {
+        while (to == from) to = PickUser(rng);
+      }
+      return {"send_payment", std::to_string(from), std::to_string(to),
+              amount};
+    }
+    case 3:
+      return {"write_check", std::to_string(PickUser(rng)), amount};
+    default:
+      return {"amalgamate", std::to_string(PickUser(rng))};
+  }
+}
+
+}  // namespace fabricpp::workload

@@ -1,0 +1,48 @@
+#ifndef FABRICPP_WORKLOAD_SMALLBANK_H_
+#define FABRICPP_WORKLOAD_SMALLBANK_H_
+
+#include <cstdint>
+
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace fabricpp::workload {
+
+/// Configuration of the Smallbank run (paper Table 6).
+struct SmallbankConfig {
+  /// Users; each gets a checking and a savings account (paper: 100,000).
+  uint64_t num_users = 100000;
+  /// Probability of picking one of the five modifying transactions; the
+  /// read-only Query is fired with 1 - prob_write (paper: 95/50/5 %).
+  double prob_write = 0.95;
+  /// Skew of the Zipf distribution selecting accounts (paper: 0.0 - 2.0).
+  double zipf_s = 0.0;
+  /// Transfer amounts are drawn uniformly from [1, max_amount].
+  int64_t max_amount = 100;
+  /// Initial balance range.
+  int64_t min_balance = 10000;
+  int64_t max_balance = 50000;
+};
+
+/// The Smallbank benchmark (paper §6.2.2): six transaction types over
+/// (checking, savings) account pairs, with Zipfian account selection.
+class SmallbankWorkload : public Workload {
+ public:
+  explicit SmallbankWorkload(SmallbankConfig config);
+
+  std::string chaincode() const override { return "smallbank"; }
+  void SeedState(statedb::StateDb* db) const override;
+  std::vector<std::string> NextArgs(Rng& rng) const override;
+
+  const SmallbankConfig& config() const { return config_; }
+
+ private:
+  uint64_t PickUser(Rng& rng) const;
+
+  SmallbankConfig config_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace fabricpp::workload
+
+#endif  // FABRICPP_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,36 @@
+#ifndef FABRICPP_WORKLOAD_WORKLOAD_H_
+#define FABRICPP_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "statedb/state_db.h"
+
+namespace fabricpp::workload {
+
+/// A proposal generator: which chaincode to call and with which arguments.
+///
+/// Workloads are pure argument factories — the fabric::ClientNode turns the
+/// args into proposals, fires them at the configured rate, and the
+/// chaincode executes them during endorsement.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Name of the chaincode all generated proposals target.
+  virtual std::string chaincode() const = 0;
+
+  /// Installs the initial application state (account balances etc.) into a
+  /// peer's state database. Must be deterministic: every peer seeds the
+  /// identical state.
+  virtual void SeedState(statedb::StateDb* db) const = 0;
+
+  /// Generates the argument vector of the next proposal.
+  virtual std::vector<std::string> NextArgs(Rng& rng) const = 0;
+};
+
+}  // namespace fabricpp::workload
+
+#endif  // FABRICPP_WORKLOAD_WORKLOAD_H_

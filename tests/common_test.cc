@@ -1,0 +1,314 @@
+// Unit tests for src/common: Status/Result, RNG, Zipf, histogram, bytes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/zipf.h"
+
+namespace fabricpp {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::StaleRead("key k1 moved on");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kStaleRead);
+  EXPECT_EQ(s.message(), "key k1 moved on");
+  EXPECT_EQ(s.ToString(), "STALE_READ: key k1 moved on");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kEarlyAbort); ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    FABRICPP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::Internal("boom");
+  };
+  auto use = [&](bool ok) -> Result<int> {
+    FABRICPP_ASSIGN_OR_RETURN(const int v, make(ok));
+    return v + 1;
+  };
+  EXPECT_EQ(*use(true), 6);
+  EXPECT_EQ(use(false).status().code(), StatusCode::kInternal);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedValuesInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) counts[rng.NextUint64(kBuckets)]++;
+  for (const auto& [bucket, count] : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples * 0.01)
+        << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += rng.NextExponential(250.0);
+  EXPECT_NEAR(sum / 100000, 250.0, 5.0);
+}
+
+TEST(RngTest, IntRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt64(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// --- Zipf ---
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfGenerator zipf(100, 0.0);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(zipf.Probability(i), 0.01, 1e-9);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  for (const double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfGenerator zipf(1000, s);
+    double sum = 0;
+    for (uint64_t i = 0; i < 1000; ++i) sum += zipf.Probability(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, SkewPrefersSmallItems) {
+  ZipfGenerator zipf(1000, 1.0);
+  EXPECT_GT(zipf.Probability(0), zipf.Probability(1));
+  EXPECT_GT(zipf.Probability(1), zipf.Probability(10));
+  EXPECT_GT(zipf.Probability(10), zipf.Probability(999));
+}
+
+TEST(ZipfTest, TheoreticalRatioHolds) {
+  // P(0)/P(1) == 2^s for a Zipf(s) distribution.
+  ZipfGenerator zipf(100, 2.0);
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 4.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchProbabilities) {
+  ZipfGenerator zipf(50, 1.2);
+  Rng rng(21);
+  std::map<uint64_t, int> counts;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Next(rng)]++;
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kSamples),
+                zipf.Probability(i), 0.01)
+        << "item " << i;
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnHead) {
+  ZipfGenerator zipf(100000, 2.0);
+  Rng rng(22);
+  int head = 0;
+  for (int i = 0; i < 10000; ++i) head += (zipf.Next(rng) < 10);
+  // With s=2 the top-10 items carry the overwhelming probability mass.
+  EXPECT_GT(head, 9000);
+}
+
+// --- Histogram ---
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.Mean(), 1000.0);
+}
+
+TEST(HistogramTest, QuantilesApproximateUniformData) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Add(v);
+  EXPECT_NEAR(h.Quantile(0.5), 5000, 5000 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.95), 9500, 9500 * 0.05);
+  EXPECT_NEAR(h.Mean(), 5000.5, 1e-6);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// --- Bytes ---
+
+TEST(BytesTest, RoundTripPrimitives) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.PutU8(7);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutVarint(300);
+  w.PutString("hello");
+
+  ByteReader r(buf);
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.GetVarint(), 300u);
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  for (const uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                           ~0ULL, 1ULL << 63}) {
+    Bytes buf;
+    ByteWriter w(&buf);
+    w.PutVarint(v);
+    ByteReader r(buf);
+    EXPECT_EQ(*r.GetVarint(), v);
+  }
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.PutU32(1);
+  ByteReader r(buf.data(), 2);
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kOutOfRange);
+  ByteReader r2(buf.data(), 0);
+  EXPECT_FALSE(r2.GetVarint().ok());
+  EXPECT_FALSE(r2.GetString().ok());
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  Bytes buf;
+  ByteWriter w(&buf);
+  w.PutVarint(100);  // Length prefix without the 100 bytes.
+  ByteReader r(buf);
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(BytesTest, HexEncode) {
+  const Bytes b = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(HexEncode(b), "000fa5ff");
+}
+
+// --- StrFormat ---
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 42, "z"), "x=42 y=z");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace fabricpp

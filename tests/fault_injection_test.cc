@@ -1,0 +1,174 @@
+// Fault-injection tests: behaviours that only show up when a component
+// misbehaves — diverging endorsers, a peer with corrupted state, and
+// byzantine-ish clients — exercised through the real pipeline objects.
+
+#include <gtest/gtest.h>
+
+#include "chaincode/chaincode.h"
+#include "fabric/network.h"
+#include "peer/endorser.h"
+#include "peer/validator.h"
+#include "workload/smallbank.h"
+
+namespace fabricpp {
+namespace {
+
+using fabric::FabricConfig;
+using fabric::FabricNetwork;
+
+constexpr uint64_t kSeed = 42;
+
+TEST(FaultInjectionTest, DivergedEndorsersProduceMismatchedRwsets) {
+  // Two endorsers whose states diverge (one peer lags a block) return
+  // different read versions: the client must detect the mismatch and not
+  // form a transaction (paper §2.2.1: "If all returned read and write sets
+  // are equal, the client forms an actual transaction").
+  const auto registry = chaincode::ChaincodeRegistry::WithBuiltins();
+  peer::Endorser endorser_a("A1", "A", kSeed, registry.get());
+  peer::Endorser endorser_b("B1", "B", kSeed, registry.get());
+
+  statedb::StateDb fresh_state;
+  fresh_state.SeedInitialState("c_1", "100");
+  statedb::StateDb lagging_state;
+  lagging_state.SeedInitialState("c_1", "100");
+  // The fresh peer committed block 3, which updated c_1.
+  fresh_state.ApplyWrites({{"c_1", "150", false}}, proto::Version{3, 0});
+  fresh_state.set_last_committed_block(3);
+
+  proto::Proposal proposal;
+  proposal.proposal_id = 1;
+  proposal.client = "c";
+  proposal.channel = "ch0";
+  proposal.chaincode = "smallbank";
+  proposal.args = {"deposit_checking", "1", "10"};
+
+  const auto from_fresh =
+      endorser_a.Endorse(proposal, "p", fresh_state, false);
+  const auto from_lagging =
+      endorser_b.Endorse(proposal, "p", lagging_state, false);
+  ASSERT_TRUE(from_fresh.ok());
+  ASSERT_TRUE(from_lagging.ok());
+  // Values AND versions differ -> the client-side equality check fails.
+  EXPECT_FALSE(from_fresh->rwset == from_lagging->rwset);
+}
+
+TEST(FaultInjectionTest, NonDeterministicChaincodeCaughtByClient) {
+  // A chaincode returning different effects per invocation (the paper's
+  // footnote 3: sets "might not match due to non-determinism in the smart
+  // contract") must never commit.
+  class FlakyChaincode : public chaincode::Chaincode {
+   public:
+    std::string name() const override { return "flaky"; }
+    Status Invoke(chaincode::TxContext& ctx,
+                  const std::vector<std::string>&) const override {
+      ctx.PutState("k", std::to_string(++counter_));
+      return Status::OK();
+    }
+    mutable int counter_ = 0;
+  };
+
+  chaincode::ChaincodeRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<FlakyChaincode>()).ok());
+  peer::Endorser endorser_a("A1", "A", kSeed, &registry);
+  peer::Endorser endorser_b("B1", "B", kSeed, &registry);
+  statedb::StateDb db;
+  proto::Proposal proposal;
+  proposal.chaincode = "flaky";
+  const auto ra = endorser_a.Endorse(proposal, "p", db, false);
+  const auto rb = endorser_b.Endorse(proposal, "p", db, false);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_FALSE(ra->rwset == rb->rwset);  // Client aborts on mismatch.
+}
+
+TEST(FaultInjectionTest, ReplayedTransactionMovesMoneyOnce) {
+  // Cleaner version of the double-spend check with explicit balances.
+  workload::SmallbankConfig wl;
+  wl.num_users = 10;
+  workload::SmallbankWorkload workload(wl);
+  FabricConfig config = FabricConfig::Vanilla();
+  config.block.max_transactions = 1;
+  FabricNetwork network(config, &workload);
+  network.metrics().SetWindow(0, ~0ULL);
+
+  const int64_t before_1 =
+      std::stoll(network.peer(0).state_db(0).Get("c_1")->value);
+  const int64_t before_2 =
+      std::stoll(network.peer(0).state_db(0).Get("c_2")->value);
+
+  proto::Proposal proposal;
+  proposal.proposal_id = 88;
+  proposal.client = "replayer";
+  proposal.channel = "ch0";
+  proposal.chaincode = "smallbank";
+  proposal.args = {"send_payment", "1", "2", "25"};
+  peer::Endorser endorser_a("A1", "A", config.seed, &network.registry());
+  peer::Endorser endorser_b("B1", "B", config.seed, &network.registry());
+  const auto ra = endorser_a.Endorse(proposal, network.default_policy_id(),
+                                     network.peer(0).state_db(0), false);
+  const auto rb = endorser_b.Endorse(proposal, network.default_policy_id(),
+                                     network.peer(2).state_db(0), false);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  proto::Transaction tx;
+  tx.proposal_id = proposal.proposal_id;
+  tx.client = proposal.client;
+  tx.channel = proposal.channel;
+  tx.chaincode = proposal.chaincode;
+  tx.policy_id = network.default_policy_id();
+  tx.rwset = ra->rwset;
+  tx.endorsements = {ra->endorsement, rb->endorsement};
+  tx.ComputeTxId(proposal);
+  network.SubmitExternalTransaction(0, tx);
+  network.SubmitExternalTransaction(0, tx);
+  network.RunUntilIdle();
+
+  const int64_t after_1 =
+      std::stoll(network.peer(0).state_db(0).Get("c_1")->value);
+  const int64_t after_2 =
+      std::stoll(network.peer(0).state_db(0).Get("c_2")->value);
+  EXPECT_EQ(after_1, before_1 - 25);  // Moved exactly once.
+  EXPECT_EQ(after_2, before_2 + 25);
+  EXPECT_EQ(network.metrics().successful(), 1u);
+  EXPECT_EQ(network.metrics().failed(), 1u);
+}
+
+TEST(FaultInjectionTest, EndorsementFromUnknownPeerRejected) {
+  // A signature from an identity that is not the claimed endorser must not
+  // satisfy the policy, even if internally consistent.
+  const auto registry = chaincode::ChaincodeRegistry::WithBuiltins();
+  peer::PolicyRegistry policies;
+  ASSERT_TRUE(policies.Register({"AND(A,B)", {"A", "B"}}).ok());
+  peer::Validator validator(kSeed, &policies);
+
+  statedb::StateDb db;
+  db.SeedInitialState("bal_A", "100");
+  db.SeedInitialState("bal_B", "10");
+  peer::Endorser honest_a("A1", "A", kSeed, registry.get());
+  // "Eve" signs with her own key but claims org B.
+  peer::Endorser eve("EVE", "B", kSeed, registry.get());
+
+  proto::Proposal proposal;
+  proposal.proposal_id = 5;
+  proposal.channel = "ch0";
+  proposal.chaincode = "asset_transfer";
+  proposal.args = {"transfer", "A", "B", "10"};
+  const auto ra = honest_a.Endorse(proposal, "AND(A,B)", db, false);
+  const auto re = eve.Endorse(proposal, "AND(A,B)", db, false);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(re.ok());
+
+  proto::Transaction tx;
+  tx.channel = "ch0";
+  tx.chaincode = "asset_transfer";
+  tx.policy_id = "AND(A,B)";
+  tx.rwset = ra->rwset;
+  tx.endorsements = {ra->endorsement, re->endorsement};
+  // Eve's signature IS valid for "EVE" — but she claims to be peer B1.
+  tx.endorsements[1].peer = "B1";
+  tx.endorsements[1].signature.signer = "B1";
+  EXPECT_FALSE(validator.CheckEndorsementPolicy(tx));
+}
+
+}  // namespace
+}  // namespace fabricpp

@@ -1,0 +1,221 @@
+// Brute-force cross-checks for the ordering module: Johnson's enumeration
+// against a naive DFS cycle finder, and the reorderer against exhaustive
+// permutation search on small batches. These pin the algorithms' outputs to
+// independently computed ground truth over many random instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ordering/conflict_graph.h"
+#include "ordering/johnson.h"
+#include "ordering/reorderer.h"
+#include "peer/validator.h"
+#include "workload/micro_sequences.h"
+
+namespace fabricpp::ordering {
+namespace {
+
+using workload::AsPointers;
+
+// --- Naive cycle enumeration (ground truth for Johnson) ---
+
+/// Finds all elementary cycles by DFS from every start vertex, keeping only
+/// cycles whose smallest vertex is the start (canonical form, no rotations).
+std::set<std::vector<uint32_t>> BruteForceCycles(
+    const std::vector<std::vector<uint32_t>>& adj) {
+  std::set<std::vector<uint32_t>> cycles;
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  std::vector<uint32_t> path;
+  std::vector<bool> on_path(n, false);
+
+  std::function<void(uint32_t, uint32_t)> dfs = [&](uint32_t v,
+                                                    uint32_t start) {
+    path.push_back(v);
+    on_path[v] = true;
+    for (const uint32_t w : adj[v]) {
+      if (w == start) {
+        cycles.insert(path);
+      } else if (w > start && !on_path[w]) {
+        dfs(w, start);
+      }
+    }
+    on_path[v] = false;
+    path.pop_back();
+  };
+
+  for (uint32_t start = 0; start < n; ++start) dfs(start, start);
+  return cycles;
+}
+
+std::vector<std::vector<uint32_t>> RandomGraph(Rng& rng, uint32_t n,
+                                               double edge_prob) {
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i != j && rng.NextBool(edge_prob)) adj[i].push_back(j);
+    }
+  }
+  return adj;
+}
+
+TEST(JohnsonPropertyTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint32_t n = 3 + static_cast<uint32_t>(rng.NextUint64(6));  // 3-8.
+    const auto adj = RandomGraph(rng, n, 0.3);
+    std::vector<uint32_t> nodes(n);
+    std::iota(nodes.begin(), nodes.end(), 0);
+
+    const CycleEnumeration johnson = FindElementaryCycles(adj, nodes, 100000);
+    ASSERT_FALSE(johnson.budget_exhausted) << "trial " << trial;
+
+    const auto expected = BruteForceCycles(adj);
+    std::set<std::vector<uint32_t>> actual(johnson.cycles.begin(),
+                                           johnson.cycles.end());
+    EXPECT_EQ(actual, expected) << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(JohnsonPropertyTest, DenseGraphsStillMatch) {
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto adj = RandomGraph(rng, 5, 0.7);
+    std::vector<uint32_t> nodes = {0, 1, 2, 3, 4};
+    const CycleEnumeration johnson = FindElementaryCycles(adj, nodes, 100000);
+    EXPECT_EQ(std::set<std::vector<uint32_t>>(johnson.cycles.begin(),
+                                              johnson.cycles.end()),
+              BruteForceCycles(adj))
+        << "trial " << trial;
+  }
+}
+
+// --- Reorderer vs exhaustive permutation search ---
+
+std::vector<proto::ReadWriteSet> RandomTinyBatch(Rng& rng, uint32_t n,
+                                                 uint32_t num_keys) {
+  std::vector<proto::ReadWriteSet> sets(n);
+  for (auto& set : sets) {
+    const uint32_t reads = 1 + static_cast<uint32_t>(rng.NextUint64(2));
+    const uint32_t writes = 1 + static_cast<uint32_t>(rng.NextUint64(2));
+    for (uint32_t i = 0; i < reads; ++i) {
+      set.reads.push_back(
+          {StrFormat("k%llu", static_cast<unsigned long long>(
+                                  rng.NextUint64(num_keys))),
+           proto::kNilVersion});
+    }
+    for (uint32_t i = 0; i < writes; ++i) {
+      set.writes.push_back(
+          {StrFormat("k%llu", static_cast<unsigned long long>(
+                                  rng.NextUint64(num_keys))),
+           "v", false});
+    }
+  }
+  return sets;
+}
+
+/// Max committed transactions over every permutation of the batch — the
+/// optimum the (NP-hard) ideal reorderer would reach.
+uint32_t BruteForceBestOrder(
+    const std::vector<const proto::ReadWriteSet*>& rwsets) {
+  std::vector<uint32_t> order(rwsets.size());
+  std::iota(order.begin(), order.end(), 0);
+  uint32_t best = 0;
+  do {
+    best = std::max(best, peer::CountValidUnderCommonSnapshot(rwsets, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+TEST(ReordererPropertyTest, WithinOneOfBruteForceOptimum) {
+  // The paper concedes the reorderer "is not guaranteed to abort a minimal
+  // number of transactions" (it's a greedy heuristic for an NP-hard
+  // problem) — but on small random batches it should track the optimum
+  // closely. We assert: valid schedule, never worse than the optimum by
+  // more than 1 transaction, and never better (soundness of the brute
+  // force).
+  Rng rng(31337);
+  int exact_hits = 0;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const uint32_t n = 4 + static_cast<uint32_t>(rng.NextUint64(3));  // 4-6.
+    const auto sets = RandomTinyBatch(rng, n, 4);
+    const auto rwsets = AsPointers(sets);
+
+    const ReorderResult result = ReorderTransactions(rwsets);
+    const uint32_t scheduled = static_cast<uint32_t>(result.order.size());
+    // Everything scheduled commits (serializability invariant).
+    ASSERT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, result.order),
+              scheduled)
+        << "trial " << trial;
+
+    const uint32_t optimum = BruteForceBestOrder(rwsets);
+    EXPECT_LE(scheduled, optimum) << "trial " << trial;
+    EXPECT_GE(scheduled + 1, optimum) << "trial " << trial;
+    exact_hits += (scheduled == optimum);
+  }
+  // The greedy heuristic should hit the optimum most of the time.
+  EXPECT_GE(exact_hits, kTrials * 3 / 4);
+}
+
+TEST(ReordererPropertyTest, AbortedTransactionsWereTrulyInCycles) {
+  // Every aborted transaction must participate in at least one conflict
+  // cycle of the original graph (the reorderer never aborts cycle-free
+  // transactions).
+  Rng rng(555);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto sets = RandomTinyBatch(rng, 8, 5);
+    const auto rwsets = AsPointers(sets);
+    const ReorderResult result = ReorderTransactions(rwsets);
+    if (result.aborted.empty()) continue;
+    const ConflictGraph graph = ConflictGraph::Build(rwsets);
+    std::vector<std::vector<uint32_t>> adj(graph.num_nodes());
+    std::vector<uint32_t> nodes(graph.num_nodes());
+    for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
+      adj[i] = graph.Children(i);
+      nodes[i] = i;
+    }
+    const auto cycles = BruteForceCycles(adj);
+    std::set<uint32_t> in_cycles;
+    for (const auto& cycle : cycles) {
+      in_cycles.insert(cycle.begin(), cycle.end());
+    }
+    for (const uint32_t victim : result.aborted) {
+      EXPECT_TRUE(in_cycles.count(victim))
+          << "trial " << trial << ": aborted T" << victim
+          << " participates in no cycle";
+    }
+  }
+}
+
+TEST(ReordererPropertyTest, ScheduleRespectsEveryConflictEdge) {
+  // Direct check of the serializability definition: for every remaining
+  // edge writer -> reader, the reader precedes the writer in the schedule.
+  Rng rng(909);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto sets = RandomTinyBatch(rng, 12, 6);
+    const auto rwsets = AsPointers(sets);
+    const ReorderResult result = ReorderTransactions(rwsets);
+    const ConflictGraph graph = ConflictGraph::Build(rwsets);
+    std::vector<int> position(sets.size(), -1);
+    for (size_t pos = 0; pos < result.order.size(); ++pos) {
+      position[result.order[pos]] = static_cast<int>(pos);
+    }
+    for (uint32_t writer = 0; writer < graph.num_nodes(); ++writer) {
+      if (position[writer] < 0) continue;  // Aborted.
+      for (const uint32_t reader : graph.Children(writer)) {
+        if (position[reader] < 0) continue;
+        EXPECT_LT(position[reader], position[writer])
+            << "trial " << trial << ": T" << reader << " must commit before "
+            << "T" << writer;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fabricpp::ordering

@@ -1,0 +1,555 @@
+// Tests for src/ordering — the paper's core contribution. Includes the
+// worked examples of Tables 1-3 asserted exactly, plus randomized property
+// tests on the reorderer's invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ordering/batch_cutter.h"
+#include "ordering/conflict_graph.h"
+#include "ordering/early_abort.h"
+#include "ordering/johnson.h"
+#include "ordering/reorderer.h"
+#include "ordering/tarjan.h"
+#include "peer/validator.h"
+#include "workload/micro_sequences.h"
+
+namespace fabricpp::ordering {
+namespace {
+
+using workload::AsPointers;
+using workload::MakeCycleSequence;
+using workload::MakeShiftedReadWriteSequence;
+using workload::PaperTable1Transactions;
+using workload::PaperTable3Transactions;
+
+std::vector<proto::ReadWriteSet> RandomBatch(Rng& rng, uint32_t n,
+                                             uint32_t num_keys,
+                                             uint32_t reads_per_tx,
+                                             uint32_t writes_per_tx) {
+  std::vector<proto::ReadWriteSet> sets(n);
+  for (auto& set : sets) {
+    for (uint32_t i = 0; i < reads_per_tx; ++i) {
+      set.reads.push_back(
+          {StrFormat("k%llu",
+                     static_cast<unsigned long long>(rng.NextUint64(num_keys))),
+           proto::kNilVersion});
+    }
+    for (uint32_t i = 0; i < writes_per_tx; ++i) {
+      set.writes.push_back(
+          {StrFormat("k%llu",
+                     static_cast<unsigned long long>(rng.NextUint64(num_keys))),
+           "v", false});
+    }
+  }
+  return sets;
+}
+
+// --- ConflictGraph ---
+
+TEST(ConflictGraphTest, PaperTable3Edges) {
+  const auto txs = PaperTable3Transactions();
+  const ConflictGraph g = ConflictGraph::Build(AsPointers(txs));
+  ASSERT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_unique_keys(), 10u);
+  // Figure 3's conflict graph (edge i->j: Ti writes a key Tj reads).
+  EXPECT_TRUE(g.HasEdge(0, 3));   // T0 writes K2, T3 reads K2.
+  EXPECT_TRUE(g.HasEdge(3, 0));   // T3 writes K1, T0 reads K1.
+  EXPECT_TRUE(g.HasEdge(1, 0));   // T1 writes K0, T0 reads K0.
+  EXPECT_TRUE(g.HasEdge(3, 1));   // T3 writes K4, T1 reads K4.
+  EXPECT_TRUE(g.HasEdge(4, 1));   // T4 writes K5, T1 reads K5.
+  EXPECT_TRUE(g.HasEdge(2, 1));   // T2 writes K3, T1 reads K3.
+  EXPECT_TRUE(g.HasEdge(4, 2));   // T4 writes K6, T2 reads K6.
+  EXPECT_TRUE(g.HasEdge(5, 2));   // T5 writes K7, T2 reads K7.
+  EXPECT_TRUE(g.HasEdge(4, 3));   // T4 writes K8, T3 reads K8.
+  EXPECT_TRUE(g.HasEdge(2, 4));   // T2 writes K9, T4 reads K9.
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(5, 0));
+}
+
+TEST(ConflictGraphTest, NoSelfEdges) {
+  proto::ReadWriteSet set;
+  set.reads = {{"k", proto::kNilVersion}};
+  set.writes = {{"k", "v", false}};
+  const ConflictGraph g = ConflictGraph::Build({&set});
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ConflictGraphTest, ParentsMirrorChildren) {
+  Rng rng(3);
+  const auto sets = RandomBatch(rng, 50, 30, 3, 2);
+  const ConflictGraph g = ConflictGraph::Build(AsPointers(sets));
+  for (uint32_t i = 0; i < g.num_nodes(); ++i) {
+    for (const uint32_t j : g.Children(i)) {
+      const auto& parents = g.Parents(j);
+      EXPECT_TRUE(std::find(parents.begin(), parents.end(), i) !=
+                  parents.end());
+    }
+  }
+}
+
+TEST(ConflictGraphTest, SparseMatchesDenseConstruction) {
+  // The inverted-index build must produce exactly the paper's n^2
+  // bit-vector graph.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sets = RandomBatch(rng, 40, 20, 4, 2);
+    const ConflictGraph sparse = ConflictGraph::Build(AsPointers(sets));
+    const ConflictGraph dense = ConflictGraph::BuildDense(AsPointers(sets));
+    ASSERT_EQ(sparse.num_edges(), dense.num_edges()) << "trial " << trial;
+    for (uint32_t i = 0; i < sparse.num_nodes(); ++i) {
+      EXPECT_EQ(sparse.Children(i), dense.Children(i))
+          << "trial " << trial << " node " << i;
+    }
+  }
+}
+
+TEST(ConflictGraphTest, EmptyBatch) {
+  const ConflictGraph g = ConflictGraph::Build({});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// --- Tarjan ---
+
+TEST(TarjanTest, PaperTable3Sccs) {
+  // Figure 4: {T0, T1, T3} (green), {T2, T4} (red), {T5} (yellow).
+  const auto txs = PaperTable3Transactions();
+  const ConflictGraph g = ConflictGraph::Build(AsPointers(txs));
+  const auto sccs = StronglyConnectedComponents(
+      6, [&](uint32_t v) -> const std::vector<uint32_t>& {
+        return g.Children(v);
+      });
+  std::set<std::vector<uint32_t>> as_set(sccs.begin(), sccs.end());
+  EXPECT_TRUE(as_set.count({0, 1, 3}));
+  EXPECT_TRUE(as_set.count({2, 4}));
+  EXPECT_TRUE(as_set.count({5}));
+  EXPECT_EQ(sccs.size(), 3u);
+}
+
+TEST(TarjanTest, ChainHasOnlySingletons) {
+  const std::vector<std::vector<uint32_t>> adj = {{1}, {2}, {3}, {}};
+  const auto sccs = StronglyConnectedComponents(
+      4, [&](uint32_t v) -> const std::vector<uint32_t>& { return adj[v]; });
+  EXPECT_EQ(sccs.size(), 4u);
+  for (const auto& scc : sccs) EXPECT_EQ(scc.size(), 1u);
+}
+
+TEST(TarjanTest, FullCycleIsOneComponent) {
+  const std::vector<std::vector<uint32_t>> adj = {{1}, {2}, {0}};
+  const auto sccs = StronglyConnectedComponents(
+      3, [&](uint32_t v) -> const std::vector<uint32_t>& { return adj[v]; });
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0], (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(TarjanTest, HandlesLargeChainIteratively) {
+  // 100k-node chain would overflow a recursive implementation.
+  constexpr uint32_t kN = 100000;
+  std::vector<std::vector<uint32_t>> adj(kN);
+  for (uint32_t i = 0; i + 1 < kN; ++i) adj[i].push_back(i + 1);
+  const auto sccs = StronglyConnectedComponents(
+      kN, [&](uint32_t v) -> const std::vector<uint32_t>& { return adj[v]; });
+  EXPECT_EQ(sccs.size(), kN);
+}
+
+// --- Johnson ---
+
+TEST(JohnsonTest, PaperTable3Cycles) {
+  // The paper finds c1 = T0->T3->T0, c2 = T0->T3->T1->T0 in the first
+  // subgraph and c3 = T2->T4->T2 in the second.
+  const auto txs = PaperTable3Transactions();
+  const ConflictGraph g = ConflictGraph::Build(AsPointers(txs));
+  std::vector<std::vector<uint32_t>> adj(g.num_nodes());
+  for (uint32_t i = 0; i < g.num_nodes(); ++i) adj[i] = g.Children(i);
+
+  const auto green = FindElementaryCycles(adj, {0, 1, 3}, 1000);
+  EXPECT_FALSE(green.budget_exhausted);
+  ASSERT_EQ(green.cycles.size(), 2u);
+
+  const auto red = FindElementaryCycles(adj, {2, 4}, 1000);
+  ASSERT_EQ(red.cycles.size(), 1u);
+  EXPECT_EQ(red.cycles[0], (std::vector<uint32_t>{2, 4}));
+}
+
+TEST(JohnsonTest, CompleteGraphCycleCount) {
+  // K4 (complete digraph on 4 nodes) has 20 elementary cycles.
+  std::vector<std::vector<uint32_t>> adj(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      if (i != j) adj[i].push_back(j);
+    }
+  }
+  const auto result = FindElementaryCycles(adj, {0, 1, 2, 3}, 1000);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_EQ(result.cycles.size(), 20u);
+}
+
+TEST(JohnsonTest, BudgetStopsEnumeration) {
+  std::vector<std::vector<uint32_t>> adj(6);
+  for (uint32_t i = 0; i < 6; ++i) {
+    for (uint32_t j = 0; j < 6; ++j) {
+      if (i != j) adj[i].push_back(j);
+    }
+  }
+  const auto result = FindElementaryCycles(adj, {0, 1, 2, 3, 4, 5}, 10);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.cycles.size(), 10u);
+}
+
+TEST(JohnsonTest, AcyclicGraphHasNoCycles) {
+  const std::vector<std::vector<uint32_t>> adj = {{1, 2}, {2}, {}};
+  const auto result = FindElementaryCycles(adj, {0, 1, 2}, 100);
+  EXPECT_TRUE(result.cycles.empty());
+}
+
+TEST(JohnsonTest, CyclesAreElementary) {
+  Rng rng(17);
+  const auto sets = RandomBatch(rng, 30, 10, 2, 2);
+  const ConflictGraph g = ConflictGraph::Build(AsPointers(sets));
+  std::vector<std::vector<uint32_t>> adj(g.num_nodes());
+  for (uint32_t i = 0; i < g.num_nodes(); ++i) adj[i] = g.Children(i);
+  std::vector<uint32_t> all_nodes(g.num_nodes());
+  for (uint32_t i = 0; i < g.num_nodes(); ++i) all_nodes[i] = i;
+  const auto result = FindElementaryCycles(adj, all_nodes, 5000);
+  for (const auto& cycle : result.cycles) {
+    // No repeated node within one cycle.
+    std::set<uint32_t> unique(cycle.begin(), cycle.end());
+    EXPECT_EQ(unique.size(), cycle.size());
+    // Every consecutive pair (and the wrap-around) must be a real edge.
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const uint32_t from = cycle[i];
+      const uint32_t to = cycle[(i + 1) % cycle.size()];
+      EXPECT_TRUE(g.HasEdge(from, to))
+          << "missing edge " << from << "->" << to;
+    }
+  }
+}
+
+// --- Reorderer: paper examples ---
+
+TEST(ReordererTest, PaperWorkedExampleTable3) {
+  // §5.1.1: T0 and T2 are aborted; the final schedule is
+  // T5 => T1 => T3 => T4 (Algorithm 1, steps 1-5).
+  const auto txs = PaperTable3Transactions();
+  const ReorderResult result = ReorderTransactions(AsPointers(txs));
+  EXPECT_EQ(result.aborted, (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(result.order, (std::vector<uint32_t>{5, 1, 3, 4}));
+  EXPECT_EQ(result.stats.num_transactions, 6u);
+  EXPECT_EQ(result.stats.num_nontrivial_sccs, 2u);
+  EXPECT_EQ(result.stats.num_cycles_found, 3u);
+  EXPECT_FALSE(result.stats.fallback_used);
+}
+
+TEST(ReordererTest, PaperTable1BecomesConflictFree) {
+  // Table 1: arrival order T1 => T2 => T3 => T4 commits only T1. Table 2:
+  // there is an order in which all four commit; the reorderer must find
+  // one (readers of k1 before its writer).
+  const auto txs = PaperTable1Transactions();
+  const auto rwsets = AsPointers(txs);
+
+  const std::vector<uint32_t> arrival = {0, 1, 2, 3};
+  EXPECT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, arrival), 1u);
+
+  const ReorderResult result = ReorderTransactions(rwsets);
+  EXPECT_TRUE(result.aborted.empty());
+  EXPECT_EQ(result.order.size(), 4u);
+  EXPECT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, result.order), 4u);
+  // T1 (index 0) writes k1 that everyone reads: it must come last.
+  EXPECT_EQ(result.order.back(), 0u);
+}
+
+TEST(ReordererTest, EmptyAndTrivialBatches) {
+  EXPECT_TRUE(ReorderTransactions({}).order.empty());
+  proto::ReadWriteSet single;
+  single.writes = {{"k", "v", false}};
+  const ReorderResult result = ReorderTransactions({&single});
+  EXPECT_EQ(result.order, (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(result.aborted.empty());
+}
+
+TEST(ReordererTest, NoConflictsPreservesAllTransactions) {
+  std::vector<proto::ReadWriteSet> sets(10);
+  for (int i = 0; i < 10; ++i) {
+    sets[i].writes = {{StrFormat("k%d", i), "v", false}};
+  }
+  const ReorderResult result = ReorderTransactions(AsPointers(sets));
+  EXPECT_TRUE(result.aborted.empty());
+  EXPECT_EQ(result.order.size(), 10u);
+}
+
+TEST(ReordererTest, TwoCycleAbortsExactlyOne) {
+  // Ti reads a writes b; Tj reads b writes a: irreducible 2-cycle.
+  std::vector<proto::ReadWriteSet> sets(2);
+  sets[0].reads = {{"a", proto::kNilVersion}};
+  sets[0].writes = {{"b", "v", false}};
+  sets[1].reads = {{"b", proto::kNilVersion}};
+  sets[1].writes = {{"a", "v", false}};
+  const ReorderResult result = ReorderTransactions(AsPointers(sets));
+  EXPECT_EQ(result.aborted.size(), 1u);
+  EXPECT_EQ(result.order.size(), 1u);
+  // Deterministic tie-break: smallest index aborted.
+  EXPECT_EQ(result.aborted[0], 0u);
+}
+
+// --- Reorderer: properties ---
+
+TEST(ReordererTest, ScheduleIsAlwaysSerializable) {
+  // Core invariant: under a common snapshot, every scheduled transaction
+  // commits — the schedule has no internal read-write conflicts.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint32_t n = 20 + static_cast<uint32_t>(rng.NextUint64(80));
+    const uint32_t keys = 5 + static_cast<uint32_t>(rng.NextUint64(40));
+    const auto sets = RandomBatch(rng, n, keys, 3, 2);
+    const auto rwsets = AsPointers(sets);
+    const ReorderResult result = ReorderTransactions(rwsets);
+    EXPECT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, result.order),
+              result.order.size())
+        << "trial " << trial;
+  }
+}
+
+TEST(ReordererTest, OrderAndAbortedPartitionTheBatch) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto sets = RandomBatch(rng, 60, 15, 2, 2);
+    const ReorderResult result = ReorderTransactions(AsPointers(sets));
+    std::set<uint32_t> seen;
+    for (const uint32_t i : result.order) EXPECT_TRUE(seen.insert(i).second);
+    for (const uint32_t i : result.aborted) {
+      EXPECT_TRUE(seen.insert(i).second);
+    }
+    EXPECT_EQ(seen.size(), sets.size());
+  }
+}
+
+TEST(ReordererTest, DeterministicAcrossCalls) {
+  Rng rng(5);
+  const auto sets = RandomBatch(rng, 100, 20, 3, 3);
+  const ReorderResult a = ReorderTransactions(AsPointers(sets));
+  const ReorderResult b = ReorderTransactions(AsPointers(sets));
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.aborted, b.aborted);
+}
+
+TEST(ReordererTest, ReorderingNeverHurtsVersusArrivalOrder) {
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sets = RandomBatch(rng, 64, 24, 2, 2);
+    const auto rwsets = AsPointers(sets);
+    std::vector<uint32_t> arrival(sets.size());
+    for (uint32_t i = 0; i < sets.size(); ++i) arrival[i] = i;
+    const uint32_t arrival_valid =
+        peer::CountValidUnderCommonSnapshot(rwsets, arrival);
+    const ReorderResult result = ReorderTransactions(rwsets);
+    EXPECT_GE(result.order.size(), arrival_valid) << "trial " << trial;
+  }
+}
+
+TEST(ReordererTest, DenseHotBatchSurvivesWithFallback) {
+  // Adversarial: everyone reads and writes within 4 hot keys. The budget
+  // must trip, the fallback must run, and the result must stay valid.
+  Rng rng(777);
+  const auto sets = RandomBatch(rng, 128, 4, 2, 2);
+  const auto rwsets = AsPointers(sets);
+  ReorderConfig config;
+  config.max_cycles_per_round = 100;
+  config.max_rounds = 2;
+  const ReorderResult result = ReorderTransactions(rwsets, config);
+  EXPECT_EQ(result.order.size() + result.aborted.size(), sets.size());
+  EXPECT_FALSE(result.order.empty());
+  EXPECT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, result.order),
+            result.order.size());
+}
+
+TEST(ReordererTest, MicroShiftedSequenceFullyValid) {
+  // Appendix B.1 / Figure 15: reordering rescues all 1024 transactions for
+  // every shift, while under the arrival order every reader that follows
+  // its writer is invalid — valid = 512 + shift (the paper's rising line).
+  for (const uint32_t shift : {0u, 64u, 256u, 512u}) {
+    const auto sets = MakeShiftedReadWriteSequence(1024, shift);
+    const auto rwsets = AsPointers(sets);
+    std::vector<uint32_t> arrival(sets.size());
+    for (uint32_t i = 0; i < sets.size(); ++i) arrival[i] = i;
+    EXPECT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, arrival),
+              512u + shift)
+        << "shift " << shift;
+    const ReorderResult result = ReorderTransactions(rwsets);
+    EXPECT_TRUE(result.aborted.empty()) << "shift " << shift;
+    EXPECT_EQ(result.order.size(), 1024u);
+  }
+}
+
+TEST(ReordererTest, MicroCycleSequenceMatchesAppendixB2) {
+  // Appendix B.2 / Figure 16: the arrival order commits exactly half; the
+  // reorderer aborts ~one transaction per cycle.
+  for (const uint32_t cycle_len : {2u, 4u, 8u, 64u}) {
+    const uint32_t n = 512;
+    const auto sets = MakeCycleSequence(n, cycle_len);
+    const auto rwsets = AsPointers(sets);
+    std::vector<uint32_t> arrival(sets.size());
+    for (uint32_t i = 0; i < sets.size(); ++i) arrival[i] = i;
+    EXPECT_EQ(peer::CountValidUnderCommonSnapshot(rwsets, arrival), n / 2)
+        << "cycle_len " << cycle_len;
+    const ReorderResult result = ReorderTransactions(rwsets);
+    EXPECT_EQ(result.order.size(), n - n / cycle_len)
+        << "cycle_len " << cycle_len;
+  }
+}
+
+// --- ScheduleAcyclic in isolation ---
+
+TEST(ScheduleAcyclicTest, RespectsSubsetRestriction) {
+  const auto txs = PaperTable3Transactions();
+  const ConflictGraph g = ConflictGraph::Build(AsPointers(txs));
+  const std::vector<uint32_t> alive = {1, 3, 4, 5};
+  const auto order = ScheduleAcyclic(g, alive);
+  EXPECT_EQ(order, (std::vector<uint32_t>{5, 1, 3, 4}));
+}
+
+// --- BatchCutter ---
+
+proto::Transaction TxWithKeys(const std::string& read_key,
+                              const std::string& write_key) {
+  proto::Transaction tx;
+  tx.rwset.reads = {{read_key, proto::kNilVersion}};
+  tx.rwset.writes = {{write_key, "v", false}};
+  return tx;
+}
+
+TEST(BatchCutterTest, CutsOnTransactionCount) {
+  BatchCutConfig config;
+  config.max_transactions = 3;
+  BatchCutter cutter(config);
+  EXPECT_FALSE(cutter.Add(TxWithKeys("a", "b")).has_value());
+  EXPECT_FALSE(cutter.Add(TxWithKeys("c", "d")).has_value());
+  const auto batch = cutter.Add(TxWithKeys("e", "f"));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->reason, CutReason::kTransactionCount);
+  EXPECT_EQ(batch->transactions.size(), 3u);
+  EXPECT_EQ(cutter.pending_transactions(), 0u);
+}
+
+TEST(BatchCutterTest, CutsOnBytes) {
+  BatchCutConfig config;
+  config.max_transactions = 1000;
+  config.max_bytes = 200;
+  BatchCutter cutter(config);
+  std::optional<Batch> batch;
+  int added = 0;
+  while (!batch.has_value() && added < 100) {
+    batch = cutter.Add(TxWithKeys("key_" + std::to_string(added), "w"));
+    ++added;
+  }
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->reason, CutReason::kBytes);
+}
+
+TEST(BatchCutterTest, CutsOnUniqueKeys) {
+  // Condition (d) — the Fabric++ extension (§5.1.2).
+  BatchCutConfig config;
+  config.max_transactions = 1000;
+  config.max_unique_keys = 4;
+  BatchCutter cutter(config);
+  EXPECT_FALSE(cutter.Add(TxWithKeys("a", "b")).has_value());
+  EXPECT_EQ(cutter.pending_unique_keys(), 2u);
+  const auto batch = cutter.Add(TxWithKeys("c", "d"));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->reason, CutReason::kUniqueKeys);
+}
+
+TEST(BatchCutterTest, UniqueKeysDisabledInVanilla) {
+  BatchCutConfig config;
+  config.max_transactions = 1000;
+  config.max_unique_keys = 0;
+  BatchCutter cutter(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(cutter
+                     .Add(TxWithKeys("r" + std::to_string(i),
+                                     "w" + std::to_string(i)))
+                     .has_value());
+  }
+}
+
+TEST(BatchCutterTest, DuplicateKeysCountOnce) {
+  BatchCutConfig config;
+  config.max_unique_keys = 3;
+  BatchCutter cutter(config);
+  EXPECT_FALSE(cutter.Add(TxWithKeys("a", "a")).has_value());
+  EXPECT_EQ(cutter.pending_unique_keys(), 1u);
+  EXPECT_FALSE(cutter.Add(TxWithKeys("a", "b")).has_value());
+  EXPECT_EQ(cutter.pending_unique_keys(), 2u);
+}
+
+TEST(BatchCutterTest, FlushEmptyReturnsNothing) {
+  BatchCutter cutter(BatchCutConfig{});
+  EXPECT_FALSE(cutter.Flush().has_value());
+}
+
+TEST(BatchCutterTest, FlushReturnsTimeoutReason) {
+  BatchCutter cutter(BatchCutConfig{});
+  (void)cutter.Add(TxWithKeys("a", "b"));
+  const auto batch = cutter.Flush();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->reason, CutReason::kTimeout);
+  EXPECT_EQ(batch->transactions.size(), 1u);
+  EXPECT_EQ(cutter.pending_bytes(), 0u);
+  EXPECT_EQ(cutter.pending_unique_keys(), 0u);
+}
+
+// --- Within-block version-skew early abort (§5.2.2) ---
+
+TEST(EarlyAbortTest, OlderVersionLoses) {
+  // The paper's corrected example: T6 read k at v1, T7 read k at v2 — the
+  // *older* reader (T6) aborts.
+  std::vector<proto::ReadWriteSet> sets(2);
+  sets[0].reads = {{"k", proto::Version{1, 0}}};  // T6.
+  sets[1].reads = {{"k", proto::Version{2, 0}}};  // T7.
+  const auto aborts = FindVersionSkewAborts(AsPointers(sets));
+  EXPECT_EQ(aborts, (std::vector<uint32_t>{0}));
+}
+
+TEST(EarlyAbortTest, EqualVersionsNoAbort) {
+  std::vector<proto::ReadWriteSet> sets(3);
+  for (auto& set : sets) set.reads = {{"k", proto::Version{4, 2}}};
+  EXPECT_TRUE(FindVersionSkewAborts(AsPointers(sets)).empty());
+}
+
+TEST(EarlyAbortTest, TxNumBreaksTies) {
+  std::vector<proto::ReadWriteSet> sets(2);
+  sets[0].reads = {{"k", proto::Version{3, 1}}};
+  sets[1].reads = {{"k", proto::Version{3, 4}}};
+  const auto aborts = FindVersionSkewAborts(AsPointers(sets));
+  EXPECT_EQ(aborts, (std::vector<uint32_t>{0}));
+}
+
+TEST(EarlyAbortTest, MultipleKeysAnyStaleKills) {
+  std::vector<proto::ReadWriteSet> sets(2);
+  sets[0].reads = {{"a", proto::Version{5, 0}}, {"b", proto::Version{1, 0}}};
+  sets[1].reads = {{"b", proto::Version{2, 0}}};
+  const auto aborts = FindVersionSkewAborts(AsPointers(sets));
+  EXPECT_EQ(aborts, (std::vector<uint32_t>{0}));
+}
+
+TEST(EarlyAbortTest, DisjointKeysNoAborts) {
+  std::vector<proto::ReadWriteSet> sets(4);
+  for (int i = 0; i < 4; ++i) {
+    sets[i].reads = {{"k" + std::to_string(i),
+                      proto::Version{static_cast<uint64_t>(i), 0}}};
+  }
+  EXPECT_TRUE(FindVersionSkewAborts(AsPointers(sets)).empty());
+}
+
+TEST(EarlyAbortTest, CutReasonNames) {
+  EXPECT_EQ(CutReasonToString(CutReason::kTransactionCount),
+            "TRANSACTION_COUNT");
+  EXPECT_EQ(CutReasonToString(CutReason::kUniqueKeys), "UNIQUE_KEYS");
+}
+
+}  // namespace
+}  // namespace fabricpp::ordering

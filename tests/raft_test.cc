@@ -1,0 +1,199 @@
+// Tests for src/raft: leader election, log replication, commit safety,
+// leader failure + re-election, log repair, and randomized agreement
+// checking — all inside the deterministic simulation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "raft/raft_node.h"
+#include "sim/environment.h"
+
+namespace fabricpp::raft {
+namespace {
+
+Bytes Payload(const std::string& s) { return Bytes(s.begin(), s.end()); }
+std::string AsString(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+class RaftFixture : public ::testing::Test {
+ protected:
+  void Build(uint32_t nodes, uint64_t seed = 7) {
+    cluster_ = std::make_unique<RaftCluster>(&env_, nodes, seed);
+    cluster_->Start();
+  }
+
+  /// Runs until a leader exists (or the deadline passes).
+  std::optional<uint32_t> AwaitLeader(sim::SimTime deadline_extra =
+                                          5 * sim::kSecond) {
+    const sim::SimTime deadline = env_.Now() + deadline_extra;
+    while (env_.Now() < deadline) {
+      const auto leader = cluster_->FindLeader();
+      if (leader.has_value()) return leader;
+      if (!env_.Step()) break;
+    }
+    return cluster_->FindLeader();
+  }
+
+  sim::Environment env_;
+  std::unique_ptr<RaftCluster> cluster_;
+};
+
+TEST_F(RaftFixture, ElectsExactlyOneLeader) {
+  Build(3);
+  const auto leader = AwaitLeader();
+  ASSERT_TRUE(leader.has_value());
+  env_.RunUntil(env_.Now() + 2 * sim::kSecond);
+  uint32_t leaders_in_max_term = 0;
+  uint64_t max_term = 0;
+  for (uint32_t i = 0; i < 3; ++i) {
+    max_term = std::max(max_term, cluster_->node(i).current_term());
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    if (cluster_->node(i).role() == Role::kLeader &&
+        cluster_->node(i).current_term() == max_term) {
+      ++leaders_in_max_term;
+    }
+  }
+  EXPECT_EQ(leaders_in_max_term, 1u);
+}
+
+TEST_F(RaftFixture, SingleNodeClusterLeadsImmediately) {
+  Build(1);
+  const auto leader = AwaitLeader();
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_TRUE(cluster_->Propose(Payload("solo")));
+  env_.RunUntil(env_.Now() + sim::kSecond);
+  EXPECT_EQ(cluster_->node(0).commit_index(), 1u);
+}
+
+TEST_F(RaftFixture, ReplicatesAndCommitsOnAllNodes) {
+  Build(3);
+  std::map<uint32_t, std::vector<std::string>> committed;
+  for (uint32_t i = 0; i < 3; ++i) {
+    cluster_->node(i).set_commit_callback(
+        [&committed, i](uint64_t, const Bytes& payload) {
+          committed[i].push_back(AsString(payload));
+        });
+  }
+  ASSERT_TRUE(AwaitLeader().has_value());
+  EXPECT_TRUE(cluster_->Propose(Payload("block-1")));
+  EXPECT_TRUE(cluster_->Propose(Payload("block-2")));
+  EXPECT_TRUE(cluster_->Propose(Payload("block-3")));
+  env_.RunUntil(env_.Now() + 2 * sim::kSecond);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(committed[i],
+              (std::vector<std::string>{"block-1", "block-2", "block-3"}))
+        << "node " << i;
+  }
+}
+
+TEST_F(RaftFixture, LeaderFailureTriggersReElection) {
+  Build(5);
+  const auto first = AwaitLeader();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(cluster_->Propose(Payload("pre-crash")));
+  env_.RunUntil(env_.Now() + sim::kSecond);
+
+  cluster_->node(*first).Stop();
+  const auto second = AwaitLeader(10 * sim::kSecond);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+
+  // The new leader still serves proposals; majorities of 4/5 remain.
+  EXPECT_TRUE(cluster_->Propose(Payload("post-crash")));
+  env_.RunUntil(env_.Now() + 2 * sim::kSecond);
+  uint32_t nodes_with_both = 0;
+  for (uint32_t i = 0; i < 5; ++i) {
+    if (i == *first) continue;
+    if (cluster_->node(i).commit_index() >= 2) ++nodes_with_both;
+  }
+  EXPECT_GE(nodes_with_both, 3u);
+}
+
+TEST_F(RaftFixture, StoppedNodeCatchesUpAfterResume) {
+  Build(3);
+  const auto leader = AwaitLeader();
+  ASSERT_TRUE(leader.has_value());
+  const uint32_t victim = (*leader + 1) % 3;
+  cluster_->node(victim).Stop();
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster_->Propose(Payload("entry-" + std::to_string(i))));
+  }
+  env_.RunUntil(env_.Now() + 2 * sim::kSecond);
+  EXPECT_EQ(cluster_->node(victim).log().size(), 0u);
+
+  cluster_->node(victim).Resume();
+  env_.RunUntil(env_.Now() + 3 * sim::kSecond);
+  // Log repair must have replicated all five entries.
+  EXPECT_EQ(cluster_->node(victim).log().size(), 5u);
+  EXPECT_EQ(cluster_->node(victim).commit_index(), 5u);
+}
+
+TEST_F(RaftFixture, CommitOrderIdenticalEverywhere) {
+  // Randomized agreement check: propose many entries with occasional
+  // leader crashes; all live nodes must apply the same sequence.
+  Build(3, /*seed=*/21);
+  std::map<uint32_t, std::vector<std::string>> committed;
+  for (uint32_t i = 0; i < 3; ++i) {
+    cluster_->node(i).set_commit_callback(
+        [&committed, i](uint64_t, const Bytes& payload) {
+          committed[i].push_back(AsString(payload));
+        });
+  }
+  ASSERT_TRUE(AwaitLeader().has_value());
+  int accepted = 0;
+  for (int round = 0; round < 50; ++round) {
+    if (cluster_->Propose(Payload("e" + std::to_string(round)))) ++accepted;
+    env_.RunUntil(env_.Now() + 100 * sim::kMillisecond);
+    if (round == 25) {
+      const auto leader = cluster_->FindLeader();
+      if (leader.has_value()) {
+        cluster_->node(*leader).Stop();
+        AwaitLeader(10 * sim::kSecond);
+        cluster_->node(*leader).Resume();
+      }
+    }
+  }
+  env_.RunUntil(env_.Now() + 3 * sim::kSecond);
+  ASSERT_GT(accepted, 30);
+  // Prefix agreement: every pair of nodes agrees on the common prefix.
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint32_t b = a + 1; b < 3; ++b) {
+      const size_t common =
+          std::min(committed[a].size(), committed[b].size());
+      for (size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(committed[a][i], committed[b][i])
+            << "nodes " << a << "/" << b << " diverge at " << i;
+      }
+    }
+  }
+  // And everything the leader committed reached everyone eventually.
+  EXPECT_EQ(committed[0].size(), committed[1].size());
+  EXPECT_EQ(committed[1].size(), committed[2].size());
+}
+
+TEST_F(RaftFixture, ProposeFailsWithoutLeader) {
+  Build(3);
+  ASSERT_TRUE(AwaitLeader().has_value());
+  for (uint32_t i = 0; i < 3; ++i) cluster_->node(i).Stop();
+  EXPECT_FALSE(cluster_->Propose(Payload("nobody-home")));
+}
+
+TEST_F(RaftFixture, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    sim::Environment env;
+    RaftCluster cluster(&env, 3, seed);
+    cluster.Start();
+    env.RunUntil(2 * sim::kSecond);
+    std::vector<uint64_t> terms;
+    for (uint32_t i = 0; i < 3; ++i) {
+      terms.push_back(cluster.node(i).current_term());
+    }
+    return std::make_pair(cluster.FindLeader(), terms);
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+}  // namespace
+}  // namespace fabricpp::raft

@@ -1,0 +1,201 @@
+// Tests for src/sim: event queue semantics, resource queueing, network
+// latency/bandwidth model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+
+namespace fabricpp::sim {
+namespace {
+
+TEST(EnvironmentTest, EventsRunInTimeOrder) {
+  Environment env;
+  std::vector<int> order;
+  env.Schedule(30, [&] { order.push_back(3); });
+  env.Schedule(10, [&] { order.push_back(1); });
+  env.Schedule(20, [&] { order.push_back(2); });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.Now(), 30u);
+}
+
+TEST(EnvironmentTest, TiesBreakFifo) {
+  Environment env;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    env.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EnvironmentTest, NestedScheduling) {
+  Environment env;
+  SimTime inner_time = 0;
+  env.Schedule(10, [&] {
+    env.Schedule(5, [&] { inner_time = env.Now(); });
+  });
+  env.Run();
+  EXPECT_EQ(inner_time, 15u);
+}
+
+TEST(EnvironmentTest, PastEventsClampToNow) {
+  Environment env;
+  env.Schedule(100, [&] {
+    env.ScheduleAt(50, [&] { EXPECT_EQ(env.Now(), 100u); });
+  });
+  env.Run();
+  EXPECT_EQ(env.Now(), 100u);
+}
+
+TEST(EnvironmentTest, RunUntilStopsAndAdvancesClock) {
+  Environment env;
+  int fired = 0;
+  env.Schedule(10, [&] { ++fired; });
+  env.Schedule(100, [&] { ++fired; });
+  env.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(env.Now(), 50u);
+  EXPECT_EQ(env.PendingEvents(), 1u);
+  env.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EnvironmentTest, StepExecutesOne) {
+  Environment env;
+  int fired = 0;
+  env.Schedule(1, [&] { ++fired; });
+  env.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(env.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(env.Step());
+  EXPECT_FALSE(env.Step());
+  EXPECT_EQ(env.executed_events(), 2u);
+}
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Environment env;
+  Resource cpu(&env, "cpu", 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Submit(100, [&] { completions.push_back(env.Now()); });
+  }
+  env.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(cpu.jobs_completed(), 3u);
+}
+
+TEST(ResourceTest, MultiServerParallelizes) {
+  Environment env;
+  Resource cpu(&env, "cpu", 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(100, [&] { completions.push_back(env.Now()); });
+  }
+  env.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 100, 200, 200}));
+}
+
+TEST(ResourceTest, FifoOrderPreserved) {
+  Environment env;
+  Resource cpu(&env, "cpu", 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    cpu.Submit(10 * (5 - i), [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ResourceTest, UtilizationReflectsBusyTime) {
+  Environment env;
+  Resource cpu(&env, "cpu", 1);
+  cpu.Submit(500, [] {});
+  env.Run();
+  env.RunUntil(1000);
+  EXPECT_NEAR(cpu.Utilization(), 0.5, 1e-9);
+}
+
+TEST(ResourceTest, LateSubmissionFindsFreeServer) {
+  Environment env;
+  Resource cpu(&env, "cpu", 1);
+  SimTime done = 0;
+  env.Schedule(1000, [&] {
+    cpu.Submit(50, [&] { done = env.Now(); });
+  });
+  env.Run();
+  EXPECT_EQ(done, 1050u);
+}
+
+TEST(NetworkTest, LatencyOnlyForTinyMessage) {
+  Environment env;
+  NetworkParams params;
+  params.latency = 150;
+  params.bandwidth_bytes_per_us = 125.0;
+  Network net(&env, params);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  SimTime delivered = 0;
+  net.Send(a, b, 0, [&] { delivered = env.Now(); });
+  env.Run();
+  EXPECT_EQ(delivered, 150u);
+}
+
+TEST(NetworkTest, TransmissionTimeScalesWithSize) {
+  Environment env;
+  NetworkParams params;
+  params.latency = 0;
+  params.bandwidth_bytes_per_us = 125.0;  // 1 Gbit/s.
+  Network net(&env, params);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  SimTime delivered = 0;
+  net.Send(a, b, 125000, [&] { delivered = env.Now(); });  // 125 KB.
+  env.Run();
+  EXPECT_EQ(delivered, 1000u);  // 1 ms at 1 Gbit/s.
+}
+
+TEST(NetworkTest, EgressSerializesSends) {
+  // Two back-to-back sends from one node share the NIC: the second is
+  // delayed by the first's transmission time.
+  Environment env;
+  NetworkParams params;
+  params.latency = 100;
+  params.bandwidth_bytes_per_us = 100.0;
+  Network net(&env, params);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  const NodeId c = net.AddNode("c");
+  std::vector<SimTime> deliveries;
+  net.Send(a, b, 10000, [&] { deliveries.push_back(env.Now()); });
+  net.Send(a, c, 10000, [&] { deliveries.push_back(env.Now()); });
+  env.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 200u);  // 100 us tx + 100 us latency.
+  EXPECT_EQ(deliveries[1], 300u);  // Queued behind the first transmission.
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 20000u);
+}
+
+TEST(NetworkTest, DistinctSendersDoNotInterfere) {
+  Environment env;
+  NetworkParams params;
+  params.latency = 10;
+  params.bandwidth_bytes_per_us = 100.0;
+  Network net(&env, params);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  const NodeId c = net.AddNode("c");
+  std::vector<SimTime> deliveries;
+  net.Send(a, c, 1000, [&] { deliveries.push_back(env.Now()); });
+  net.Send(b, c, 1000, [&] { deliveries.push_back(env.Now()); });
+  env.Run();
+  EXPECT_EQ(deliveries[0], deliveries[1]);  // Parallel egress paths.
+}
+
+}  // namespace
+}  // namespace fabricpp::sim

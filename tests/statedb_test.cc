@@ -1,0 +1,590 @@
+// Tests for src/statedb, src/ledger, src/chaincode (TxContext + built-in
+// contracts).
+
+#include <gtest/gtest.h>
+
+#include "chaincode/builtin_chaincodes.h"
+#include "chaincode/chaincode.h"
+#include "chaincode/tx_context.h"
+#include "ledger/ledger.h"
+#include "statedb/state_db.h"
+
+namespace fabricpp {
+namespace {
+
+using chaincode::TxContext;
+using proto::Version;
+using statedb::StateDb;
+
+// --- StateDb ---
+
+TEST(StateDbTest, MissingKeyNotFound) {
+  StateDb db;
+  EXPECT_EQ(db.Get("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.GetVersion("nope"), proto::kNilVersion);
+}
+
+TEST(StateDbTest, SeedInitialStateHasNilVersion) {
+  StateDb db;
+  db.SeedInitialState("k", "v");
+  const auto vv = db.Get("k");
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv->value, "v");
+  EXPECT_EQ(vv->version, proto::kNilVersion);
+}
+
+TEST(StateDbTest, ApplyWritesBumpsVersions) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  db.ApplyWrites({{"a", "2", false}, {"b", "9", false}}, Version{5, 3});
+  EXPECT_EQ(db.Get("a")->value, "2");
+  EXPECT_EQ(db.GetVersion("a"), (Version{5, 3}));
+  EXPECT_EQ(db.GetVersion("b"), (Version{5, 3}));
+  EXPECT_EQ(db.NumKeys(), 2u);
+}
+
+TEST(StateDbTest, DeleteRemovesKey) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  db.ApplyWrites({{"a", "", true}}, Version{1, 0});
+  EXPECT_FALSE(db.Get("a").ok());
+  EXPECT_EQ(db.GetVersion("a"), proto::kNilVersion);
+}
+
+TEST(StateDbTest, LastCommittedBlockTracked) {
+  StateDb db;
+  EXPECT_EQ(db.last_committed_block(), 0u);
+  db.set_last_committed_block(12);
+  EXPECT_EQ(db.last_committed_block(), 12u);
+}
+
+TEST(StateDbTest, ForEachVisitsAll) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  db.SeedInitialState("b", "2");
+  int count = 0;
+  db.ForEach([&](const std::string&, const statedb::VersionedValue&) {
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+// --- Ledger ---
+
+proto::Transaction MakeTx(const std::string& id) {
+  proto::Transaction tx;
+  tx.tx_id = id;
+  return tx;
+}
+
+ledger::StoredBlock NextBlock(const ledger::Ledger& ledger,
+                              std::vector<proto::Transaction> txs) {
+  ledger::StoredBlock stored;
+  stored.block.header.number = ledger.Height();
+  stored.block.header.previous_hash = ledger.LastHash();
+  stored.block.transactions = std::move(txs);
+  stored.block.SealDataHash();
+  stored.validation_codes.assign(stored.block.transactions.size(),
+                                 proto::TxValidationCode::kValid);
+  return stored;
+}
+
+TEST(LedgerTest, StartsWithGenesis) {
+  ledger::Ledger ledger;
+  EXPECT_EQ(ledger.Height(), 1u);
+  EXPECT_TRUE(ledger.VerifyChain().ok());
+}
+
+TEST(LedgerTest, AppendAndRetrieve) {
+  ledger::Ledger ledger;
+  ASSERT_TRUE(ledger.Append(NextBlock(ledger, {MakeTx("t1"), MakeTx("t2")}))
+                  .ok());
+  EXPECT_EQ(ledger.Height(), 2u);
+  const auto block = ledger.GetBlock(1);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->block.transactions.size(), 2u);
+  const auto loc = ledger.FindTransaction("t2");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->first, 1u);
+  EXPECT_EQ(loc->second, 1u);
+  EXPECT_TRUE(ledger.VerifyChain().ok());
+}
+
+TEST(LedgerTest, InvalidTransactionsAreStoredToo) {
+  // Paper §2.2.4: the ledger contains both valid and invalid transactions.
+  ledger::Ledger ledger;
+  ledger::StoredBlock stored = NextBlock(ledger, {MakeTx("ok"), MakeTx("bad")});
+  stored.validation_codes[1] = proto::TxValidationCode::kMvccConflict;
+  ASSERT_TRUE(ledger.Append(std::move(stored)).ok());
+  EXPECT_EQ(ledger.TotalTransactions(), 2u);
+  EXPECT_EQ(ledger.TotalValidTransactions(), 1u);
+  EXPECT_EQ(*ledger.GetValidationCode("bad"),
+            proto::TxValidationCode::kMvccConflict);
+}
+
+TEST(LedgerTest, RejectsWrongNumber) {
+  ledger::Ledger ledger;
+  ledger::StoredBlock stored = NextBlock(ledger, {});
+  stored.block.header.number = 5;
+  stored.block.SealDataHash();
+  EXPECT_EQ(ledger.Append(std::move(stored)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LedgerTest, RejectsBrokenHashLink) {
+  ledger::Ledger ledger;
+  ledger::StoredBlock stored = NextBlock(ledger, {});
+  stored.block.header.previous_hash.fill(0xee);
+  EXPECT_FALSE(ledger.Append(std::move(stored)).ok());
+}
+
+TEST(LedgerTest, RejectsDataHashMismatch) {
+  ledger::Ledger ledger;
+  ledger::StoredBlock stored = NextBlock(ledger, {MakeTx("t")});
+  stored.block.transactions[0].client = "tampered-after-seal";
+  EXPECT_FALSE(ledger.Append(std::move(stored)).ok());
+}
+
+TEST(LedgerTest, RejectsCodeCountMismatch) {
+  ledger::Ledger ledger;
+  ledger::StoredBlock stored = NextBlock(ledger, {MakeTx("t")});
+  stored.validation_codes.clear();
+  EXPECT_EQ(ledger.Append(std::move(stored)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LedgerTest, GetBlockOutOfRange) {
+  ledger::Ledger ledger;
+  EXPECT_EQ(ledger.GetBlock(9).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ledger.FindTransaction("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- TxContext ---
+
+TEST(TxContextTest, RecordsReadsWithVersions) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  db.ApplyWrites({{"b", "2", false}}, Version{3, 7});
+  TxContext ctx(&db, 3, false);
+  EXPECT_EQ(*ctx.GetState("a"), "1");
+  EXPECT_EQ(*ctx.GetState("b"), "2");
+  const auto& rwset = ctx.rwset();
+  ASSERT_EQ(rwset.reads.size(), 2u);
+  EXPECT_EQ(rwset.reads[0].version, proto::kNilVersion);
+  EXPECT_EQ(rwset.reads[1].version, (Version{3, 7}));
+}
+
+TEST(TxContextTest, MissingReadRecordedWithNilVersion) {
+  StateDb db;
+  TxContext ctx(&db, 0, false);
+  EXPECT_EQ(ctx.GetState("ghost").status().code(), StatusCode::kNotFound);
+  ASSERT_EQ(ctx.rwset().reads.size(), 1u);
+  EXPECT_EQ(ctx.rwset().reads[0].version, proto::kNilVersion);
+}
+
+TEST(TxContextTest, DuplicateReadRecordedOnce) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  TxContext ctx(&db, 0, false);
+  (void)ctx.GetState("a");
+  (void)ctx.GetState("a");
+  EXPECT_EQ(ctx.rwset().reads.size(), 1u);
+}
+
+TEST(TxContextTest, WritesAreBufferedNotApplied) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  TxContext ctx(&db, 0, false);
+  ctx.PutState("a", "2");
+  EXPECT_EQ(db.Get("a")->value, "1");  // Simulation never touches state.
+  ASSERT_EQ(ctx.rwset().writes.size(), 1u);
+  EXPECT_EQ(ctx.rwset().writes[0].value, "2");
+}
+
+TEST(TxContextTest, ReadYourOwnWrite) {
+  StateDb db;
+  db.SeedInitialState("a", "old");
+  TxContext ctx(&db, 0, false);
+  ctx.PutState("a", "new");
+  EXPECT_EQ(*ctx.GetState("a"), "new");
+  // No read recorded for an own-write access.
+  EXPECT_TRUE(ctx.rwset().reads.empty());
+}
+
+TEST(TxContextTest, ReadAfterOwnDeleteIsNotFound) {
+  StateDb db;
+  db.SeedInitialState("a", "x");
+  TxContext ctx(&db, 0, false);
+  ctx.DeleteState("a");
+  EXPECT_EQ(ctx.GetState("a").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TxContextTest, LastWritePerKeyWins) {
+  StateDb db;
+  TxContext ctx(&db, 0, false);
+  ctx.PutState("a", "1");
+  ctx.PutState("a", "2");
+  ASSERT_EQ(ctx.rwset().writes.size(), 1u);
+  EXPECT_EQ(ctx.rwset().writes[0].value, "2");
+  ctx.DeleteState("a");
+  ASSERT_EQ(ctx.rwset().writes.size(), 1u);
+  EXPECT_TRUE(ctx.rwset().writes[0].is_delete);
+}
+
+TEST(TxContextTest, StaleCheckDetectsNewerBlock) {
+  // Paper §5.2.1 / Figure 6: a read observing a version from a block newer
+  // than the simulation snapshot aborts with kStaleRead.
+  StateDb db;
+  db.ApplyWrites({{"balB", "100", false}}, Version{5, 0});
+  TxContext ctx(&db, /*snapshot_block=*/4, /*stale_check_enabled=*/true);
+  EXPECT_EQ(ctx.GetState("balB").status().code(), StatusCode::kStaleRead);
+}
+
+TEST(TxContextTest, StaleCheckAcceptsOlderBlock) {
+  StateDb db;
+  db.ApplyWrites({{"balA", "70", false}}, Version{4, 0});
+  TxContext ctx(&db, 4, true);
+  EXPECT_EQ(*ctx.GetState("balA"), "70");
+}
+
+TEST(TxContextTest, StaleCheckDisabledReadsThrough) {
+  StateDb db;
+  db.ApplyWrites({{"k", "v", false}}, Version{9, 0});
+  TxContext ctx(&db, 1, false);
+  EXPECT_TRUE(ctx.GetState("k").ok());  // Vanilla: no early detection.
+}
+
+TEST(TxContextTest, IntHelpers) {
+  StateDb db;
+  db.SeedInitialState("n", "41");
+  TxContext ctx(&db, 0, false);
+  EXPECT_EQ(*ctx.GetInt("n"), 41);
+  ctx.PutInt("n", 42);
+  EXPECT_EQ(*ctx.GetInt("n"), 42);
+  db.SeedInitialState("junk", "abc");
+  EXPECT_EQ(ctx.GetInt("junk").status().code(), StatusCode::kInternal);
+}
+
+// --- Built-in chaincodes ---
+
+class ChaincodeFixture : public ::testing::Test {
+ protected:
+  ChaincodeFixture() : registry_(chaincode::ChaincodeRegistry::WithBuiltins()) {}
+
+  Status Invoke(const std::string& name, std::vector<std::string> args,
+                proto::ReadWriteSet* out = nullptr) {
+    const auto contract = registry_->Get(name);
+    if (!contract.ok()) return contract.status();
+    TxContext ctx(&db_, db_.last_committed_block(), false);
+    const Status status = (*contract)->Invoke(ctx, args);
+    if (out != nullptr) *out = ctx.TakeRwSet();
+    return status;
+  }
+
+  /// Applies a successful invocation's writes (mini-commit for tests).
+  Status Apply(const std::string& name, std::vector<std::string> args) {
+    proto::ReadWriteSet rwset;
+    FABRICPP_RETURN_IF_ERROR(Invoke(name, std::move(args), &rwset));
+    next_version_.tx_num++;
+    db_.ApplyWrites(rwset.writes, next_version_);
+    return Status::OK();
+  }
+
+  statedb::StateDb db_;
+  proto::Version next_version_{1, 0};
+  std::unique_ptr<chaincode::ChaincodeRegistry> registry_;
+};
+
+TEST_F(ChaincodeFixture, RegistryLookup) {
+  EXPECT_TRUE(registry_->Get("smallbank").ok());
+  EXPECT_TRUE(registry_->Get("blank").ok());
+  EXPECT_EQ(registry_->Get("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ChaincodeFixture, RegistryRejectsDuplicates) {
+  EXPECT_EQ(registry_->Register(std::make_unique<chaincode::BlankChaincode>())
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ChaincodeFixture, BlankHasNoEffects) {
+  proto::ReadWriteSet rwset;
+  EXPECT_TRUE(Invoke("blank", {}, &rwset).ok());
+  EXPECT_TRUE(rwset.reads.empty());
+  EXPECT_TRUE(rwset.writes.empty());
+}
+
+TEST_F(ChaincodeFixture, KvPutGetDel) {
+  EXPECT_TRUE(Apply("kv", {"put", "name", "fabric"}).ok());
+  EXPECT_EQ(db_.Get("name")->value, "fabric");
+  proto::ReadWriteSet rwset;
+  EXPECT_TRUE(Invoke("kv", {"get", "name"}, &rwset).ok());
+  EXPECT_EQ(rwset.reads.size(), 1u);
+  EXPECT_TRUE(Apply("kv", {"del", "name"}).ok());
+  EXPECT_FALSE(db_.Get("name").ok());
+}
+
+TEST_F(ChaincodeFixture, KvRejectsBadArgs) {
+  EXPECT_EQ(Invoke("kv", {}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Invoke("kv", {"put", "only-key"}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Invoke("kv", {"zap", "k"}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ChaincodeFixture, AssetTransferMovesFunds) {
+  ASSERT_TRUE(Apply("asset_transfer", {"open", "A", "100"}).ok());
+  ASSERT_TRUE(Apply("asset_transfer", {"open", "B", "50"}).ok());
+  ASSERT_TRUE(Apply("asset_transfer", {"transfer", "A", "B", "30"}).ok());
+  EXPECT_EQ(db_.Get("bal_A")->value, "70");
+  EXPECT_EQ(db_.Get("bal_B")->value, "80");
+}
+
+TEST_F(ChaincodeFixture, AssetTransferInsufficientFunds) {
+  ASSERT_TRUE(Apply("asset_transfer", {"open", "A", "10"}).ok());
+  ASSERT_TRUE(Apply("asset_transfer", {"open", "B", "0"}).ok());
+  EXPECT_EQ(Invoke("asset_transfer", {"transfer", "A", "B", "30"}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ChaincodeFixture, SmallbankOperations) {
+  ASSERT_TRUE(Apply("smallbank", {"deposit_checking", "1", "100"}).ok());
+  ASSERT_TRUE(Apply("smallbank", {"transact_savings", "1", "200"}).ok());
+  EXPECT_EQ(db_.Get("c_1")->value, "100");
+  EXPECT_EQ(db_.Get("s_1")->value, "200");
+
+  ASSERT_TRUE(Apply("smallbank", {"send_payment", "1", "2", "40"}).ok());
+  EXPECT_EQ(db_.Get("c_1")->value, "60");
+  EXPECT_EQ(db_.Get("c_2")->value, "40");
+
+  ASSERT_TRUE(Apply("smallbank", {"write_check", "1", "10"}).ok());
+  EXPECT_EQ(db_.Get("c_1")->value, "50");
+
+  ASSERT_TRUE(Apply("smallbank", {"amalgamate", "1"}).ok());
+  EXPECT_EQ(db_.Get("c_1")->value, "250");
+  EXPECT_EQ(db_.Get("s_1")->value, "0");
+
+  proto::ReadWriteSet rwset;
+  EXPECT_TRUE(Invoke("smallbank", {"query", "1"}, &rwset).ok());
+  EXPECT_EQ(rwset.reads.size(), 2u);
+  EXPECT_TRUE(rwset.writes.empty());
+}
+
+TEST_F(ChaincodeFixture, SmallbankRejectsBadArgs) {
+  EXPECT_FALSE(Invoke("smallbank", {}).ok());
+  EXPECT_FALSE(Invoke("smallbank", {"send_payment", "1"}).ok());
+  EXPECT_FALSE(Invoke("smallbank", {"warp", "1"}).ok());
+}
+
+TEST_F(ChaincodeFixture, CustomReadsAndWrites) {
+  db_.SeedInitialState("acc_1", "10");
+  db_.SeedInitialState("acc_2", "20");
+  proto::ReadWriteSet rwset;
+  ASSERT_TRUE(
+      Invoke("custom", {"2", "acc_1", "acc_2", "acc_3", "acc_4"}, &rwset)
+          .ok());
+  EXPECT_EQ(rwset.reads.size(), 2u);
+  ASSERT_EQ(rwset.writes.size(), 2u);
+  // Writes derive from the read sum (30) plus a per-slot salt.
+  EXPECT_EQ(rwset.writes[0].value, "30");
+  EXPECT_EQ(rwset.writes[1].value, "31");
+}
+
+TEST_F(ChaincodeFixture, CustomRejectsBadCounts) {
+  EXPECT_FALSE(Invoke("custom", {}).ok());
+  EXPECT_FALSE(Invoke("custom", {"5", "only_one"}).ok());
+  EXPECT_FALSE(Invoke("custom", {"-1"}).ok());
+}
+
+}  // namespace
+}  // namespace fabricpp
+
+// --- PersistentStateDb (LSM-backed) ---
+
+#include <filesystem>
+
+#include "statedb/persistent_state_db.h"
+
+namespace fabricpp {
+namespace {
+
+class PersistentStateDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("fabricpp_psdb_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(PersistentStateDbTest, BasicVersionedReadsAndWrites) {
+  auto db = statedb::PersistentStateDb::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->SeedInitialState("balA", "100").ok());
+  EXPECT_EQ((*db)->GetVersion("balA"), proto::kNilVersion);
+  ASSERT_TRUE(
+      (*db)->ApplyWrites({{"balA", "70", false}}, Version{3, 1}).ok());
+  const auto vv = (*db)->Get("balA");
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv->value, "70");
+  EXPECT_EQ(vv->version, (Version{3, 1}));
+  ASSERT_TRUE((*db)->ApplyWrites({{"balA", "", true}}, Version{4, 0}).ok());
+  EXPECT_EQ((*db)->Get("balA").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistentStateDbTest, SurvivesReopen) {
+  {
+    auto db = statedb::PersistentStateDb::Open(dir_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(
+        (*db)->ApplyWrites({{"k", "v", false}}, Version{7, 2}).ok());
+    ASSERT_TRUE((*db)->set_last_committed_block(7).ok());
+  }
+  auto db = statedb::PersistentStateDb::Open(dir_);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->last_committed_block(), 7u);
+  const auto vv = (*db)->Get("k");
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv->value, "v");
+  EXPECT_EQ(vv->version, (Version{7, 2}));
+}
+
+TEST_F(PersistentStateDbTest, MatchesInMemoryImplementation) {
+  // Drive the same random write batches through both implementations and
+  // compare the full final state (versions included).
+  auto persistent = statedb::PersistentStateDb::Open(dir_);
+  ASSERT_TRUE(persistent.ok());
+  StateDb memory;
+  Rng rng(77);
+  for (uint64_t block = 1; block <= 30; ++block) {
+    for (uint32_t tx = 0; tx < 10; ++tx) {
+      std::vector<proto::WriteItem> writes;
+      const int num_writes = 1 + rng.NextUint64(4);
+      for (int w = 0; w < num_writes; ++w) {
+        const std::string key = "key" + std::to_string(rng.NextUint64(50));
+        if (rng.NextBool(0.1)) {
+          writes.push_back({key, "", true});
+        } else {
+          writes.push_back({key, std::to_string(rng.Next()), false});
+        }
+      }
+      const Version version{block, tx};
+      memory.ApplyWrites(writes, version);
+      ASSERT_TRUE((*persistent)->ApplyWrites(writes, version).ok());
+    }
+    ASSERT_TRUE((*persistent)->set_last_committed_block(block).ok());
+    memory.set_last_committed_block(block);
+  }
+  StateDb exported;
+  (*persistent)->ExportTo(&exported);
+  EXPECT_EQ(exported.NumKeys(), memory.NumKeys());
+  EXPECT_EQ(exported.last_committed_block(), memory.last_committed_block());
+  memory.ForEach([&](const std::string& key,
+                     const statedb::VersionedValue& vv) {
+    const auto other = exported.Get(key);
+    ASSERT_TRUE(other.ok()) << key;
+    EXPECT_EQ(other->value, vv.value) << key;
+    EXPECT_EQ(other->version, vv.version) << key;
+  });
+}
+
+}  // namespace
+}  // namespace fabricpp
+
+// --- PersistentLedger (block file store) ---
+
+#include "ledger/block_store.h"
+
+namespace fabricpp {
+namespace {
+
+class PersistentLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("fabricpp_ledgerfile_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name())))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  static ledger::StoredBlock NextBlock(const ledger::Ledger& chain,
+                                       const std::string& tx_id) {
+    ledger::StoredBlock stored;
+    stored.block.header.number = chain.Height();
+    stored.block.header.previous_hash = chain.LastHash();
+    proto::Transaction tx;
+    tx.tx_id = tx_id;
+    stored.block.transactions.push_back(std::move(tx));
+    stored.block.SealDataHash();
+    stored.validation_codes = {proto::TxValidationCode::kValid};
+    return stored;
+  }
+
+  std::string path_;
+};
+
+TEST_F(PersistentLedgerTest, AppendAndRecover) {
+  {
+    auto ledger = ledger::PersistentLedger::Open(path_);
+    ASSERT_TRUE(ledger.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          (*ledger)
+              ->Append(NextBlock((*ledger)->ledger(),
+                                 "tx" + std::to_string(i)))
+              .ok());
+    }
+    EXPECT_EQ((*ledger)->ledger().Height(), 6u);
+  }
+  auto ledger = ledger::PersistentLedger::Open(path_);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ((*ledger)->blocks_recovered(), 5u);
+  EXPECT_EQ((*ledger)->ledger().Height(), 6u);
+  EXPECT_TRUE((*ledger)->ledger().VerifyChain().ok());
+  EXPECT_TRUE((*ledger)->ledger().FindTransaction("tx3").ok());
+  // And it keeps accepting blocks.
+  ASSERT_TRUE(
+      (*ledger)->Append(NextBlock((*ledger)->ledger(), "tx-post")).ok());
+}
+
+TEST_F(PersistentLedgerTest, TornTailDropsLastBlockOnly) {
+  {
+    auto ledger = ledger::PersistentLedger::Open(path_);
+    ASSERT_TRUE(ledger.ok());
+    ASSERT_TRUE((*ledger)->Append(NextBlock((*ledger)->ledger(), "a")).ok());
+    ASSERT_TRUE((*ledger)->Append(NextBlock((*ledger)->ledger(), "b")).ok());
+  }
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 3);
+  auto ledger = ledger::PersistentLedger::Open(path_);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ((*ledger)->blocks_recovered(), 1u);
+  EXPECT_TRUE((*ledger)->ledger().FindTransaction("a").ok());
+  EXPECT_FALSE((*ledger)->ledger().FindTransaction("b").ok());
+}
+
+TEST_F(PersistentLedgerTest, PreservesValidationCodes) {
+  {
+    auto ledger = ledger::PersistentLedger::Open(path_);
+    ASSERT_TRUE(ledger.ok());
+    ledger::StoredBlock stored = NextBlock((*ledger)->ledger(), "bad-tx");
+    stored.validation_codes = {proto::TxValidationCode::kMvccConflict};
+    ASSERT_TRUE((*ledger)->Append(std::move(stored)).ok());
+  }
+  auto ledger = ledger::PersistentLedger::Open(path_);
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ(*(*ledger)->ledger().GetValidationCode("bad-tx"),
+            proto::TxValidationCode::kMvccConflict);
+}
+
+}  // namespace
+}  // namespace fabricpp

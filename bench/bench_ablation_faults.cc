@@ -1,0 +1,112 @@
+// Ablation: throughput under injected network faults. Sweeps fault
+// intensity from a clean network (which must reproduce the no-injector
+// baseline — the injector's RNG is untouched when no faults are armed) to
+// heavy loss + duplication + jitter + a mid-run peer crash, for vanilla
+// Fabric and Fabric++. Shows how much successful throughput each pipeline
+// retains when the network misbehaves, and what the client's timeout +
+// backoff resubmission loop recovers.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "sim/fault_injector.h"
+#include "workload/smallbank.h"
+
+namespace fabricpp::bench {
+namespace {
+
+struct FaultLevel {
+  const char* label;
+  double loss_prob;
+  double duplicate_prob;
+  sim::SimTime max_extra_delay;
+  bool crash_peer;  ///< Crash peer 1 for the middle 20% of the run.
+};
+
+constexpr FaultLevel kLevels[] = {
+    {"none (baseline)", 0.0, 0.0, 0, false},
+    {"2% loss", 0.02, 0.01, 200, false},
+    {"5% loss", 0.05, 0.02, 500, false},
+    {"10% loss + peer crash", 0.10, 0.02, 1000, true},
+};
+
+fabric::RunReport RunWithFaults(fabric::FabricConfig config,
+                                const workload::Workload& workload,
+                                const FaultLevel& level) {
+  // Offered load below the clean pipeline's capacity: fault response is
+  // about what survives the network, not queueing at saturation — at
+  // saturation the commit latency alone exceeds any sane timeout and the
+  // timeout aborts would dominate every row, faults armed or not.
+  config.client_fire_rate_tps = 100;
+  // Retry timeouts sized to the virtual run so lost work is actually
+  // retried within the measurement window.
+  config.client_endorsement_timeout = 500 * sim::kMillisecond;
+  config.client_commit_timeout = 2 * sim::kSecond;
+  config.client_max_retries = 5;
+
+  fabric::FabricNetwork network(config, &workload);
+  const auto duration = static_cast<sim::SimTime>(MeasureSeconds() * 1e6);
+  const auto warmup = static_cast<sim::SimTime>(WarmupSeconds() * 1e6);
+
+  sim::LinkFaults faults;
+  faults.loss_prob = level.loss_prob;
+  faults.duplicate_prob = level.duplicate_prob;
+  faults.max_extra_delay = level.max_extra_delay;
+  network.fault_injector().SetDefaultLinkFaults(faults);
+  if (level.crash_peer) {
+    network.SchedulePeerCrash(1, duration * 2 / 5, duration * 3 / 5);
+  }
+  return network.RunFor(duration, warmup);
+}
+
+void Run() {
+  PrintHeader("Ablation — fault tolerance: throughput under network faults",
+              "extension (robustness; the paper assumes a clean network)");
+
+  workload::SmallbankConfig wl;
+  wl.num_users = 10000;
+  wl.prob_write = 0.95;
+  wl.zipf_s = 0.5;
+  const workload::SmallbankWorkload workload(wl);
+
+  std::printf("\n%-24s %-10s %14s %14s %10s %10s %9s\n", "fault level",
+              "pipeline", "success [tps]", "failed [tps]", "timeouts",
+              "dropped", "dups");
+  for (const FaultLevel& level : kLevels) {
+    for (const bool plusplus : {false, true}) {
+      const fabric::FabricConfig config =
+          plusplus ? fabric::FabricConfig::FabricPlusPlus()
+                   : fabric::FabricConfig::Vanilla();
+      const fabric::RunReport r = RunWithFaults(config, workload, level);
+      const uint64_t timeouts =
+          r.aborts[static_cast<size_t>(
+              fabric::TxOutcome::kAbortEndorsementTimeout)] +
+          r.aborts[static_cast<size_t>(fabric::TxOutcome::kAbortCommitTimeout)];
+      std::printf("%-24s %-10s %14.1f %14.1f %10lu %10lu %9lu\n", level.label,
+                  plusplus ? "fabric++" : "fabric", r.successful_tps,
+                  r.failed_tps, static_cast<unsigned long>(timeouts),
+                  static_cast<unsigned long>(r.net_messages_dropped),
+                  static_cast<unsigned long>(r.net_messages_duplicated));
+      if (r.peer_recoveries > 0) {
+        std::printf("%-24s %-10s   peer recoveries: %lu, avg %.1f ms\n", "",
+                    "", static_cast<unsigned long>(r.peer_recoveries),
+                    r.recovery_avg_ms);
+      }
+    }
+  }
+  std::printf(
+      "\nExpected: the zero-fault rows sustain essentially the whole "
+      "offered load with zero timeout aborts — and since the idle injector "
+      "consumes no randomness, they are bit-identical to runs without the "
+      "fault layer. Under faults, successful throughput degrades gracefully "
+      "with intensity; timeout aborts plus backoff resubmission absorb the "
+      "losses, and crashed peers catch back up from the orderer.\n");
+}
+
+}  // namespace
+}  // namespace fabricpp::bench
+
+int main() {
+  fabricpp::bench::Run();
+  return 0;
+}

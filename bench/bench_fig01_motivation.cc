@@ -21,7 +21,7 @@ void Run() {
   config.block.max_transactions = 1024;
   // Figure 1 decomposes the raw pipeline capacity; client resubmission
   // would asymmetrically inflate the meaningful run (blank never aborts).
-  config.client_max_retries = 0;
+  config.client_resubmit = false;
 
   workload::CustomConfig custom;
   custom.num_accounts = 10000;

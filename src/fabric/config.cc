@@ -24,4 +24,59 @@ FabricConfig FabricConfig::FabricPlusPlus() {
   return config;
 }
 
+Status FabricConfig::Validate() const {
+  if (num_orgs == 0 || peers_per_org == 0) {
+    return Status::InvalidArgument("topology needs at least one org/peer");
+  }
+  if (num_channels == 0) {
+    return Status::InvalidArgument("num_channels must be > 0");
+  }
+  if (clients_per_channel == 0) {
+    return Status::InvalidArgument("clients_per_channel must be > 0");
+  }
+  if (client_fire_rate_tps <= 0.0) {
+    return Status::InvalidArgument("client_fire_rate_tps must be > 0");
+  }
+  if (peer_cores == 0 || orderer_cores == 0 || client_machine_cores == 0) {
+    return Status::InvalidArgument("every machine needs at least one core");
+  }
+  if (client_resubmit) {
+    if (client_max_retries == 0) {
+      return Status::InvalidArgument(
+          "client_max_retries must be >= 1 when client_resubmit is on; set "
+          "client_resubmit=false to disable resubmission");
+    }
+    if (client_max_retries > 64) {
+      return Status::InvalidArgument(
+          "client_max_retries > 64: the exponential backoff shift would "
+          "overflow; cap the retry budget");
+    }
+    if (client_retry_backoff_base == 0) {
+      return Status::InvalidArgument(
+          "client_retry_backoff_base must be > 0 (instant resubmission "
+          "causes retry storms under faults)");
+    }
+    if (client_retry_backoff_max < client_retry_backoff_base) {
+      return Status::InvalidArgument(
+          "client_retry_backoff_max must be >= client_retry_backoff_base");
+    }
+    if (client_retry_jitter < 0.0 || client_retry_jitter > 1.0) {
+      return Status::InvalidArgument(
+          "client_retry_jitter must be in [0, 1]");
+    }
+  }
+  if (client_endorsement_timeout == 0 || client_commit_timeout == 0) {
+    return Status::InvalidArgument(
+        "client timeouts must be > 0 (a zero timeout aborts every proposal "
+        "immediately)");
+  }
+  if (peer_fetch_retry_interval == 0) {
+    return Status::InvalidArgument("peer_fetch_retry_interval must be > 0");
+  }
+  if (ordering_backend == OrderingBackend::kRaft && raft_cluster_size == 0) {
+    return Status::InvalidArgument("raft_cluster_size must be > 0");
+  }
+  return Status::OK();
+}
+
 }  // namespace fabricpp::fabric

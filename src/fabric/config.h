@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "ordering/batch_cutter.h"
 #include "raft/raft_node.h"
 #include "ordering/reorderer.h"
@@ -90,11 +91,29 @@ struct FabricConfig {
   uint32_t num_channels = 1;
   uint32_t clients_per_channel = 4;
   double client_fire_rate_tps = 512.0;
-  /// How often a client resubmits an aborted proposal (paper §4.1: "the
-  /// corresponding transaction proposals must be resubmitted by the
-  /// client"; §5.2.1: early abort lets it "resubmit the proposal without
-  /// delay"). 0 disables resubmission.
+  /// Whether clients resubmit aborted or timed-out proposals at all (paper
+  /// §4.1: "the corresponding transaction proposals must be resubmitted by
+  /// the client"). Measurement setups that want exactly one attempt per
+  /// proposal turn this off.
+  bool client_resubmit = true;
+  /// Resubmission budget per proposal when client_resubmit is on. Must be
+  /// in [1, 64]; use client_resubmit=false to disable retries entirely.
   uint32_t client_max_retries = 3;
+  /// Exponential backoff before a resubmission: attempt k waits
+  /// base * 2^k, capped at client_retry_backoff_max, then scaled by a
+  /// uniform jitter factor in [1 - jitter, 1 + jitter]. Backoff prevents
+  /// retry storms when aborts come from faults rather than contention.
+  sim::SimTime client_retry_backoff_base = 5 * sim::kMillisecond;
+  sim::SimTime client_retry_backoff_max = 500 * sim::kMillisecond;
+  double client_retry_jitter = 0.2;
+  /// A proposal whose endorsements have not all arrived after this long is
+  /// aborted (kAbortEndorsementTimeout) and resubmitted per the backoff
+  /// policy. Covers lost proposals and lost endorsement replies.
+  sim::SimTime client_endorsement_timeout = 10 * sim::kSecond;
+  /// An assembled transaction not resolved (committed or aborted) this long
+  /// after submission to ordering is abandoned (kAbortCommitTimeout) and
+  /// resubmitted. Covers lost submissions and lost commit events.
+  sim::SimTime client_commit_timeout = 30 * sim::kSecond;
   /// Maximum proposals a client keeps in flight; firing ticks are skipped
   /// while the window is full. Models the bounded concurrency of real
   /// drivers (Caliper/gRPC) and keeps saturation stable instead of growing
@@ -118,6 +137,9 @@ struct FabricConfig {
   /// orderer sends one copy per org to a leader peer, which forwards to
   /// the org's members. Halves orderer egress for the paper's topology.
   bool gossip_blocks = false;
+  /// How long a peer that has detected a gap in its block stream waits for
+  /// the orderer's re-delivery before asking again.
+  sim::SimTime peer_fetch_retry_interval = 500 * sim::kMillisecond;
 
   // --- Fabric++ feature flags (Figure 10's ablation switches these) ---
   bool enable_reordering = false;
@@ -135,6 +157,10 @@ struct FabricConfig {
   /// Fabric++: reordering + early abort in simulation and ordering, with
   /// the fine-grained concurrency control that enables the former.
   static FabricConfig FabricPlusPlus();
+
+  /// Sanity-checks the configuration; FabricNetwork refuses to build from
+  /// an invalid one. Returns the first problem found.
+  Status Validate() const;
 };
 
 }  // namespace fabricpp::fabric

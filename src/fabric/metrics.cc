@@ -22,6 +22,12 @@ std::string_view TxOutcomeToString(TxOutcome outcome) {
       return "ABORT_RWSET_MISMATCH";
     case TxOutcome::kAbortChaincodeError:
       return "ABORT_CHAINCODE_ERROR";
+    case TxOutcome::kAbortEndorsementTimeout:
+      return "ABORT_ENDORSEMENT_TIMEOUT";
+    case TxOutcome::kAbortCommitTimeout:
+      return "ABORT_COMMIT_TIMEOUT";
+    case TxOutcome::kAbortDuplicateTxId:
+      return "ABORT_DUPLICATE_TXID";
   }
   return "UNKNOWN";
 }
@@ -52,6 +58,23 @@ void Metrics::Resolve(const std::string& key, TxOutcome outcome,
   }
 }
 
+bool Metrics::ResolveFired(const std::string& key, TxOutcome outcome,
+                           sim::SimTime now) {
+  const auto it = fired_at_.find(key);
+  if (it == fired_at_.end()) return false;
+  const sim::SimTime fired = it->second;
+  fired_at_.erase(it);
+  if (!InWindow(now)) return true;
+  if (outcome == TxOutcome::kSuccess) {
+    ++successful_;
+    latency_us_.Add(now - fired);
+  } else {
+    ++failed_;
+    ++aborts_[static_cast<size_t>(outcome)];
+  }
+  return true;
+}
+
 void Metrics::NoteBlockCommitted(uint32_t num_txs, sim::SimTime now) {
   if (!InWindow(now)) return;
   ++blocks_committed_;
@@ -64,7 +87,7 @@ RunReport Metrics::Report() const {
       sim::ToSeconds(window_end_ == ~0ULL ? 0 : window_end_ - window_start_);
   report.successful = successful_;
   report.failed = failed_;
-  for (size_t i = 0; i < 8; ++i) report.aborts[i] = aborts_[i];
+  for (size_t i = 0; i < kNumTxOutcomes; ++i) report.aborts[i] = aborts_[i];
   if (report.measure_seconds > 0) {
     report.successful_tps =
         static_cast<double>(successful_) / report.measure_seconds;
@@ -83,6 +106,15 @@ RunReport Metrics::Report() const {
     report.avg_block_size =
         static_cast<double>(block_tx_total_) / blocks_committed_;
   }
+  report.net_messages_dropped = net_dropped_;
+  report.net_messages_duplicated = net_duplicated_;
+  report.blocks_corrupted = blocks_corrupted_;
+  report.blocks_deduplicated = blocks_deduplicated_;
+  report.peer_recoveries = recovery_us_.count();
+  if (recovery_us_.count() > 0) {
+    report.recovery_avg_ms = recovery_us_.Mean() / 1000.0;
+    report.recovery_max_ms = static_cast<double>(recovery_us_.max()) / 1000.0;
+  }
   return report;
 }
 
@@ -98,13 +130,27 @@ std::string RunReport::ToString() const {
   for (uint64_t a : aborts) any |= (a != 0);
   if (any) {
     out += "\n  aborts:";
-    for (size_t i = 1; i < 8; ++i) {
+    for (size_t i = 1; i < kNumTxOutcomes; ++i) {
       if (aborts[i] == 0) continue;
       out += StrFormat(" %s=%llu",
                        std::string(TxOutcomeToString(static_cast<TxOutcome>(i)))
                            .c_str(),
                        static_cast<unsigned long long>(aborts[i]));
     }
+  }
+  if (net_messages_dropped != 0 || net_messages_duplicated != 0 ||
+      blocks_corrupted != 0 || blocks_deduplicated != 0 ||
+      peer_recoveries != 0) {
+    out += StrFormat(
+        "\n  faults: dropped=%llu duplicated=%llu corrupted_blocks=%llu "
+        "deduped_blocks=%llu recoveries=%llu avg_recovery=%.1fms "
+        "max_recovery=%.1fms",
+        static_cast<unsigned long long>(net_messages_dropped),
+        static_cast<unsigned long long>(net_messages_duplicated),
+        static_cast<unsigned long long>(blocks_corrupted),
+        static_cast<unsigned long long>(blocks_deduplicated),
+        static_cast<unsigned long long>(peer_recoveries), recovery_avg_ms,
+        recovery_max_ms);
   }
   return out;
 }

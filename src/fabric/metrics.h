@@ -28,7 +28,18 @@ enum class TxOutcome : uint8_t {
   kAbortRwsetMismatch,
   /// The chaincode itself returned an error during simulation.
   kAbortChaincodeError,
+  /// Client gave up waiting for endorsements (lost proposal or reply).
+  kAbortEndorsementTimeout,
+  /// Client gave up waiting for the commit event (lost submission, lost
+  /// block, or lost notification).
+  kAbortCommitTimeout,
+  /// Validator replay protection: the transaction id had already committed
+  /// (a duplicated submission or block delivery).
+  kAbortDuplicateTxId,
 };
+
+/// Number of TxOutcome values (array-sizing constant).
+inline constexpr size_t kNumTxOutcomes = 11;
 
 std::string_view TxOutcomeToString(TxOutcome outcome);
 
@@ -39,7 +50,7 @@ struct RunReport {
   uint64_t failed = 0;  ///< Sum of all abort categories.
   double successful_tps = 0;
   double failed_tps = 0;
-  uint64_t aborts[8] = {0};  ///< Indexed by TxOutcome.
+  uint64_t aborts[kNumTxOutcomes] = {0};  ///< Indexed by TxOutcome.
   // Latency of successful transactions (proposal fired -> committed),
   // milliseconds.
   double latency_avg_ms = 0;
@@ -50,6 +61,15 @@ struct RunReport {
   double latency_p99_ms = 0;
   uint64_t blocks_committed = 0;
   double avg_block_size = 0;
+
+  // --- Fault / recovery telemetry (zero in fault-free runs) ---
+  uint64_t net_messages_dropped = 0;     ///< Injector drops, all causes.
+  uint64_t net_messages_duplicated = 0;  ///< Injector duplications.
+  uint64_t blocks_corrupted = 0;   ///< Blocks a peer rejected as tampered.
+  uint64_t blocks_deduplicated = 0;  ///< Duplicate deliveries discarded.
+  uint64_t peer_recoveries = 0;    ///< Completed crash-recovery episodes.
+  double recovery_avg_ms = 0;      ///< Restart -> caught-up, average.
+  double recovery_max_ms = 0;
 
   std::string ToString() const;
 };
@@ -74,8 +94,31 @@ class Metrics {
   /// a NoteFired call; unknown keys are counted without latency.
   void Resolve(const std::string& key, TxOutcome outcome, sim::SimTime now);
 
+  /// Like Resolve, but only counts if `key` has a pending NoteFired entry —
+  /// the entry is consumed, so a proposal resolves at most once even when a
+  /// client-side timeout races the real commit event. Returns whether the
+  /// resolution counted.
+  bool ResolveFired(const std::string& key, TxOutcome outcome,
+                    sim::SimTime now);
+
   /// Records a committed block (observer peer only).
   void NoteBlockCommitted(uint32_t num_txs, sim::SimTime now);
+
+  /// A peer rejected a block whose hashes or chain linkage did not check out.
+  void NoteCorruptedBlock() { ++blocks_corrupted_; }
+
+  /// A peer discarded a duplicate delivery of a block it already has.
+  void NoteDuplicateBlock() { ++blocks_deduplicated_; }
+
+  /// A restarted peer finished catching up; `duration` is restart -> parity
+  /// with the orderer's chain.
+  void NoteRecovery(sim::SimTime duration) { recovery_us_.Add(duration); }
+
+  /// Injector totals, folded into the report by the harness after the run.
+  void SetNetworkFaultTotals(uint64_t dropped, uint64_t duplicated) {
+    net_dropped_ = dropped;
+    net_duplicated_ = duplicated;
+  }
 
   RunReport Report() const;
 
@@ -95,10 +138,15 @@ class Metrics {
   std::unordered_map<std::string, sim::SimTime> fired_at_;
   uint64_t successful_ = 0;
   uint64_t failed_ = 0;
-  uint64_t aborts_[8] = {0};
+  uint64_t aborts_[kNumTxOutcomes] = {0};
   Histogram latency_us_;
   uint64_t blocks_committed_ = 0;
   uint64_t block_tx_total_ = 0;
+  uint64_t blocks_corrupted_ = 0;
+  uint64_t blocks_deduplicated_ = 0;
+  Histogram recovery_us_;
+  uint64_t net_dropped_ = 0;
+  uint64_t net_duplicated_ = 0;
 };
 
 /// A stable key for (client, proposal) used by Metrics.

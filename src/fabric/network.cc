@@ -1,6 +1,7 @@
 #include "fabric/network.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -22,6 +23,8 @@ TxOutcome OutcomeFromValidationCode(proto::TxValidationCode code) {
       return TxOutcome::kAbortMvcc;
     case proto::TxValidationCode::kEndorsementPolicyFailure:
       return TxOutcome::kAbortPolicy;
+    case proto::TxValidationCode::kDuplicateTxId:
+      return TxOutcome::kAbortDuplicateTxId;
     default:
       return TxOutcome::kAbortChaincodeError;
   }
@@ -47,6 +50,7 @@ PeerNode::PeerNode(FabricNetwork* net, uint32_t index, std::string name,
 
 void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
                               uint32_t client_index) {
+  if (crashed_) return;
   ChannelState& ch = channels_[channel];
   PendingSim sim{std::move(proposal), client_index};
   if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
@@ -77,8 +81,10 @@ void PeerNode::StartSimulation(uint32_t channel, PendingSim sim) {
   }
   const uint64_t proposal_id = sim.proposal.proposal_id;
   const uint32_t client_index = sim.client_index;
-  cpu_.Submit(service, [this, channel, client_index, proposal_id,
+  const uint64_t epoch = crash_epoch_;
+  cpu_.Submit(service, [this, channel, client_index, proposal_id, epoch,
                         response = std::move(response)]() mutable {
+    if (crashed_ || epoch != crash_epoch_) return;
     FinishSimulation(channel, client_index, proposal_id, std::move(response));
   });
 }
@@ -120,9 +126,143 @@ void PeerNode::FinishSimulation(uint32_t channel, uint32_t client_index,
 
 void PeerNode::HandleBlock(uint32_t channel,
                            std::shared_ptr<proto::Block> block) {
+  if (crashed_) return;
   ChannelState& ch = channels_[channel];
-  ch.pending_blocks.push_back(std::move(block));
+  const uint64_t number = block->header.number;
+  if (number < ch.next_accept || ch.reorder_buffer.count(number) != 0) {
+    // Already admitted (or waiting): duplicated delivery, discard.
+    net_->metrics().NoteDuplicateBlock();
+    return;
+  }
+  // Integrity at admission: a block whose payload does not match its sealed
+  // data hash was tampered with in flight; reject it and fetch a clean copy.
+  if (!block->VerifyDataHash()) {
+    net_->metrics().NoteCorruptedBlock();
+    FABRICPP_LOG(Warn) << name_ << ": rejecting block " << number
+                       << " on channel " << channel
+                       << " with mismatched data hash";
+    RequestMissingBlocks(channel);
+    ArmFetchTimer(channel);
+    return;
+  }
+  ch.reorder_buffer[number] = std::move(block);
+  DrainReorderBuffer(channel);
+  // Anything left is out of order: a predecessor was lost or is still in
+  // flight. Fetch right away the first time the gap is seen — waiting a
+  // full retry interval would stall every transaction of the lost block,
+  // and with tight client commit timeouts that turns one lost delivery
+  // into a resubmission storm. The timer covers lost fetches.
+  if (!ch.reorder_buffer.empty() && !ch.fetch_timer_armed) {
+    RequestMissingBlocks(channel);
+    ArmFetchTimer(channel);
+  }
+}
+
+void PeerNode::DrainReorderBuffer(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  while (true) {
+    const auto it = ch.reorder_buffer.find(ch.next_accept);
+    if (it == ch.reorder_buffer.end()) break;
+    ch.pending_blocks.push_back(std::move(it->second));
+    ch.reorder_buffer.erase(it);
+    ++ch.next_accept;
+  }
   MaybeStartValidation(channel);
+}
+
+void PeerNode::RequestMissingBlocks(uint32_t channel) {
+  if (crashed_) return;
+  OrdererNode* orderer = &net_->orderer();
+  const uint64_t from = channels_[channel].next_accept;
+  const uint32_t peer_index = index_;
+  net_->network().Send(node_id_, orderer->node_id(), kMessageOverhead,
+                       [orderer, channel, peer_index, from]() {
+                         orderer->HandleBlockRequest(channel, peer_index,
+                                                     from);
+                       });
+}
+
+void PeerNode::ArmFetchTimer(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  if (crashed_ || ch.fetch_timer_armed) return;
+  ch.fetch_timer_armed = true;
+  const uint64_t epoch = crash_epoch_;
+  net_->env().Schedule(
+      net_->config().peer_fetch_retry_interval, [this, channel, epoch]() {
+        if (crashed_ || epoch != crash_epoch_) return;
+        ChannelState& state = channels_[channel];
+        state.fetch_timer_armed = false;
+        if (!state.reorder_buffer.empty() || state.recovering) {
+          RequestMissingBlocks(channel);
+          ArmFetchTimer(channel);
+        }
+      });
+}
+
+void PeerNode::HandleChainInfo(uint32_t channel, uint64_t orderer_height) {
+  if (crashed_) return;
+  ChannelState& ch = channels_[channel];
+  if (ch.next_accept <= orderer_height) {
+    // Still behind the orderer's dispatched chain: keep fetching.
+    ArmFetchTimer(channel);
+    return;
+  }
+  if (ch.recovering) {
+    ch.recovering = false;
+    const sim::SimTime took = net_->env().Now() - ch.restart_time;
+    net_->metrics().NoteRecovery(took);
+    FABRICPP_LOG(Info) << name_ << ": caught up on channel " << channel
+                       << " " << took / 1000 << "ms after restart";
+  }
+}
+
+void PeerNode::ResyncChannel(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  ch.validating = false;
+  ch.commit_phase = false;
+  ch.commit_submitted = false;
+  ch.current_block.reset();
+  ch.pending_blocks.clear();
+  ch.reorder_buffer.clear();
+  ch.next_accept = ch.ledger.Height();
+  RequestMissingBlocks(channel);
+  ArmFetchTimer(channel);
+}
+
+void PeerNode::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crash_epoch_;
+  for (ChannelState& ch : channels_) {
+    // The process dies: running simulations, queued work and undelivered
+    // blocks are gone. Ledger and state database are durable and survive.
+    ch.active_sims = 0;
+    ch.validating = false;
+    ch.commit_phase = false;
+    ch.commit_submitted = false;
+    ch.current_block.reset();
+    ch.pending_sims.clear();
+    ch.pending_blocks.clear();
+    ch.reorder_buffer.clear();
+    ch.fetch_timer_armed = false;
+    ch.recovering = false;
+    ch.next_accept = ch.ledger.Height();
+  }
+  FABRICPP_LOG(Info) << name_ << ": crashed at "
+                     << net_->env().Now() / 1000 << "ms";
+}
+
+void PeerNode::Restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  const sim::SimTime now = net_->env().Now();
+  FABRICPP_LOG(Info) << name_ << ": restarting at " << now / 1000 << "ms";
+  for (uint32_t c = 0; c < channels_.size(); ++c) {
+    channels_[c].recovering = true;
+    channels_[c].restart_time = now;
+    RequestMissingBlocks(c);
+    ArmFetchTimer(c);
+  }
 }
 
 void PeerNode::MaybeStartValidation(uint32_t channel) {
@@ -149,10 +289,12 @@ void PeerNode::MaybeStartValidation(uint32_t channel) {
     return;
   }
   auto remaining = std::make_shared<size_t>(num_txs);
+  const uint64_t epoch = crash_epoch_;
   for (const proto::Transaction& tx : ch.current_block->transactions) {
     const sim::SimTime policy_service =
         cost.validate_per_tx + cost.verify * tx.endorsements.size();
-    cpu_.Submit(policy_service, [remaining, on_policy_done]() {
+    cpu_.Submit(policy_service, [this, epoch, remaining, on_policy_done]() {
+      if (crashed_ || epoch != crash_epoch_) return;
       if (--*remaining == 0) on_policy_done();
     });
   }
@@ -177,12 +319,38 @@ void PeerNode::TryStartCommit(uint32_t channel) {
     commit_service += cost.per_read * tx.rwset.reads.size() +
                       cost.commit_per_write * tx.rwset.writes.size();
   }
-  cpu_.Submit(commit_service, [this, channel]() { FinishCommit(channel); });
+  const uint64_t epoch = crash_epoch_;
+  cpu_.Submit(commit_service, [this, channel, epoch]() {
+    if (crashed_ || epoch != crash_epoch_) return;
+    FinishCommit(channel);
+  });
 }
 
 void PeerNode::FinishCommit(uint32_t channel) {
   ChannelState& ch = channels_[channel];
   const std::shared_ptr<proto::Block> block = std::move(ch.current_block);
+
+  // Integrity gate before any state mutation: the block must extend our
+  // chain (number + previous-hash link) and carry the data it was sealed
+  // with. ValidateAndCommit applies state writes before the ledger append,
+  // so a tampered block caught only there would already have leaked writes.
+  const bool intact = block->header.number == ch.ledger.Height() &&
+                      block->header.previous_hash == ch.ledger.LastHash() &&
+                      block->VerifyDataHash();
+  if (!intact) {
+    net_->metrics().NoteCorruptedBlock();
+    FABRICPP_LOG(Warn) << name_ << ": rejecting corrupted block "
+                       << block->header.number << " on channel " << channel
+                       << " at commit (bad chain link or data hash)";
+    ResyncChannel(channel);
+    if (net_->config().concurrency == ConcurrencyMode::kCoarseLock) {
+      std::deque<PendingSim> sims;
+      sims.swap(ch.pending_sims);
+      for (PendingSim& sim : sims) StartSimulation(channel, std::move(sim));
+    }
+    return;
+  }
+
   const peer::BlockValidationResult result =
       validator_.ValidateAndCommit(*block, &ch.db, &ch.ledger);
 
@@ -190,11 +358,20 @@ void PeerNode::FinishCommit(uint32_t channel) {
     const sim::SimTime now = net_->env().Now();
     for (uint32_t i = 0; i < block->transactions.size(); ++i) {
       const proto::Transaction& tx = block->transactions[i];
-      net_->metrics().Resolve(ProposalKey(tx.client, tx.proposal_id),
-                              OutcomeFromValidationCode(result.codes[i]), now);
+      const TxOutcome outcome = OutcomeFromValidationCode(result.codes[i]);
+      const std::string key = ProposalKey(tx.client, tx.proposal_id);
+      ClientNode* client = net_->FindClient(tx.client);
+      if (client != nullptr) {
+        // Client-fired work resolves at most once, even when a client-side
+        // timeout raced this commit.
+        net_->metrics().ResolveFired(key, outcome, now);
+      } else {
+        // Externally injected transactions have no NoteFired entry.
+        net_->metrics().Resolve(key, outcome, now);
+      }
       // Commit-event notification to the submitting client (Fabric's event
       // service); an aborted transaction triggers resubmission there.
-      if (ClientNode* client = net_->FindClient(tx.client)) {
+      if (client != nullptr) {
         const bool success =
             result.codes[i] == proto::TxValidationCode::kValid;
         const uint64_t proposal_id = tx.proposal_id;
@@ -240,14 +417,31 @@ OrdererNode::OrdererNode(FabricNetwork* net)
     raft_ = std::make_unique<raft::RaftCluster>(
         &net->env(), net->config().raft_cluster_size, net->config().seed,
         net->config().raft_params);
+    // Register each replica with the message fabric's fault injector, so a
+    // chaos plan's loss/partitions/crashes hit consensus traffic too.
+    std::vector<sim::NodeId> raft_ids;
+    raft_ids.reserve(net->config().raft_cluster_size);
+    for (uint32_t i = 0; i < net->config().raft_cluster_size; ++i) {
+      raft_ids.push_back(net->network().AddNode(StrFormat("raft-%u", i)));
+    }
+    raft_->SetFaultInjector(net->network().fault_injector(),
+                            std::move(raft_ids));
     raft_->Start();
     // Dispatch each block exactly once, at the earliest replica apply
-    // (monotonic guard; replicas apply in log order).
-    raft_->SetCommitCallbackOnAll([this](uint64_t index, const Bytes&) {
+    // (monotonic index guard; replicas apply in log order). The entry's
+    // payload identifies the block — the log index cannot, because a lost
+    // entry's index gets reused by a different block after a leader crash.
+    raft_->SetCommitCallbackOnAll([this](uint64_t index,
+                                         const Bytes& payload) {
       if (index <= raft_dispatched_) return;
       raft_dispatched_ = index;
-      const auto it = raft_pending_.find(index);
-      if (it == raft_pending_.end()) return;
+      if (payload.size() < 8) return;
+      uint64_t key = 0;
+      for (int i = 0; i < 8; ++i) {
+        key |= static_cast<uint64_t>(payload[i]) << (8 * i);
+      }
+      const auto it = raft_pending_.find(key);
+      if (it == raft_pending_.end()) return;  // Re-proposal already won.
       ConsensusPending pending = std::move(it->second);
       raft_pending_.erase(it);
       DispatchBlock(pending.channel, std::move(pending.block),
@@ -263,26 +457,39 @@ void OrdererNode::SubmitToConsensus(uint32_t channel,
     DispatchBlock(channel, std::move(block), block_bytes);
     return;
   }
-  // The consensus entry carries the block's bytes (size matters for the
-  // replication cost model; the content is tracked out-of-band).
-  const auto index = raft_->Propose(Bytes(block_bytes, 0));
-  if (index.has_value()) {
-    raft_pending_[*index] =
-        ConsensusPending{channel, std::move(block), block_bytes};
-    return;
+  const uint64_t key = PendingKey(channel, block->header.number);
+  raft_pending_[key] = ConsensusPending{channel, std::move(block),
+                                        block_bytes};
+  ProposeToRaft(key, block_bytes);
+}
+
+void OrdererNode::ProposeToRaft(uint64_t key, uint64_t block_bytes) {
+  if (raft_pending_.find(key) == raft_pending_.end()) return;  // Committed.
+  // The consensus entry carries the block's identity in its first 8 bytes
+  // and is padded to the block's wire size (replication cost model); the
+  // content itself is tracked out-of-band in raft_pending_.
+  Bytes payload(std::max<uint64_t>(block_bytes, 8), 0);
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<uint8_t>(key >> (8 * i));
   }
-  // No leader right now (election in progress): retry shortly.
-  net_->env().Schedule(20 * sim::kMillisecond,
-                       [this, channel, block = std::move(block),
-                        block_bytes]() mutable {
-                         SubmitToConsensus(channel, std::move(block),
-                                           block_bytes);
-                       });
+  const auto index = raft_->Propose(std::move(payload));
+  // Either no leader exists (election in progress: retry soon) or the
+  // proposal was accepted — in which case it can still be lost if the
+  // leader crashes before replicating it, so check back and re-propose
+  // until the commit callback clears the pending entry.
+  const sim::SimTime retry = index.has_value() ? 500 * sim::kMillisecond
+                                               : 20 * sim::kMillisecond;
+  net_->env().Schedule(retry, [this, key, block_bytes]() {
+    ProposeToRaft(key, block_bytes);
+  });
 }
 
 void OrdererNode::DispatchBlock(uint32_t channel,
                                 std::shared_ptr<proto::Block> block,
                                 uint64_t block_bytes) {
+  // Keep the block servable: peers that miss this delivery (loss, crash,
+  // partition) fetch it later via HandleBlockRequest.
+  channels_[channel].dispatched[block->header.number] = block;
   // Distribute to every peer (paper §2.2.2 / Appendix A.2 steps 8-9).
   if (!net_->config().gossip_blocks) {
     for (uint32_t p = 0; p < net_->num_peers(); ++p) {
@@ -315,6 +522,32 @@ void OrdererNode::DispatchBlock(uint32_t channel,
           }
         });
   }
+}
+
+void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
+                                     uint64_t from_number) {
+  ChannelState& ch = channels_[channel];
+  PeerNode* peer = &net_->peer(peer_index);
+  // Bounded batch per request: the peer re-requests from its new frontier
+  // until it reports parity (HandleChainInfo), so a long outage drains in
+  // successive rounds instead of one giant burst.
+  constexpr uint32_t kMaxBlocksPerFetch = 16;
+  uint32_t sent = 0;
+  for (auto it = ch.dispatched.lower_bound(from_number);
+       it != ch.dispatched.end() && sent < kMaxBlocksPerFetch; ++it, ++sent) {
+    std::shared_ptr<proto::Block> block = it->second;
+    const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
+    net_->network().Send(node_id_, peer->node_id(), block_bytes,
+                         [peer, channel, block]() {
+                           peer->HandleBlock(channel, block);
+                         });
+  }
+  const uint64_t highest =
+      ch.dispatched.empty() ? 0 : ch.dispatched.rbegin()->first;
+  net_->network().Send(node_id_, peer->node_id(), kMessageOverhead,
+                       [peer, channel, highest]() {
+                         peer->HandleChainInfo(channel, highest);
+                       });
 }
 
 void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
@@ -519,16 +752,73 @@ void ClientNode::FireWithRetries(std::vector<std::string> args,
   Submit(std::move(proposal));
 }
 
+sim::SimTime ClientNode::BackoffDelay(uint32_t retries_used) {
+  const FabricConfig& config = net_->config();
+  sim::SimTime delay = config.client_retry_backoff_base;
+  for (uint32_t i = 0;
+       i < retries_used && delay < config.client_retry_backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, config.client_retry_backoff_max);
+  if (config.client_retry_jitter > 0.0) {
+    // Uniform multiplier in [1 - j, 1 + j]: desynchronizes clients whose
+    // proposals aborted off the same event (block commit, fault window).
+    const double factor = 1.0 - config.client_retry_jitter +
+                          2.0 * config.client_retry_jitter * rng_.NextDouble();
+    delay = static_cast<sim::SimTime>(static_cast<double>(delay) * factor);
+  }
+  return std::max<sim::SimTime>(delay, 1);
+}
+
 void ClientNode::MaybeResubmit(uint64_t proposal_id) {
   const auto it = inflight_.find(proposal_id);
   if (it == inflight_.end()) return;
   InflightProposal inflight = std::move(it->second);
   inflight_.erase(it);
-  if (inflight.retries_used >= net_->config().client_max_retries) return;
-  if (net_->env().Now() >= fire_deadline_) return;
-  // Resubmit the same logical work as a fresh proposal: new simulation,
-  // new read versions (paper §4.1 / §5.2.1).
-  FireWithRetries(std::move(inflight.args), inflight.retries_used + 1);
+  const FabricConfig& config = net_->config();
+  if (!config.client_resubmit) return;
+  if (inflight.retries_used >= config.client_max_retries) return;
+  // fire_deadline_ == 0 means manual driving (no firing window).
+  if (fire_deadline_ != 0 && net_->env().Now() >= fire_deadline_) return;
+  // Resubmit the same logical work as a fresh proposal after a backoff:
+  // new simulation, new read versions (paper §4.1 / §5.2.1). Instant
+  // refiring would hammer a still-faulty pipeline with retry storms.
+  const uint32_t next_retries = inflight.retries_used + 1;
+  net_->env().Schedule(
+      BackoffDelay(inflight.retries_used),
+      [this, args = std::move(inflight.args), next_retries]() mutable {
+        if (fire_deadline_ != 0 && net_->env().Now() >= fire_deadline_) return;
+        FireWithRetries(std::move(args), next_retries);
+      });
+}
+
+void ClientNode::ArmEndorsementTimeout(uint64_t proposal_id) {
+  net_->env().Schedule(
+      net_->config().client_endorsement_timeout, [this, proposal_id]() {
+        const auto it = pending_.find(proposal_id);
+        if (it == pending_.end()) return;  // Completed or aborted already.
+        pending_.erase(it);
+        if (net_->metrics().ResolveFired(ProposalKey(name_, proposal_id),
+                                         TxOutcome::kAbortEndorsementTimeout,
+                                         net_->env().Now())) {
+          MaybeResubmit(proposal_id);
+        }
+      });
+}
+
+void ClientNode::ArmCommitTimeout(uint64_t proposal_id) {
+  net_->env().Schedule(
+      net_->config().client_commit_timeout, [this, proposal_id]() {
+        if (inflight_.find(proposal_id) == inflight_.end()) return;
+        // ResolveFired fails when the transaction already resolved (its
+        // commit event is merely in flight) — then do NOT resubmit, or
+        // committed work would be applied twice.
+        if (net_->metrics().ResolveFired(ProposalKey(name_, proposal_id),
+                                         TxOutcome::kAbortCommitTimeout,
+                                         net_->env().Now())) {
+          MaybeResubmit(proposal_id);
+        }
+      });
 }
 
 void ClientNode::HandleOutcome(uint64_t proposal_id, bool success) {
@@ -558,6 +848,7 @@ void ClientNode::Submit(proto::Proposal proposal) {
                 peer->HandleProposal(channel, std::move(proposal), index);
               });
         }
+        ArmEndorsementTimeout(proposal.proposal_id);
       });
 }
 
@@ -583,6 +874,12 @@ void ClientNode::HandleEndorsement(uint64_t proposal_id,
     return;
   }
 
+  // A duplicated reply from the same endorser must not count twice — the
+  // transaction would then carry two copies of one org's endorsement and
+  // miss another org's, failing the policy at validation.
+  for (const peer::EndorsementResponse& r : pending.responses) {
+    if (r.endorsement.peer == response->endorsement.peer) return;
+  }
   pending.responses.push_back(std::move(response).value());
   if (pending.responses.size() < pending.expected) return;
 
@@ -619,6 +916,7 @@ void ClientNode::Assemble(PendingProposal pending) {
           tx.endorsements.push_back(r.endorsement);
         }
         tx.ComputeTxId(pending.proposal);
+        const uint64_t proposal_id = tx.proposal_id;
         const uint64_t size = tx.ByteSize() + kMessageOverhead;
         OrdererNode* orderer = &net_->orderer();
         net_->network().Send(
@@ -626,6 +924,7 @@ void ClientNode::Assemble(PendingProposal pending) {
             [orderer, channel = channel_, tx = std::move(tx)]() mutable {
               orderer->HandleTransaction(channel, std::move(tx));
             });
+        ArmCommitTimeout(proposal_id);
       });
 }
 
@@ -638,10 +937,21 @@ FabricNetwork::FabricNetwork(FabricConfig config,
     : config_(config),
       workload_(workload),
       env_(),
+      injector_(&env_, config.seed),
       net_(&env_, config.network),
       registry_(chaincode::ChaincodeRegistry::WithBuiltins()),
       client_cpu_(&env_, "client-cpu", config.client_machine_cores),
       client_machine_node_(net_.AddNode("clients")) {
+  const Status valid = config_.Validate();
+  if (!valid.ok()) {
+    FABRICPP_LOG(Error) << "invalid FabricConfig: " << valid;
+    std::abort();
+  }
+  // Every message flows through the injector; with no fault plan configured
+  // it is pass-through and draws no randomness, so fault-free runs stay
+  // bit-identical to a network without it.
+  net_.set_fault_injector(&injector_);
+
   // Endorsement policy: one peer of every org (paper §2.2.1).
   peer::EndorsementPolicy policy;
   policy.id = "AND(all-orgs)";
@@ -702,7 +1012,45 @@ RunReport FabricNetwork::RunFor(sim::SimTime duration, sim::SimTime warmup) {
   metrics_.SetWindow(warmup, duration);
   for (auto& client : clients_) client->StartFiring(duration);
   env_.RunUntil(duration);
+  metrics_.SetNetworkFaultTotals(injector_.stats().TotalDropped(),
+                                 injector_.stats().duplicated);
   return metrics_.Report();
+}
+
+void FabricNetwork::SchedulePeerCrash(uint32_t peer_index, sim::SimTime start,
+                                      sim::SimTime end) {
+  PeerNode* peer = peers_[peer_index].get();
+  injector_.CrashNode(peer->node_id(), start, end);
+  env_.ScheduleAt(start, [peer]() { peer->Crash(); });
+  env_.ScheduleAt(end, [peer]() { peer->Restart(); });
+}
+
+void FabricNetwork::ScheduleRaftLeaderCrash(sim::SimTime at,
+                                            sim::SimTime duration) {
+  env_.ScheduleAt(at, [this, duration]() {
+    raft::RaftCluster* raft = orderer_->raft();
+    if (raft == nullptr) return;  // Solo backend: nothing to crash.
+    // Whoever leads right now is the victim; with an election in progress,
+    // take replica 0 so the fault still lands deterministically.
+    const uint32_t victim = raft->FindLeader().value_or(0);
+    FABRICPP_LOG(Info) << "crashing raft leader " << victim << " at "
+                       << env_.Now() / 1000 << "ms";
+    raft->node(victim).Crash();
+    env_.Schedule(duration, [raft, victim]() {
+      raft->node(victim).Resume();
+    });
+  });
+}
+
+void FabricNetwork::SyncPeers() {
+  env_.Schedule(0, [this]() {
+    for (auto& peer : peers_) {
+      if (peer->crashed()) continue;
+      for (uint32_t c = 0; c < config_.num_channels; ++c) {
+        peer->RequestMissingBlocks(c);
+      }
+    }
+  });
 }
 
 void FabricNetwork::SubmitProposal(uint32_t channel, uint32_t client_index,

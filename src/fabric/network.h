@@ -2,6 +2,7 @@
 #define FABRICPP_FABRIC_NETWORK_H_
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -46,7 +47,23 @@ class PeerNode {
                       uint32_t client_index);
 
   /// Delivery of a block from the ordering service (validation entry).
+  /// Blocks are admitted strictly in chain order: duplicates are discarded,
+  /// out-of-order arrivals are buffered, tampered payloads are rejected, and
+  /// a detected gap triggers a re-fetch from the orderer.
   void HandleBlock(uint32_t channel, std::shared_ptr<proto::Block> block);
+
+  /// Orderer's reply to a block-fetch request: the highest block number it
+  /// has dispatched so far on `channel`.
+  void HandleChainInfo(uint32_t channel, uint64_t orderer_height);
+
+  /// Crash simulation. Crash() drops everything in flight (running
+  /// simulations, queued blocks, the validation pipeline) but keeps the
+  /// durable state — ledger and state database — like a process kill on a
+  /// machine with an intact disk. Restart() rejoins and catches up on
+  /// missed blocks by fetching them from the orderer.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
 
   const ledger::Ledger& ledger(uint32_t channel) const {
     return channels_[channel].ledger;
@@ -86,6 +103,15 @@ class PeerNode {
     std::shared_ptr<proto::Block> current_block;
     std::deque<PendingSim> pending_sims;
     std::deque<std::shared_ptr<proto::Block>> pending_blocks;
+    /// Next block number this peer will admit into its pipeline. Blocks
+    /// below it are duplicates; blocks above it wait in reorder_buffer.
+    uint64_t next_accept = 1;
+    /// Out-of-order arrivals, keyed by block number.
+    std::map<uint64_t, std::shared_ptr<proto::Block>> reorder_buffer;
+    bool fetch_timer_armed = false;
+    /// Crash-recovery bookkeeping: set between Restart() and chain parity.
+    bool recovering = false;
+    sim::SimTime restart_time = 0;
   };
 
   void StartSimulation(uint32_t channel, PendingSim sim);
@@ -95,6 +121,15 @@ class PeerNode {
   void MaybeStartValidation(uint32_t channel);
   void TryStartCommit(uint32_t channel);
   void FinishCommit(uint32_t channel);
+  /// Moves contiguous buffered blocks into the validation queue.
+  void DrainReorderBuffer(uint32_t channel);
+  /// Asks the orderer to re-send blocks from next_accept on.
+  void RequestMissingBlocks(uint32_t channel);
+  /// Arms a one-shot retry timer that re-fetches while a gap persists.
+  void ArmFetchTimer(uint32_t channel);
+  /// Resets the channel's block pipeline after a rejected (corrupted)
+  /// block, so a clean copy can be re-fetched and admitted.
+  void ResyncChannel(uint32_t channel);
 
   FabricNetwork* net_;
   uint32_t index_;
@@ -105,6 +140,10 @@ class PeerNode {
   peer::Endorser endorser_;
   peer::Validator validator_;
   std::vector<ChannelState> channels_;
+  bool crashed_ = false;
+  /// Bumped on every crash; CPU-job callbacks from before the crash carry
+  /// the old epoch and turn into no-ops (the work died with the process).
+  uint64_t crash_epoch_ = 0;
 };
 
 /// The (trusted) ordering service: receives endorsed transactions, cuts
@@ -118,6 +157,15 @@ class OrdererNode {
 
   /// Delivery of a transaction from a client.
   void HandleTransaction(uint32_t channel, proto::Transaction tx);
+
+  /// A peer's catch-up request: re-send dispatched blocks of `channel`
+  /// numbered >= `from_number` (bounded per request), then report the
+  /// highest dispatched number so the peer knows whether it is caught up.
+  void HandleBlockRequest(uint32_t channel, uint32_t peer_index,
+                          uint64_t from_number);
+
+  /// Consensus backend (null for kSolo).
+  raft::RaftCluster* raft() { return raft_.get(); }
 
   uint64_t blocks_cut() const { return blocks_cut_; }
   const ordering::ReorderStats& last_reorder_stats() const {
@@ -138,6 +186,9 @@ class OrdererNode {
     /// are dispatched in chain order (the consensus log is sequential).
     std::deque<ordering::Batch> batch_queue;
     bool processing = false;
+    /// Every dispatched block, keyed by number — the delivery service peers
+    /// fetch from when they detect a gap or recover from a crash.
+    std::map<uint64_t, std::shared_ptr<proto::Block>> dispatched;
   };
 
   void Enqueue(uint32_t channel, proto::Transaction tx);
@@ -152,6 +203,10 @@ class OrdererNode {
   void SubmitToConsensus(uint32_t channel,
                          std::shared_ptr<proto::Block> block,
                          uint64_t block_bytes);
+  /// Proposes the pending block identified by `key` to the Raft cluster,
+  /// re-proposing until it commits — a leader crash can lose an accepted
+  /// entry before replication, and the block must not be lost with it.
+  void ProposeToRaft(uint64_t key, uint64_t block_bytes);
   /// Ships a consensus-committed block to every peer.
   void DispatchBlock(uint32_t channel, std::shared_ptr<proto::Block> block,
                      uint64_t block_bytes);
@@ -162,6 +217,12 @@ class OrdererNode {
     uint64_t block_bytes;
   };
 
+  /// Identity of a block in consensus: (channel, block number). Stable
+  /// across re-proposals, unlike the Raft log index.
+  static uint64_t PendingKey(uint32_t channel, uint64_t number) {
+    return (static_cast<uint64_t>(channel) << 48) | number;
+  }
+
   FabricNetwork* net_;
   sim::NodeId node_id_;
   sim::Resource cpu_;
@@ -170,6 +231,7 @@ class OrdererNode {
   ordering::ReorderStats last_reorder_stats_;
   /// Raft backend state (null for kSolo).
   std::unique_ptr<raft::RaftCluster> raft_;
+  /// Blocks awaiting consensus commit, keyed by PendingKey.
   std::unordered_map<uint64_t, ConsensusPending> raft_pending_;
   uint64_t raft_dispatched_ = 0;
 };
@@ -221,7 +283,16 @@ class ClientNode {
   void FireWithRetries(std::vector<std::string> args, uint32_t retries_used);
   void Submit(proto::Proposal proposal);
   void Assemble(PendingProposal pending);
+  /// Resubmits an aborted proposal after an exponential-backoff delay with
+  /// jitter, while the retry budget and firing window allow it.
   void MaybeResubmit(uint64_t proposal_id);
+  sim::SimTime BackoffDelay(uint32_t retries_used);
+  /// Aborts the proposal if its endorsements have not all arrived when the
+  /// endorsement timeout expires (covers lost proposals/replies).
+  void ArmEndorsementTimeout(uint64_t proposal_id);
+  /// Abandons the transaction if no outcome arrived within the commit
+  /// timeout of its submission to ordering.
+  void ArmCommitTimeout(uint64_t proposal_id);
 
   FabricNetwork* net_;
   uint32_t index_;
@@ -263,6 +334,30 @@ class FabricNetwork {
   /// env().RunUntil(...) there.
   void RunUntilIdle() { env_.Run(); }
 
+  // --- Fault plan (tentpole of the robustness work) ---
+
+  /// The injector every message of this network flows through. Configure
+  /// loss/duplication/delay/partitions on it before (or during) a run.
+  sim::FaultInjector& fault_injector() { return injector_; }
+
+  /// Crashes peer `peer_index` over [start, end): the injector blackholes
+  /// its traffic, the peer drops its in-flight pipeline at `start`, and at
+  /// `end` it restarts and catches up from the orderer.
+  void SchedulePeerCrash(uint32_t peer_index, sim::SimTime start,
+                         sim::SimTime end);
+
+  /// At virtual time `at`, crashes whichever Raft replica currently leads
+  /// (no-op for the solo backend) and resumes it after `duration`. The
+  /// cluster elects a new leader in the meantime — ordering stalls, then
+  /// recovers; no block may be lost.
+  void ScheduleRaftLeaderCrash(sim::SimTime at, sim::SimTime duration);
+
+  /// One-shot anti-entropy: every live peer asks the orderer for blocks it
+  /// is missing. Chaos drivers call this after healing the network — a
+  /// dropped tail block has no successor to reveal the gap, so without a
+  /// pull the ledgers could end one block apart forever.
+  void SyncPeers();
+
   // --- Component access ---
   sim::Environment& env() { return env_; }
   sim::Network& network() { return net_; }
@@ -302,6 +397,7 @@ class FabricNetwork {
   FabricConfig config_;
   const workload::Workload* workload_;
   sim::Environment env_;
+  sim::FaultInjector injector_;
   sim::Network net_;
   Metrics metrics_;
   std::unique_ptr<chaincode::ChaincodeRegistry> registry_;

@@ -50,8 +50,21 @@ BlockValidationResult Validator::ValidateAndCommit(
   result.codes.resize(block.transactions.size(),
                       proto::TxValidationCode::kNotValidated);
 
+  std::unordered_set<std::string> block_tx_ids;
   for (uint32_t i = 0; i < block.transactions.size(); ++i) {
     const proto::Transaction& tx = block.transactions[i];
+
+    // Replay protection (Fabric's DUPLICATE_TXID check): a transaction id
+    // already on the ledger — or earlier in this very block — must not
+    // commit again. Without this, a network-duplicated read-only
+    // transaction passes MVCC every time (its reads bump no versions).
+    if (!tx.tx_id.empty() &&
+        ((ledger != nullptr && ledger->FindTransaction(tx.tx_id).ok()) ||
+         !block_tx_ids.insert(tx.tx_id).second)) {
+      result.codes[i] = proto::TxValidationCode::kDuplicateTxId;
+      ++result.num_duplicate_txids;
+      continue;
+    }
 
     // First check: endorsement policy + signatures (Appendix A.3.1).
     if (!CheckEndorsementPolicy(tx)) {

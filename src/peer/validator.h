@@ -19,6 +19,7 @@ struct BlockValidationResult {
   uint32_t num_valid = 0;
   uint32_t num_mvcc_conflicts = 0;
   uint32_t num_policy_failures = 0;
+  uint32_t num_duplicate_txids = 0;
 };
 
 /// The validation + commit phase of a peer (paper §2.2.3-§2.2.4 /

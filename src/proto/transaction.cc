@@ -29,6 +29,8 @@ std::string_view TxValidationCodeToString(TxValidationCode code) {
       return "ABORTED_VERSION_SKEW";
     case TxValidationCode::kAbortedStaleSimulation:
       return "ABORTED_STALE_SIMULATION";
+    case TxValidationCode::kDuplicateTxId:
+      return "DUPLICATE_TXID";
     case TxValidationCode::kNotValidated:
       return "NOT_VALIDATED";
   }

@@ -52,6 +52,10 @@ enum class TxValidationCode : uint8_t {
   /// Fabric++: the simulation itself detected a stale read and the proposal
   /// never became a transaction (paper §5.2.1).
   kAbortedStaleSimulation,
+  /// Replay protection: this transaction id is already on the ledger (or
+  /// appeared earlier in the same block). Catches duplicated submissions —
+  /// a read-only transaction would otherwise pass MVCC any number of times.
+  kDuplicateTxId,
   kNotValidated,
 };
 

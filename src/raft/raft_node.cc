@@ -50,6 +50,16 @@ void RaftNode::Resume() {
   ResetElectionTimer();
 }
 
+void RaftNode::Crash() {
+  stopped_ = true;
+  role_ = Role::kFollower;
+  votes_received_ = 0;
+  next_index_.clear();
+  match_index_.clear();
+  // Invalidate any armed election timer; Resume() arms a fresh one.
+  ++election_timer_generation_;
+}
+
 void RaftNode::BecomeFollower(uint64_t term) {
   current_term_ = term;
   role_ = Role::kFollower;
@@ -288,6 +298,13 @@ std::optional<uint32_t> RaftCluster::FindLeader() const {
 
 void RaftCluster::SetCommitCallbackOnAll(const RaftNode::CommitCallback& cb) {
   for (auto& node : nodes_) node->set_commit_callback(cb);
+}
+
+void RaftCluster::ScheduleCrash(uint32_t id, sim::SimTime start,
+                                sim::SimTime end) {
+  if (injector_ != nullptr) injector_->CrashNode(MappedId(id), start, end);
+  env_->ScheduleAt(start, [this, id]() { nodes_[id]->Crash(); });
+  env_->ScheduleAt(end, [this, id]() { nodes_[id]->Resume(); });
 }
 
 }  // namespace fabricpp::raft

@@ -70,6 +70,12 @@ class RaftNode {
   void Stop() { stopped_ = true; }
   void Resume();
 
+  /// Crash is Stop plus loss of volatile state: candidate vote tallies and
+  /// leader replication indices are gone when the process dies. The log,
+  /// term and vote survive (they are persisted in real Raft). Restart via
+  /// Resume(), which rejoins as a follower.
+  void Crash();
+
   // --- Message handlers (invoked by RaftCluster on delivery) ---
   struct RequestVote {
     uint64_t term;
@@ -184,15 +190,49 @@ class RaftCluster {
   /// leader's, but the ordering service wants every replica's view).
   void SetCommitCallbackOnAll(const RaftNode::CommitCallback& cb);
 
+  /// Routes the cluster's transport through a fault injector. `node_ids`
+  /// maps replica id -> sim network node id (one entry per replica); the
+  /// injector then sees Raft traffic on those ids and can drop, duplicate,
+  /// delay or partition it like any other link.
+  void SetFaultInjector(sim::FaultInjector* injector,
+                        std::vector<sim::NodeId> node_ids) {
+    injector_ = injector;
+    node_ids_ = std::move(node_ids);
+  }
+
+  /// Crashes replica `id` over the virtual-time window [start, end): the
+  /// injector blackholes its traffic and the node loses volatile state at
+  /// `start`, then rejoins as a follower at `end`.
+  void ScheduleCrash(uint32_t id, sim::SimTime start, sim::SimTime end);
+
   // --- Transport (used by RaftNode) ---
   template <typename Message>
   void Send(uint32_t from, uint32_t to, uint64_t payload_bytes, Message msg) {
-    (void)from;
-    const sim::SimTime delay =
+    sim::SimTime delay =
         params_.message_latency +
         static_cast<sim::SimTime>(payload_bytes / params_.bytes_per_us);
+    if (injector_ == nullptr) {
+      env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
+        nodes_[to]->Handle(msg);
+      });
+      return;
+    }
+    const sim::FaultInjector::SendDecision decision =
+        injector_->OnSend(MappedId(from), MappedId(to));
+    if (!decision.deliver) return;
+    delay += decision.extra_delay;
+    if (decision.duplicate) {
+      // Raft handlers are idempotent, so a duplicated RPC is harmless —
+      // which is exactly the property the chaos suite exercises.
+      Message copy = msg;
+      env_->Schedule(
+          delay + params_.message_latency + decision.duplicate_extra_delay,
+          [this, to, copy = std::move(copy)]() {
+            if (injector_->OnDeliver(MappedId(to))) nodes_[to]->Handle(copy);
+          });
+    }
     env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
-      nodes_[to]->Handle(msg);
+      if (injector_->OnDeliver(MappedId(to))) nodes_[to]->Handle(msg);
     });
   }
 
@@ -200,9 +240,16 @@ class RaftCluster {
   void CountMessage() { ++messages_sent_; }
 
  private:
+  sim::NodeId MappedId(uint32_t replica) const {
+    return replica < node_ids_.size() ? node_ids_[replica]
+                                      : static_cast<sim::NodeId>(replica);
+  }
+
   sim::Environment* env_;
   Params params_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
+  sim::FaultInjector* injector_ = nullptr;
+  std::vector<sim::NodeId> node_ids_;
   uint64_t messages_sent_ = 0;
 };
 

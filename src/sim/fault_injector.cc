@@ -1,0 +1,101 @@
+#include "sim/fault_injector.h"
+
+namespace fabricpp::sim {
+
+void FaultInjector::PartitionLink(NodeId from, NodeId to, SimTime start,
+                                  SimTime end) {
+  partitions_[LinkKey(from, to)].push_back(Window{start, end});
+}
+
+void FaultInjector::PartitionPair(NodeId a, NodeId b, SimTime start,
+                                  SimTime end) {
+  PartitionLink(a, b, start, end);
+  PartitionLink(b, a, start, end);
+}
+
+void FaultInjector::CrashNode(NodeId node, SimTime start, SimTime end) {
+  crashes_[node].push_back(Window{start, end});
+}
+
+void FaultInjector::ClearLinkFaults() {
+  default_faults_ = LinkFaults{};
+  link_faults_.clear();
+  targeted_drops_.clear();
+}
+
+bool FaultInjector::InAnyWindow(const std::vector<Window>& windows,
+                                SimTime t) {
+  for (const Window& w : windows) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::IsCrashed(NodeId node) const {
+  const auto it = crashes_.find(node);
+  return it != crashes_.end() && InAnyWindow(it->second, env_->Now());
+}
+
+bool FaultInjector::IsPartitioned(NodeId from, NodeId to) const {
+  const auto it = partitions_.find(LinkKey(from, to));
+  return it != partitions_.end() && InAnyWindow(it->second, env_->Now());
+}
+
+FaultInjector::SendDecision FaultInjector::OnSend(NodeId from, NodeId to) {
+  SendDecision decision;
+  // A crashed sender transmits nothing. The receiver is checked at delivery
+  // time (OnDeliver) so a message can race into a crash window.
+  if (IsCrashed(from)) {
+    ++stats_.dropped_crash;
+    decision.deliver = false;
+    return decision;
+  }
+  if (IsPartitioned(from, to)) {
+    ++stats_.dropped_partition;
+    decision.deliver = false;
+    return decision;
+  }
+  if (!targeted_drops_.empty()) {
+    const auto it = targeted_drops_.find(LinkKey(from, to));
+    if (it != targeted_drops_.end() && it->second > 0) {
+      if (--it->second == 0) targeted_drops_.erase(it);
+      ++stats_.dropped_targeted;
+      decision.deliver = false;
+      return decision;
+    }
+  }
+  const LinkFaults* faults = &default_faults_;
+  if (!link_faults_.empty()) {
+    const auto it = link_faults_.find(LinkKey(from, to));
+    if (it != link_faults_.end()) faults = &it->second;
+  }
+  if (!faults->any()) return decision;
+  if (faults->loss_prob > 0 && rng_.NextBool(faults->loss_prob)) {
+    ++stats_.dropped_loss;
+    decision.deliver = false;
+    return decision;
+  }
+  if (faults->max_extra_delay > 0) {
+    decision.extra_delay = rng_.NextUint64(faults->max_extra_delay + 1);
+    if (decision.extra_delay > 0) ++stats_.delayed;
+  }
+  if (faults->duplicate_prob > 0 && rng_.NextBool(faults->duplicate_prob)) {
+    decision.duplicate = true;
+    if (faults->max_extra_delay > 0) {
+      decision.duplicate_extra_delay =
+          rng_.NextUint64(faults->max_extra_delay + 1);
+    }
+    ++stats_.duplicated;
+  }
+  return decision;
+}
+
+bool FaultInjector::OnDeliver(NodeId to) {
+  if (IsCrashed(to)) {
+    ++stats_.dropped_crash;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fabricpp::sim

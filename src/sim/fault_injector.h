@@ -1,0 +1,153 @@
+#ifndef FABRICPP_SIM_FAULT_INJECTOR_H_
+#define FABRICPP_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/environment.h"
+#include "sim/time.h"
+
+namespace fabricpp::sim {
+
+/// Node handle within the simulated network (dense id). Defined here so the
+/// fault layer does not depend on the message fabric; sim/network.h re-uses
+/// this alias.
+using NodeId = uint32_t;
+
+/// Probabilistic per-link fault parameters. All probabilities are evaluated
+/// per message with the injector's own seeded RNG, so a fault plan replays
+/// bit-for-bit from its seed.
+struct LinkFaults {
+  /// Probability that a message is lost in flight (egress is still charged —
+  /// the sender transmitted; the network ate it).
+  double loss_prob = 0.0;
+  /// Probability that a message is delivered twice (models retransmission
+  /// races); the duplicate arrives one extra latency later.
+  double duplicate_prob = 0.0;
+  /// Uniform extra delivery jitter in [0, max_extra_delay] microseconds.
+  SimTime max_extra_delay = 0;
+
+  bool any() const {
+    return loss_prob > 0 || duplicate_prob > 0 || max_extra_delay > 0;
+  }
+};
+
+/// Counters for every fault the injector actually caused.
+struct FaultStats {
+  uint64_t dropped_loss = 0;       ///< Random per-link loss.
+  uint64_t dropped_partition = 0;  ///< Link inside a partition window.
+  uint64_t dropped_crash = 0;      ///< Sender or receiver crashed.
+  uint64_t dropped_targeted = 0;   ///< DropNextMessages one-shots.
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+
+  uint64_t TotalDropped() const {
+    return dropped_loss + dropped_partition + dropped_crash + dropped_targeted;
+  }
+};
+
+/// Deterministic fault-injection plan for the discrete-event simulation.
+///
+/// The injector sits between senders and the event queue: sim::Network (and
+/// the Raft transport) consult it on every Send, so every component in the
+/// pipeline inherits faults with zero call-site changes. Supported faults:
+///
+///  - per-link probabilistic loss, duplication and delay jitter
+///    (SetDefaultLinkFaults / SetLinkFaults),
+///  - directed link partitions over virtual-time windows, healing
+///    automatically at window end (PartitionLink / PartitionPair),
+///  - node crash windows: messages from a crashed node are dropped at send
+///    time, messages to it at delivery time (CrashNode),
+///  - targeted one-shot drops for tests (DropNextMessages).
+///
+/// Windows are half-open [start, end) and evaluated against the virtual
+/// clock, so no heal events need to be scheduled and the whole plan is a
+/// pure function of (seed, plan, message sequence) — the same seed replays
+/// the identical fault schedule bit-for-bit.
+class FaultInjector {
+ public:
+  FaultInjector(Environment* env, uint64_t seed)
+      : env_(env), rng_(seed ^ 0xfa017c7ed5eedULL) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Plan construction ---
+
+  /// Faults applied to every link without a per-link override.
+  void SetDefaultLinkFaults(LinkFaults faults) { default_faults_ = faults; }
+
+  /// Per-link override (directed: from -> to).
+  void SetLinkFaults(NodeId from, NodeId to, LinkFaults faults) {
+    link_faults_[LinkKey(from, to)] = faults;
+  }
+
+  /// Drops every from -> to message inside [start, end).
+  void PartitionLink(NodeId from, NodeId to, SimTime start, SimTime end);
+
+  /// Partitions both directions between `a` and `b` over [start, end).
+  void PartitionPair(NodeId a, NodeId b, SimTime start, SimTime end);
+
+  /// The node neither sends nor receives inside [start, end). This is the
+  /// network view of a crash; component state (a peer's pipeline, a Raft
+  /// replica's timers) is handled by the component's own Crash/Restart.
+  void CrashNode(NodeId node, SimTime start, SimTime end);
+
+  /// Deterministically drops the next `count` messages sent from -> to
+  /// (evaluated before probabilistic faults). Test hook for targeted
+  /// scenarios like "lose exactly this endorsement reply".
+  void DropNextMessages(NodeId from, NodeId to, uint32_t count) {
+    targeted_drops_[LinkKey(from, to)] += count;
+  }
+
+  /// Removes all probabilistic link faults and pending targeted drops.
+  /// Partition and crash windows are left in place (they heal on their own
+  /// at window end). Used by chaos drivers to heal the network for drain.
+  void ClearLinkFaults();
+
+  // --- Queries ---
+
+  bool IsCrashed(NodeId node) const;
+  bool IsPartitioned(NodeId from, NodeId to) const;
+
+  /// Decision for one message send at Now().
+  struct SendDecision {
+    bool deliver = true;
+    bool duplicate = false;
+    SimTime extra_delay = 0;
+    SimTime duplicate_extra_delay = 0;
+  };
+  SendDecision OnSend(NodeId from, NodeId to);
+
+  /// Delivery-time check: false if the receiver is crashed (the message
+  /// raced a crash window and must be dropped). Counts the drop.
+  bool OnDeliver(NodeId to);
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  struct Window {
+    SimTime start;
+    SimTime end;
+  };
+
+  static uint64_t LinkKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+  static bool InAnyWindow(const std::vector<Window>& windows, SimTime t);
+
+  Environment* env_;
+  Rng rng_;
+  LinkFaults default_faults_;
+  std::unordered_map<uint64_t, LinkFaults> link_faults_;
+  std::unordered_map<uint64_t, std::vector<Window>> partitions_;
+  std::unordered_map<NodeId, std::vector<Window>> crashes_;
+  std::unordered_map<uint64_t, uint32_t> targeted_drops_;
+  FaultStats stats_;
+};
+
+}  // namespace fabricpp::sim
+
+#endif  // FABRICPP_SIM_FAULT_INJECTOR_H_

@@ -19,10 +19,34 @@ void Network::Send(NodeId from, NodeId to, uint64_t size_bytes,
   const SimTime tx_time = static_cast<SimTime>(
       static_cast<double>(size_bytes) / params_.bandwidth_bytes_per_us);
   sender.egress_free_at = start + tx_time;
-  const SimTime deliver_at = sender.egress_free_at + params_.latency;
+  SimTime deliver_at = sender.egress_free_at + params_.latency;
   ++messages_sent_;
   bytes_sent_ += size_bytes;
-  env_->ScheduleAt(deliver_at, std::move(on_deliver));
+  if (injector_ == nullptr) {
+    env_->ScheduleAt(deliver_at, std::move(on_deliver));
+    return;
+  }
+  const FaultInjector::SendDecision decision = injector_->OnSend(from, to);
+  // Egress was already charged: a lost message was transmitted and then
+  // eaten by the network, it does not refund the sender's NIC time.
+  if (!decision.deliver) return;
+  deliver_at += decision.extra_delay;
+  FaultInjector* injector = injector_;
+  if (decision.duplicate) {
+    // The duplicate is a retransmission: it arrives one extra latency (plus
+    // its own jitter) after the original. Each std::function copy owns its
+    // captures, so delivering both copies is safe.
+    Callback copy = on_deliver;
+    env_->ScheduleAt(
+        deliver_at + params_.latency + decision.duplicate_extra_delay,
+        [injector, to, copy = std::move(copy)]() {
+          if (injector->OnDeliver(to)) copy();
+        });
+  }
+  env_->ScheduleAt(deliver_at,
+                   [injector, to, cb = std::move(on_deliver)]() {
+                     if (injector->OnDeliver(to)) cb();
+                   });
 }
 
 }  // namespace fabricpp::sim

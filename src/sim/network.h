@@ -8,12 +8,10 @@
 #include <vector>
 
 #include "sim/environment.h"
+#include "sim/fault_injector.h"
 #include "sim/time.h"
 
 namespace fabricpp::sim {
-
-/// Node handle within the simulated network (dense id).
-using NodeId = uint32_t;
 
 /// Network cost parameters modeling the paper's rack-local gigabit Ethernet
 /// (§6.1: six servers in one rack).
@@ -42,8 +40,15 @@ class Network {
   NodeId AddNode(std::string name);
 
   /// Sends `size_bytes` from `from` to `to`; `on_deliver` runs at the
-  /// receiver when the message arrives.
+  /// receiver when the message arrives. When a fault injector is attached,
+  /// the message may be dropped, duplicated or delayed per the active fault
+  /// plan — callers never see the difference beyond the missing/extra
+  /// delivery, which is exactly how real message loss presents.
   void Send(NodeId from, NodeId to, uint64_t size_bytes, Callback on_deliver);
+
+  /// Attaches a fault plan; nullptr (the default) is a perfect network.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   size_t num_nodes() const { return nodes_.size(); }
   const std::string& node_name(NodeId id) const { return nodes_[id].name; }
@@ -58,6 +63,7 @@ class Network {
 
   Environment* env_;
   NetworkParams params_;
+  FaultInjector* injector_ = nullptr;
   std::vector<Node> nodes_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;

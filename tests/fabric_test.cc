@@ -39,6 +39,37 @@ SmallbankConfig SmallSmallbank() {
   return wl;
 }
 
+TEST(FabricConfigTest, ValidateAcceptsDefaultsAndRejectsBadRetryKnobs) {
+  FabricConfig config = FabricConfig::Vanilla();
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(FabricConfig::FabricPlusPlus().Validate().ok());
+
+  config.client_max_retries = 0;
+  EXPECT_FALSE(config.Validate().ok());  // 0 retries with resubmit on.
+  config.client_resubmit = false;
+  EXPECT_TRUE(config.Validate().ok());  // Off switch makes 0 legal.
+
+  config = FabricConfig::Vanilla();
+  config.client_max_retries = 65;  // Backoff shift would overflow.
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = FabricConfig::Vanilla();
+  config.client_retry_backoff_base = 0;  // Instant retries: storms.
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = FabricConfig::Vanilla();
+  config.client_retry_backoff_max = config.client_retry_backoff_base - 1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = FabricConfig::Vanilla();
+  config.client_retry_jitter = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = FabricConfig::Vanilla();
+  config.client_commit_timeout = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
 TEST(FabricNetworkTest, VanillaCommitsTransactions) {
   SmallbankWorkload workload(SmallSmallbank());
   FabricNetwork network(QuickVanilla(), &workload);
@@ -269,7 +300,7 @@ TEST(FabricNetworkTest, BlankWorkloadMatchesMeaningfulThroughput) {
   FabricConfig config = QuickVanilla();
   // Retries would inflate the meaningful totals (blank never aborts); the
   // comparison is about raw pipeline capacity.
-  config.client_max_retries = 0;
+  config.client_resubmit = false;
   RunReport blank_report, meaningful_report;
   {
     FabricNetwork network(config, &blank);

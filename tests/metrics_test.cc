@@ -86,15 +86,15 @@ workload::SmallbankConfig ContendedConfig() {
 TEST(PipelineBehaviourTest, ResubmissionAddsRetriedProposals) {
   workload::SmallbankWorkload workload(ContendedConfig());
   uint64_t with_retries = 0, without_retries = 0;
-  for (const uint32_t retries : {0u, 3u}) {
+  for (const bool resubmit : {false, true}) {
     FabricConfig config = FabricConfig::Vanilla();
     config.block.max_transactions = 64;
     config.client_fire_rate_tps = 100;
-    config.client_max_retries = retries;
+    config.client_resubmit = resubmit;
     FabricNetwork network(config, &workload);
     const RunReport report = network.RunFor(4 * sim::kSecond);
     const uint64_t total = report.successful + report.failed;
-    (retries > 0 ? with_retries : without_retries) = total;
+    (resubmit ? with_retries : without_retries) = total;
   }
   // Retries re-enter the pipeline, so more transactions resolve in total.
   EXPECT_GT(with_retries, without_retries);
@@ -137,7 +137,7 @@ TEST(PipelineBehaviourTest, ZeroRetriesNeverResubmits) {
   FabricConfig config = FabricConfig::Vanilla();
   config.block.max_transactions = 32;
   config.client_fire_rate_tps = 100;
-  config.client_max_retries = 0;
+  config.client_resubmit = false;
   FabricNetwork network(config, &workload);
   const RunReport report = network.RunFor(4 * sim::kSecond);
   // 4 clients x 100 tps x 4 s = 1600 fired; resolutions cannot exceed it.

@@ -249,6 +249,27 @@ TEST_F(PeerFixture, SequentialBlocksCommitSequentially) {
   EXPECT_EQ(db_.GetVersion("bal_A"), (proto::Version{2, 0}));
 }
 
+TEST_F(PeerFixture, DuplicateTxIdWithinBlockRejected) {
+  // A read-only duplicate would pass MVCC (no versions bump); replay
+  // protection must catch it by transaction id instead.
+  const proto::Transaction tx = MakeTransaction(TransferProposal("10"));
+  const auto result =
+      validator_.ValidateAndCommit(MakeBlock(1, {tx, tx}), &db_, &ledger_);
+  EXPECT_EQ(result.codes[0], proto::TxValidationCode::kValid);
+  EXPECT_EQ(result.codes[1], proto::TxValidationCode::kDuplicateTxId);
+  EXPECT_EQ(result.num_duplicate_txids, 1u);
+  EXPECT_EQ(db_.Get("bal_A")->value, "90");  // Applied exactly once.
+}
+
+TEST_F(PeerFixture, DuplicateTxIdAcrossBlocksRejected) {
+  const proto::Transaction tx = MakeTransaction(TransferProposal("10"));
+  (void)validator_.ValidateAndCommit(MakeBlock(1, {tx}), &db_, &ledger_);
+  const auto result =
+      validator_.ValidateAndCommit(MakeBlock(2, {tx}), &db_, &ledger_);
+  EXPECT_EQ(result.codes[0], proto::TxValidationCode::kDuplicateTxId);
+  EXPECT_EQ(db_.Get("bal_A")->value, "90");
+}
+
 TEST_F(PeerFixture, InvalidTransactionWritesDiscarded) {
   proto::Transaction tx = MakeTransaction(TransferProposal("30"));
   tx.rwset.writes[0].value = "31337";  // Tamper -> policy failure.

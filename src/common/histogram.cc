@@ -62,12 +62,20 @@ double Histogram::Mean() const {
 double Histogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  // Rank 0 would match before any recorded value (the empty zero bucket
+  // satisfies `seen >= 0`), making Quantile(0.0) report 0 instead of the
+  // minimum — clamp to the first recorded value's rank.
+  const uint64_t rank =
+      std::max<uint64_t>(static_cast<uint64_t>(std::ceil(q * count_)), 1);
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
-      return static_cast<double>(std::min(bucket_limit_[i], max_));
+      // The bucket's upper bound can overshoot on both ends: clamp into
+      // the recorded [min_, max_] range so low quantiles never report
+      // below the true minimum.
+      return static_cast<double>(
+          std::clamp(bucket_limit_[i], min_, max_));
     }
   }
   return static_cast<double>(max_);

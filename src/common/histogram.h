@@ -26,7 +26,8 @@ class Histogram {
   uint64_t max() const { return max_; }
   double Mean() const;
   /// Quantile in [0, 1], e.g. 0.5 for the median. Returns an upper bound of
-  /// the bucket containing the quantile (0 on an empty histogram).
+  /// the bucket containing the quantile, clamped into [min(), max()] so
+  /// Quantile(0.0) is the recorded minimum (0 on an empty histogram).
   double Quantile(double q) const;
 
   /// "count=... mean=... p50=... p95=... p99=... max=..." one-liner.

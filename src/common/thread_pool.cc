@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+namespace fabricpp {
+
+ThreadPool::ThreadPool(uint32_t extra_threads) {
+  threads_.reserve(extra_threads);
+  for (uint32_t i = 0; i < extra_threads; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock,
+                  [&]() { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    // Adopt the current task under the lock: fn_/n_/generation_ form a
+    // consistent snapshot, and active_workers_ keeps the *next* ParallelFor
+    // from recycling next_/fn_ while this worker is still mid-task.
+    seen = generation_;
+    if (fn_ == nullptr) continue;  // Woke after the task fully drained.
+    const std::function<void(size_t)>* fn = fn_;
+    const size_t n = n_;
+    ++active_workers_;
+    lock.unlock();
+
+    size_t done = 0;
+    while (true) {
+      const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*fn)(i);
+      ++done;
+    }
+
+    lock.lock();
+    completed_ += done;
+    --active_workers_;
+    if (completed_ == n_ && active_workers_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  n_ = n;
+  completed_ = 0;
+  next_.store(0, std::memory_order_relaxed);
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  // The caller is a worker too; a pool is never left idle waiting on it.
+  size_t done = 0;
+  while (true) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    ++done;
+  }
+
+  lock.lock();
+  completed_ += done;
+  // Wait for stragglers: every index was claimed, but the last claims may
+  // still be executing — and a worker that adopted this generation must
+  // check out before fn_/next_ can be reused.
+  done_cv_.wait(lock,
+                [&]() { return completed_ == n_ && active_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace fabricpp

@@ -40,6 +40,11 @@ Status FabricConfig::Validate() const {
   if (peer_cores == 0 || orderer_cores == 0 || client_machine_cores == 0) {
     return Status::InvalidArgument("every machine needs at least one core");
   }
+  if (validator_workers == 0 || validator_workers > 256) {
+    return Status::InvalidArgument(
+        "validator_workers must be in [1, 256]: it counts host threads "
+        "(including the committing one) running real signature checks");
+  }
   if (client_resubmit) {
     if (client_max_retries == 0) {
       return Status::InvalidArgument(

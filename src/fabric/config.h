@@ -125,6 +125,14 @@ struct FabricConfig {
   uint32_t orderer_cores = 8;
   uint32_t client_machine_cores = 8;  ///< All clients share one machine.
   sim::NetworkParams network;
+  /// Host threads running the validators' *real* signature-verification
+  /// work (Fabric 1.2's validator workers), counting the committing thread:
+  /// 1 = fully serial, N = the verify stage fans out N-wide on a shared
+  /// ThreadPool. This only accelerates wall-clock crypto execution — the
+  /// virtual-clock simulation stays single-threaded and every simulation
+  /// output (validation codes, metrics, chain hashes) is byte-identical for
+  /// any value. Must be in [1, 256].
+  uint32_t validator_workers = 1;
 
   // --- Block formation (paper Table 5) ---
   ordering::BatchCutConfig block;

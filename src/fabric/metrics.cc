@@ -32,6 +32,18 @@ std::string_view TxOutcomeToString(TxOutcome outcome) {
   return "UNKNOWN";
 }
 
+std::string ValidationWallClock::ToString() const {
+  const double blocks_d = blocks == 0 ? 1.0 : static_cast<double>(blocks);
+  return StrFormat(
+      "blocks=%llu verify_total=%.2fms commit_total=%.2fms "
+      "verify_avg=%.1fus commit_avg=%.1fus",
+      static_cast<unsigned long long>(blocks),
+      static_cast<double>(verify_ns) / 1e6,
+      static_cast<double>(commit_ns) / 1e6,
+      static_cast<double>(verify_ns) / 1e3 / blocks_d,
+      static_cast<double>(commit_ns) / 1e3 / blocks_d);
+}
+
 std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
   return StrFormat("%s/%llu", client.c_str(),
                    static_cast<unsigned long long>(proposal_id));

@@ -74,6 +74,21 @@ struct RunReport {
   std::string ToString() const;
 };
 
+/// Host wall-clock spent in the validator's two stages, accumulated across
+/// all blocks the observer peer committed. **Not part of RunReport**: these
+/// are real (std::chrono) measurements of the crypto work, so they vary
+/// run-to-run and with `validator_workers` — folding them into the report
+/// would break the bit-identical-across-worker-counts guarantee the
+/// determinism tests assert. Benches read them via
+/// Metrics::validation_wall_clock().
+struct ValidationWallClock {
+  uint64_t blocks = 0;
+  uint64_t verify_ns = 0;  ///< Parallel endorsement/signature stage.
+  uint64_t commit_ns = 0;  ///< Sequential MVCC/write/append stage.
+
+  std::string ToString() const;
+};
+
 /// Collects transaction outcomes during a simulation run.
 ///
 /// Only events inside the measurement window [window_start, window_end)
@@ -114,6 +129,17 @@ class Metrics {
   /// with the orderer's chain.
   void NoteRecovery(sim::SimTime duration) { recovery_us_.Add(duration); }
 
+  /// Host wall-clock of one block's verify/commit stages (observer peer).
+  /// Accumulated outside the deterministic report — see ValidationWallClock.
+  void NoteValidationWallClock(uint64_t verify_ns, uint64_t commit_ns) {
+    ++validation_wall_.blocks;
+    validation_wall_.verify_ns += verify_ns;
+    validation_wall_.commit_ns += commit_ns;
+  }
+  const ValidationWallClock& validation_wall_clock() const {
+    return validation_wall_;
+  }
+
   /// Injector totals, folded into the report by the harness after the run.
   void SetNetworkFaultTotals(uint64_t dropped, uint64_t duplicated) {
     net_dropped_ = dropped;
@@ -147,6 +173,7 @@ class Metrics {
   Histogram recovery_us_;
   uint64_t net_dropped_ = 0;
   uint64_t net_duplicated_ = 0;
+  ValidationWallClock validation_wall_;
 };
 
 /// A stable key for (client, proposal) used by Metrics.

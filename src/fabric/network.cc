@@ -45,7 +45,8 @@ PeerNode::PeerNode(FabricNetwork* net, uint32_t index, std::string name,
       node_id_(net->network().AddNode(name_)),
       cpu_(&net->env(), name_ + "-cpu", net->config().peer_cores),
       endorser_(name_, org_, net->config().seed, net->registry_.get()),
-      validator_(net->config().seed, &net->policies_),
+      validator_(net->config().seed, &net->policies_,
+                 net->validator_pool()),
       channels_(net->config().num_channels) {}
 
 void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
@@ -355,6 +356,10 @@ void PeerNode::FinishCommit(uint32_t channel) {
       validator_.ValidateAndCommit(*block, &ch.db, &ch.ledger);
 
   if (net_->IsObserver(*this)) {
+    // Host wall-clock of the two validation stages — kept outside the
+    // deterministic RunReport (it varies with validator_workers).
+    net_->metrics().NoteValidationWallClock(result.verify_wall_ns,
+                                            result.commit_wall_ns);
     const sim::SimTime now = net_->env().Now();
     for (uint32_t i = 0; i < block->transactions.size(); ++i) {
       const proto::Transaction& tx = block->transactions[i];
@@ -952,6 +957,14 @@ FabricNetwork::FabricNetwork(FabricConfig config,
   // bit-identical to a network without it.
   net_.set_fault_injector(&injector_);
 
+  // Validator worker pool, shared by every peer's verify stage (the
+  // committing thread participates, so N workers = N - 1 extra threads).
+  // Must exist before the peers: their validators borrow it.
+  if (config_.validator_workers > 1) {
+    validator_pool_ =
+        std::make_unique<ThreadPool>(config_.validator_workers - 1);
+  }
+
   // Endorsement policy: one peer of every org (paper §2.2.1).
   peer::EndorsementPolicy policy;
   policy.id = "AND(all-orgs)";
@@ -968,6 +981,20 @@ FabricNetwork::FabricNetwork(FabricConfig config,
       const uint32_t index = o * config_.peers_per_org + p;
       peers_.push_back(std::make_unique<PeerNode>(
           this, index, StrFormat("%s%u", org.c_str(), p + 1), org));
+    }
+  }
+
+  // Pre-warm every validator's verification-identity cache with the full
+  // peer roster (the only signers on the endorsement path). The verify
+  // stage then runs read-only against the cache no matter how many workers
+  // race through it; the shared_mutex slow path only covers signers unknown
+  // at construction (e.g. externally injected transactions).
+  {
+    std::vector<std::string> peer_names;
+    peer_names.reserve(peers_.size());
+    for (const auto& peer : peers_) peer_names.push_back(peer->name());
+    for (auto& peer : peers_) {
+      peer->validator_.PrewarmIdentities(peer_names);
     }
   }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chaincode/chaincode.h"
+#include "common/thread_pool.h"
 #include "crypto/sha256.h"
 #include "fabric/config.h"
 #include "fabric/metrics.h"
@@ -369,6 +370,11 @@ class FabricNetwork {
   sim::Resource& client_cpu() { return client_cpu_; }
   sim::NodeId client_machine_node() const { return client_machine_node_; }
 
+  /// Shared pool running the validators' real signature-verification work
+  /// (null when validator_workers == 1: fully serial). Workers accelerate
+  /// wall-clock crypto only — never virtual time or validation outcomes.
+  ThreadPool* validator_pool() { return validator_pool_.get(); }
+
   size_t num_peers() const { return peers_.size(); }
   PeerNode& peer(uint32_t i) { return *peers_[i]; }
   const PeerNode& peer(uint32_t i) const { return *peers_[i]; }
@@ -405,6 +411,8 @@ class FabricNetwork {
   std::string default_policy_id_;
   sim::Resource client_cpu_;
   sim::NodeId client_machine_node_;
+  /// Built before peers_ (their validators borrow it); destroyed after.
+  std::unique_ptr<ThreadPool> validator_pool_;
   std::vector<std::unique_ptr<PeerNode>> peers_;
   std::unique_ptr<OrdererNode> orderer_;
   std::vector<std::unique_ptr<ClientNode>> clients_;

@@ -229,6 +229,36 @@ TEST(HistogramTest, QuantilesApproximateUniformData) {
   EXPECT_NEAR(h.Mean(), 5000.5, 1e-6);
 }
 
+TEST(HistogramTest, ZeroQuantileIsTheMinimum) {
+  Histogram h;
+  h.Add(4200);
+  h.Add(9000);
+  h.Add(77777);
+  // Regression: rank ceil(0 * count) = 0 used to match the empty zero
+  // bucket, reporting 0 instead of the recorded minimum. The result is the
+  // min's bucket upper bound, i.e. within the bucket growth factor of it.
+  EXPECT_GE(h.Quantile(0.0), 4200.0);
+  EXPECT_LE(h.Quantile(0.0), 4200.0 * 1.05);
+  EXPECT_GE(h.Quantile(0.01), 4200.0);
+  EXPECT_LE(h.Quantile(1.0), 77777.0);
+}
+
+TEST(HistogramTest, QuantileNeverBelowMinNorAboveMax) {
+  Histogram h;
+  h.Add(999);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 999.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, EmptyToStringPrintsZeroMin) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // Not the internal ~0ULL sentinel.
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("count=0"), std::string::npos) << s;
+  EXPECT_NE(s.find("min=0"), std::string::npos) << s;
+}
+
 TEST(HistogramTest, MergeCombines) {
   Histogram a, b;
   a.Add(10);

@@ -32,7 +32,7 @@ void Run() {
         peer::CountValidUnderCommonSnapshot(rwsets, result.order);
     std::printf("%-8u %16u %16u %13llu us\n", shift, arrival_valid,
                 reordered_valid,
-                static_cast<unsigned long long>(result.stats.elapsed_us));
+                static_cast<unsigned long long>(result.elapsed_wall_us));
   }
   std::printf(
       "\nPaper shape: the reordered schedule keeps all 1024 transactions "

@@ -33,7 +33,7 @@ void Run() {
         peer::CountValidUnderCommonSnapshot(rwsets, result.order);
     std::printf("%-12u %16u %16u %13llu us\n", cycle_len, arrival_valid,
                 reordered_valid,
-                static_cast<unsigned long long>(result.stats.elapsed_us));
+                static_cast<unsigned long long>(result.elapsed_wall_us));
   }
   std::printf(
       "\nPaper shape: the arrival order commits exactly half of the "

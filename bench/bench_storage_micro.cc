@@ -132,6 +132,65 @@ void BM_DbGetMixed(benchmark::State& state) {
 }
 BENCHMARK(BM_DbGetMixed);
 
+// --- Block commit: group commit (one batch WAL record per block) vs the
+// per-key sync path (one synced WAL record per write + a separate height
+// write). Reports appends/fsyncs per block alongside commit latency —
+// the numbers behind DESIGN.md's commit-path atomicity section.
+
+void BM_BlockCommitGroup(benchmark::State& state) {
+  const std::string dir = ScratchDir("commit_group");
+  DbOptions options;
+  options.sync_mode = WalSyncMode::kBlock;
+  auto db = Db::Open(dir, options);
+  const int writes_per_block = static_cast<int>(state.range(0));
+  uint64_t block = 0;
+  for (auto _ : state) {
+    WriteBatch batch;
+    for (int i = 0; i < writes_per_block; ++i) {
+      batch.Put(StrFormat("key%06d", i),
+                "value-of-moderate-size-for-state-db");
+    }
+    batch.Put("height", std::to_string(++block));
+    (void)(*db)->ApplyBatch(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * writes_per_block);
+  state.counters["wal_appends_per_block"] =
+      static_cast<double>((*db)->wal_appends()) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters["wal_syncs_per_block"] =
+      static_cast<double>((*db)->wal_syncs()) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  db->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_BlockCommitGroup)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BlockCommitPerKeySync(benchmark::State& state) {
+  const std::string dir = ScratchDir("commit_perkey");
+  DbOptions options;
+  options.sync_mode = WalSyncMode::kEveryWrite;
+  auto db = Db::Open(dir, options);
+  const int writes_per_block = static_cast<int>(state.range(0));
+  uint64_t block = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < writes_per_block; ++i) {
+      (void)(*db)->Put(StrFormat("key%06d", i),
+                       "value-of-moderate-size-for-state-db");
+    }
+    (void)(*db)->Put("height", std::to_string(++block));
+  }
+  state.SetItemsProcessed(state.iterations() * writes_per_block);
+  state.counters["wal_appends_per_block"] =
+      static_cast<double>((*db)->wal_appends()) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  state.counters["wal_syncs_per_block"] =
+      static_cast<double>((*db)->wal_syncs()) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+  db->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_BlockCommitPerKeySync)->Arg(64)->Arg(256)->Arg(1024);
+
 }  // namespace
 }  // namespace fabricpp::storage
 

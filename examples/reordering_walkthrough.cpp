@@ -75,7 +75,7 @@ int main() {
   std::printf("  (paper: T5 => T1 => T3 => T4)\n");
   std::printf("Stats: %u round(s), %zu cycles found, %llu us to reorder\n",
               result.stats.rounds, result.stats.num_cycles_found,
-              static_cast<unsigned long long>(result.stats.elapsed_us));
+              static_cast<unsigned long long>(result.elapsed_wall_us));
 
   // Tables 1-2: the motivating 4-transaction example.
   std::printf("\n== Paper §4.1 example (Tables 1-2) ==\n\n");

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ENDORSEMENT_POLICY_VIOLATION";
     case StatusCode::kEarlyAbort:
       return "EARLY_ABORT";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -34,6 +34,10 @@ enum class StatusCode {
   /// conflict cycles broken by the reorderer (paper §5.1) or it lost the
   /// within-block version-skew check (paper §5.2.2).
   kEarlyAbort,
+  /// Durable state is unrecoverable: on-disk bytes fail integrity checks in
+  /// a way that cannot be explained by a torn tail write (e.g. mid-log WAL
+  /// corruption). Continuing would silently lose committed writes.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name, e.g. "STALE_READ".
@@ -90,6 +94,9 @@ class Status {
   }
   static Status EarlyAbort(std::string msg) {
     return Status(StatusCode::kEarlyAbort, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

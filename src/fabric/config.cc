@@ -24,6 +24,13 @@ FabricConfig FabricConfig::FabricPlusPlus() {
   return config;
 }
 
+storage::DbOptions FabricConfig::StorageOptions() const {
+  storage::DbOptions options;
+  const auto mode = storage::ParseWalSyncMode(storage_sync_mode);
+  options.sync_mode = mode.ok() ? *mode : storage::WalSyncMode::kBlock;
+  return options;
+}
+
 Status FabricConfig::Validate() const {
   if (num_orgs == 0 || peers_per_org == 0) {
     return Status::InvalidArgument("topology needs at least one org/peer");
@@ -80,6 +87,12 @@ Status FabricConfig::Validate() const {
   }
   if (ordering_backend == OrderingBackend::kRaft && raft_cluster_size == 0) {
     return Status::InvalidArgument("raft_cluster_size must be > 0");
+  }
+  if (const auto mode = storage::ParseWalSyncMode(storage_sync_mode);
+      !mode.ok()) {
+    return Status::InvalidArgument(
+        "storage_sync_mode must be one of \"none\", \"block\", "
+        "\"every_write\"; got \"" + storage_sync_mode + "\"");
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define FABRICPP_FABRIC_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "ordering/batch_cutter.h"
@@ -9,6 +10,7 @@
 #include "ordering/reorderer.h"
 #include "sim/network.h"
 #include "sim/time.h"
+#include "storage/db.h"
 
 namespace fabricpp::fabric {
 
@@ -154,6 +156,19 @@ struct FabricConfig {
   bool enable_early_abort_sim = false;
   bool enable_early_abort_ordering = false;
   ConcurrencyMode concurrency = ConcurrencyMode::kCoarseLock;
+
+  // --- Storage (persistent state database) ---
+  /// WAL durability of the LSM state store: "none" (leave syncing to the
+  /// OS), "block" (group commit — one fsync per committed block batch; the
+  /// default, matching Fabric's fsync'd block append), or "every_write"
+  /// (fsync each WAL record, the slow per-key baseline). Parsed by
+  /// storage::ParseWalSyncMode; Validate() rejects anything else.
+  std::string storage_sync_mode = "block";
+
+  /// Storage-engine options with storage_sync_mode resolved — what benches,
+  /// tools, and durability tests should pass to PersistentStateDb::Open.
+  /// Call Validate() first; an unparseable mode falls back to kBlock here.
+  storage::DbOptions StorageOptions() const;
 
   CostModel cost;
   uint64_t seed = 42;

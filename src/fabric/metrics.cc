@@ -44,6 +44,15 @@ std::string ValidationWallClock::ToString() const {
       static_cast<double>(commit_ns) / 1e3 / blocks_d);
 }
 
+std::string ReorderWallClock::ToString() const {
+  const double batches_d = batches == 0 ? 1.0 : static_cast<double>(batches);
+  return StrFormat(
+      "batches=%llu reorder_total=%.2fms reorder_avg=%.1fus",
+      static_cast<unsigned long long>(batches),
+      static_cast<double>(elapsed_us) / 1e3,
+      static_cast<double>(elapsed_us) / batches_d);
+}
+
 std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
   return StrFormat("%s/%llu", client.c_str(),
                    static_cast<unsigned long long>(proposal_id));

@@ -89,6 +89,17 @@ struct ValidationWallClock {
   std::string ToString() const;
 };
 
+/// Host wall-clock spent in the orderer's reordering passes. Same contract
+/// as ValidationWallClock: a real measurement, kept out of RunReport and
+/// the deterministic ReorderStats so simulation outputs stay byte-identical
+/// run-to-run. Benches read it via Metrics::reorder_wall_clock().
+struct ReorderWallClock {
+  uint64_t batches = 0;      ///< Reordering passes measured.
+  uint64_t elapsed_us = 0;  ///< Total host microseconds across passes.
+
+  std::string ToString() const;
+};
+
 /// Collects transaction outcomes during a simulation run.
 ///
 /// Only events inside the measurement window [window_start, window_end)
@@ -140,6 +151,14 @@ class Metrics {
     return validation_wall_;
   }
 
+  /// Host wall-clock of one reordering pass (orderer). Accumulated outside
+  /// the deterministic report — see ReorderWallClock.
+  void NoteReorderWallClock(uint64_t elapsed_us) {
+    ++reorder_wall_.batches;
+    reorder_wall_.elapsed_us += elapsed_us;
+  }
+  const ReorderWallClock& reorder_wall_clock() const { return reorder_wall_; }
+
   /// Injector totals, folded into the report by the harness after the run.
   void SetNetworkFaultTotals(uint64_t dropped, uint64_t duplicated) {
     net_dropped_ = dropped;
@@ -174,6 +193,7 @@ class Metrics {
   uint64_t net_dropped_ = 0;
   uint64_t net_duplicated_ = 0;
   ValidationWallClock validation_wall_;
+  ReorderWallClock reorder_wall_;
 };
 
 /// A stable key for (client, proposal) used by Metrics.

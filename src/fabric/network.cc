@@ -659,6 +659,9 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
     ordering::ReorderResult reorder =
         ordering::ReorderTransactions(rwsets, config.reorder);
     last_reorder_stats_ = reorder.stats;
+    // Wall-clock of the pass goes to the measurement side of Metrics, never
+    // into the deterministic stats/report (same rule as validation timings).
+    net_->metrics().NoteReorderWallClock(reorder.elapsed_wall_us);
     for (const uint32_t victim : reorder.aborted) {
       const proto::Transaction& tx = txs[survivors[victim]];
       net_->metrics().Resolve(ProposalKey(tx.client, tx.proposal_id),

@@ -240,11 +240,21 @@ ReorderResult ReorderTransactions(
   result.order = ScheduleAcyclic(graph, alive_list);
   std::sort(result.aborted.begin(), result.aborted.end());
 
-  result.stats.elapsed_us = static_cast<uint64_t>(
+  result.elapsed_wall_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
   return result;
+}
+
+std::string ReorderStats::ToString() const {
+  return "reorder{txs=" + std::to_string(num_transactions) +
+         " edges=" + std::to_string(num_edges) +
+         " unique_keys=" + std::to_string(num_unique_keys) +
+         " sccs=" + std::to_string(num_nontrivial_sccs) +
+         " cycles=" + std::to_string(num_cycles_found) +
+         " rounds=" + std::to_string(rounds) +
+         " fallback=" + (fallback_used ? "1" : "0") + "}";
 }
 
 }  // namespace fabricpp::ordering

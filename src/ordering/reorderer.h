@@ -2,6 +2,7 @@
 #define FABRICPP_ORDERING_REORDERER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ordering/conflict_graph.h"
@@ -26,8 +27,11 @@ struct ReorderConfig {
   uint32_t max_rounds = 4;
 };
 
-/// Statistics of one reordering run (reported by the benches; the Appendix
-/// B micro-benchmarks plot elapsed_us).
+/// Statistics of one reordering run. Every field is a *deterministic*
+/// function of the input batch — pure counts of the algorithm's work, never
+/// host time — so the stats may feed virtual-time cost models and
+/// byte-identical determinism fingerprints. Wall-clock measurement of the
+/// pass lives in ReorderResult::elapsed_wall_us instead.
 struct ReorderStats {
   size_t num_transactions = 0;
   size_t num_edges = 0;
@@ -36,8 +40,9 @@ struct ReorderStats {
   size_t num_cycles_found = 0;
   uint32_t rounds = 1;
   bool fallback_used = false;
-  /// Host (real) microseconds spent reordering.
-  uint64_t elapsed_us = 0;
+
+  /// Deterministic one-line rendering (determinism tests fingerprint it).
+  std::string ToString() const;
 };
 
 /// Output of the reorderer.
@@ -51,6 +56,12 @@ struct ReorderResult {
   /// kAbortedByReorderer.
   std::vector<uint32_t> aborted;
   ReorderStats stats;
+  /// Host (real) microseconds spent reordering — what the Appendix B
+  /// micro-benchmarks plot. A measurement, not simulation state: it varies
+  /// run-to-run and must never feed virtual time or the deterministic
+  /// stats/report (Metrics keeps it on the wall-clock side, like the
+  /// validator's stage timings).
+  uint64_t elapsed_wall_us = 0;
 };
 
 /// The Fabric++ transaction reordering mechanism (paper §5.1, Algorithm 1):

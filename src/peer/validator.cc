@@ -89,7 +89,7 @@ std::vector<uint8_t> Validator::VerifyEndorsements(
 }
 
 BlockValidationResult Validator::ValidateAndCommit(
-    const proto::Block& block, statedb::StateDb* db,
+    const proto::Block& block, statedb::StateStore* db,
     ledger::Ledger* ledger) const {
   BlockValidationResult result;
   result.codes.resize(block.transactions.size(),
@@ -109,8 +109,21 @@ BlockValidationResult Validator::ValidateAndCommit(
   // application, ledger append. Inherently ordered — each valid
   // transaction's writes feed the next one's MVCC check — and therefore
   // single-threaded, which also keeps it lock-free.
+  //
+  // Writes are *deferred*: valid transactions accumulate into one
+  // block-level batch that is applied atomically at the end, so a crash
+  // mid-block can never leave the store with some transactions' writes but
+  // not others (or writes ahead of the recorded height). The `pending`
+  // overlay keeps the MVCC check seeing earlier same-block version bumps
+  // exactly as the old write-through path did.
   const auto commit_start = std::chrono::steady_clock::now();
   std::unordered_set<std::string> block_tx_ids;
+  std::vector<statedb::VersionedWrite> block_writes;
+  std::unordered_map<std::string, proto::Version> pending;
+  const auto current_version = [&](const std::string& key) {
+    const auto it = pending.find(key);
+    return it != pending.end() ? it->second : db->GetVersion(key);
+  };
   for (uint32_t i = 0; i < block.transactions.size(); ++i) {
     const proto::Transaction& tx = block.transactions[i];
 
@@ -139,7 +152,7 @@ BlockValidationResult Validator::ValidateAndCommit(
     // within-block read-write conflicts fail here too.
     bool serializable = true;
     for (const proto::ReadItem& r : tx.rwset.reads) {
-      if (db->GetVersion(r.key) != r.version) {
+      if (current_version(r.key) != r.version) {
         serializable = false;
         break;
       }
@@ -152,11 +165,25 @@ BlockValidationResult Validator::ValidateAndCommit(
 
     result.codes[i] = proto::TxValidationCode::kValid;
     ++result.num_valid;
-    db->ApplyWrites(tx.rwset.writes,
-                    proto::Version{block.header.number, i});
+    const proto::Version version{block.header.number, i};
+    for (const proto::WriteItem& w : tx.rwset.writes) {
+      block_writes.push_back(statedb::VersionedWrite{w, version});
+      // A delete leaves no version behind — a later same-block read of the
+      // key must see kNilVersion, matching the store after the erase.
+      pending[w.key] = w.is_delete ? proto::kNilVersion : version;
+    }
   }
 
-  db->set_last_committed_block(block.header.number);
+  // One atomic commit for the whole block: every valid write and the new
+  // height land together (a persistent store turns this into a single WAL
+  // append + group-commit fsync).
+  const Status apply_status = db->ApplyBlock(block_writes,
+                                             block.header.number);
+  if (!apply_status.ok()) {
+    FABRICPP_LOG(Error) << "block " << block.header.number
+                        << " state commit failed: "
+                        << apply_status.ToString();
+  }
 
   if (ledger != nullptr) {
     ledger::StoredBlock stored;

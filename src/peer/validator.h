@@ -87,9 +87,13 @@ class Validator {
   /// of every key in its read set still matches the current state —
   /// including updates made by *earlier valid transactions of the same
   /// block*, which is exactly the within-block conflict the Fabric++
-  /// reorderer minimizes.
+  /// reorderer minimizes. In-block updates are tracked in a version
+  /// overlay; the store itself is mutated exactly once, by a single atomic
+  /// StateStore::ApplyBlock carrying every valid write plus the new height
+  /// (group commit — one WAL append, at most one fsync on a persistent
+  /// store).
   BlockValidationResult ValidateAndCommit(const proto::Block& block,
-                                          statedb::StateDb* db,
+                                          statedb::StateStore* db,
                                           ledger::Ledger* ledger) const;
 
  private:

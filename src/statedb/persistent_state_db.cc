@@ -81,6 +81,38 @@ Status PersistentStateDb::ApplyWrites(
   return Status::OK();
 }
 
+Status PersistentStateDb::ApplyBlock(const std::vector<VersionedWrite>& writes,
+                                     uint64_t height) {
+  storage::WriteBatch batch;
+  for (const VersionedWrite& vw : writes) {
+    if (vw.write.is_delete) {
+      batch.Delete(vw.write.key);
+    } else {
+      const Bytes encoded = EncodeValue(vw.write.value, vw.version);
+      batch.Put(vw.write.key,
+                std::string(reinterpret_cast<const char*>(encoded.data()),
+                            encoded.size()));
+    }
+  }
+  // The height rides in the same batch: state writes and the height
+  // bookmark become durable together or not at all.
+  batch.Put(kHeightKey, std::to_string(height));
+  FABRICPP_RETURN_IF_ERROR(db_->ApplyBatch(batch));
+  last_committed_block_ = height;
+  return Status::OK();
+}
+
+Status PersistentStateDb::ApplyBlock(
+    const std::vector<proto::WriteItem>& writes, proto::Version version,
+    uint64_t height) {
+  std::vector<VersionedWrite> versioned;
+  versioned.reserve(writes.size());
+  for (const proto::WriteItem& w : writes) {
+    versioned.push_back(VersionedWrite{w, version});
+  }
+  return ApplyBlock(versioned, height);
+}
+
 Status PersistentStateDb::set_last_committed_block(uint64_t block) {
   last_committed_block_ = block;
   return db_->Put(kHeightKey, std::to_string(block));

@@ -17,7 +17,7 @@ namespace fabricpp::statedb {
 /// from a reserved metadata key. Used by the durability tests and the
 /// storage benches; the simulation's in-memory StateDb models its cost via
 /// the CostModel constants (see DESIGN.md §2).
-class PersistentStateDb {
+class PersistentStateDb : public StateStore {
  public:
   /// Opens (or creates) the database in `dir`.
   static Result<std::unique_ptr<PersistentStateDb>> Open(
@@ -25,16 +25,32 @@ class PersistentStateDb {
 
   /// See StateDb::Get.
   Result<VersionedValue> Get(const std::string& key) const;
-  proto::Version GetVersion(const std::string& key) const;
+  proto::Version GetVersion(const std::string& key) const override;
 
   Status SeedInitialState(const std::string& key, const std::string& value);
 
-  /// See StateDb::ApplyWrites. All writes of one transaction are logged
-  /// before the height is advanced.
+  /// See StateDb::ApplyWrites. Per-key writes: each key is its own WAL
+  /// record and the height is a separate write — a crash between them can
+  /// strand state ahead of the recorded height. Kept for seeding and for
+  /// the bench comparison; the commit path uses ApplyBlock.
   Status ApplyWrites(const std::vector<proto::WriteItem>& writes,
                      proto::Version version);
 
-  uint64_t last_committed_block() const { return last_committed_block_; }
+  /// See StateStore::ApplyBlock. All writes of the block *and* the height
+  /// key are encoded into one storage::WriteBatch — a single WAL append,
+  /// at most one fsync — so recovery yields either the pre-block or the
+  /// post-block state, never a torn mixture.
+  Status ApplyBlock(const std::vector<VersionedWrite>& writes,
+                    uint64_t height) override;
+
+  /// Convenience overload for block writes that share one version (the
+  /// common single-transaction and test shape).
+  Status ApplyBlock(const std::vector<proto::WriteItem>& writes,
+                    proto::Version version, uint64_t height);
+
+  uint64_t last_committed_block() const override {
+    return last_committed_block_;
+  }
   Status set_last_committed_block(uint64_t block);
 
   /// Copies the full state into an in-memory StateDb (tests compare the

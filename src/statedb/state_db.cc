@@ -29,6 +29,19 @@ void StateDb::ApplyWrites(const std::vector<proto::WriteItem>& writes,
   }
 }
 
+Status StateDb::ApplyBlock(const std::vector<VersionedWrite>& writes,
+                           uint64_t height) {
+  for (const VersionedWrite& vw : writes) {
+    if (vw.write.is_delete) {
+      map_.erase(vw.write.key);
+    } else {
+      map_[vw.write.key] = VersionedValue{vw.write.value, vw.version};
+    }
+  }
+  last_committed_block_ = height;
+  return Status::OK();
+}
+
 void StateDb::ForEach(const std::function<void(const std::string&,
                                                const VersionedValue&)>& fn)
     const {

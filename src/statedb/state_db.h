@@ -21,6 +21,40 @@ struct VersionedValue {
   proto::Version version;
 };
 
+/// One write paired with the MVCC version it commits at — the unit of the
+/// block-level atomic commit path (StateStore::ApplyBlock).
+struct VersionedWrite {
+  proto::WriteItem write;
+  proto::Version version;
+};
+
+/// The commit-side contract a validator writes through, shared by the
+/// in-memory StateDb and the LSM-backed PersistentStateDb: version lookups
+/// for the MVCC check, the height bookmark, and the atomic block-level
+/// write batch.
+///
+/// ApplyBlock is the *only* mutation on the commit path: all writes of a
+/// block plus the new height are applied as one unit, so no observer (and,
+/// for the persistent store, no crash) can see state writes at a stale
+/// height — the invariant the Fabric++ fine-grained early abort (paper
+/// §5.2.1) compares read versions against.
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Returns the version of `key`, or kNilVersion if absent.
+  virtual proto::Version GetVersion(const std::string& key) const = 0;
+
+  /// The id of the last block whose writes have been fully applied.
+  virtual uint64_t last_committed_block() const = 0;
+
+  /// Atomically applies all `writes` of one block (in order — a later
+  /// write to the same key wins) and advances last_committed_block to
+  /// `height`. Either every write and the height take effect, or none do.
+  virtual Status ApplyBlock(const std::vector<VersionedWrite>& writes,
+                            uint64_t height) = 0;
+};
+
 /// The peer's current-state database: key -> (value, version).
 ///
 /// Mirrors Fabric's LevelDB-backed state store (paper §2.1): the state is
@@ -33,7 +67,7 @@ struct VersionedValue {
 /// single-threaded (DESIGN.md §5); concurrency *semantics* (vanilla's
 /// coarse simulation/validation lock vs Fabric++'s lock-free version
 /// checks) are modeled in virtual time by fabric::PeerNode.
-class StateDb {
+class StateDb : public StateStore {
  public:
   StateDb() = default;
 
@@ -42,7 +76,7 @@ class StateDb {
   Result<VersionedValue> Get(const std::string& key) const;
 
   /// Returns the version of `key`, or kNilVersion if absent.
-  proto::Version GetVersion(const std::string& key) const;
+  proto::Version GetVersion(const std::string& key) const override;
 
   /// Direct write used for genesis/bootstrap state (version = kNilVersion's
   /// block, i.e. block 0). Workloads use this to install initial balances.
@@ -54,11 +88,19 @@ class StateDb {
   void ApplyWrites(const std::vector<proto::WriteItem>& writes,
                    proto::Version version);
 
+  /// See StateStore::ApplyBlock. In memory the atomicity is trivial (no
+  /// crash to tear it), but routing commits through the same entry point
+  /// keeps the validator's commit stage identical for both backends.
+  Status ApplyBlock(const std::vector<VersionedWrite>& writes,
+                    uint64_t height) override;
+
   /// Height bookkeeping: the id of the last block whose writes have been
   /// fully applied. Fabric++'s simulation-phase early abort compares read
   /// versions against the value this had when the simulation started
   /// ("last-block-ID", paper Figure 6).
-  uint64_t last_committed_block() const { return last_committed_block_; }
+  uint64_t last_committed_block() const override {
+    return last_committed_block_;
+  }
   void set_last_committed_block(uint64_t b) { last_committed_block_ = b; }
 
   size_t NumKeys() const { return map_.size(); }

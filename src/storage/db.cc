@@ -2,7 +2,6 @@
 
 #include <filesystem>
 #include <optional>
-#include <map>
 
 #include "common/bytes.h"
 #include "common/strings.h"
@@ -35,17 +34,36 @@ Result<std::unique_ptr<Db>> Db::Open(const std::string& dir,
   FABRICPP_RETURN_IF_ERROR(db->LoadManifest());
 
   // Recover the memtable from the WAL (idempotent against a completed but
-  // not yet truncated flush: replayed writes simply overwrite).
-  const auto replayed = ReplayWal(db->WalFileName(), [&](const Bytes& rec) {
-    ByteReader reader(rec);
-    const auto type = reader.GetU8();
-    const auto key = reader.GetString();
-    const auto value = reader.GetString();
-    if (!type.ok() || !key.ok() || !value.ok()) return;
-    db->memtable_->Insert(*key,
-                          MemEntry{static_cast<EntryType>(*type), *value});
-    db->memtable_bytes_ += key->size() + value->size() + 16;
-  });
+  // not yet truncated flush: replayed writes simply overwrite). Records
+  // passed their CRC, so any decode failure is corruption and must fail
+  // recovery — silently dropping a record mid-log would lose committed
+  // writes while keeping later ones, exactly the torn-state bug the batch
+  // path exists to prevent.
+  const auto replayed =
+      ReplayWal(db->WalFileName(), [&](const Bytes& rec) -> Status {
+        if (!rec.empty() && rec[0] == kWalBatchTag) {
+          // A block-level batch: applied whole (the record framing already
+          // guarantees all-or-nothing; decode re-checks internal shape).
+          FABRICPP_ASSIGN_OR_RETURN(const WriteBatch batch,
+                                    WriteBatch::DecodeFromWal(rec));
+          for (const WriteBatch::Entry& entry : batch.entries()) {
+            db->InsertMem(entry.key, entry.type, entry.value);
+          }
+          return Status::OK();
+        }
+        ByteReader reader(rec);
+        FABRICPP_ASSIGN_OR_RETURN(const uint8_t type, reader.GetU8());
+        if (type > static_cast<uint8_t>(EntryType::kDelete)) {
+          return Status::DataLoss("wal record with bad entry type");
+        }
+        FABRICPP_ASSIGN_OR_RETURN(const std::string key, reader.GetString());
+        FABRICPP_ASSIGN_OR_RETURN(std::string value, reader.GetString());
+        if (!reader.AtEnd()) {
+          return Status::DataLoss("wal record with trailing bytes");
+        }
+        db->InsertMem(key, static_cast<EntryType>(type), std::move(value));
+        return Status::OK();
+      });
   FABRICPP_RETURN_IF_ERROR(replayed.status());
   db->wal_records_replayed_ = *replayed;
 
@@ -88,6 +106,18 @@ Status Db::WriteManifest() {
   return Status::OK();
 }
 
+Status Db::AppendToWal(const Bytes& record, bool sync) {
+  FABRICPP_RETURN_IF_ERROR(wal_.Append(record, sync));
+  ++wal_appends_;
+  if (sync) ++wal_syncs_;
+  return Status::OK();
+}
+
+void Db::InsertMem(std::string_view key, EntryType type, std::string value) {
+  memtable_bytes_ += key.size() + value.size() + 16;
+  memtable_->Insert(key, MemEntry{type, std::move(value)});
+}
+
 Status Db::Write(EntryType type, std::string_view key,
                  std::string_view value) {
   Bytes record;
@@ -95,9 +125,23 @@ Status Db::Write(EntryType type, std::string_view key,
   writer.PutU8(static_cast<uint8_t>(type));
   writer.PutString(key);
   writer.PutString(value);
-  FABRICPP_RETURN_IF_ERROR(wal_.Append(record, options_.sync_writes));
-  memtable_->Insert(key, MemEntry{type, std::string(value)});
-  memtable_bytes_ += key.size() + value.size() + 16;
+  FABRICPP_RETURN_IF_ERROR(AppendToWal(
+      record, options_.sync_mode == WalSyncMode::kEveryWrite));
+  InsertMem(key, type, std::string(value));
+  return MaybeFlushAndCompact();
+}
+
+Status Db::ApplyBatch(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  // Group commit: the entire batch is one WAL record — one Append and (in
+  // kBlock / kEveryWrite modes) one fsync, independent of batch size. Only
+  // after the record is durable do the entries reach the memtable, so
+  // recovery can never observe a prefix of the batch.
+  FABRICPP_RETURN_IF_ERROR(AppendToWal(
+      batch.EncodeForWal(), options_.sync_mode != WalSyncMode::kNone));
+  for (const WriteBatch::Entry& entry : batch.entries()) {
+    InsertMem(entry.key, entry.type, entry.value);
+  }
   return MaybeFlushAndCompact();
 }
 
@@ -155,18 +199,12 @@ Status Db::CompactAll() {
   FABRICPP_RETURN_IF_ERROR(Flush());
   if (tables_.size() <= 1) return Status::OK();
 
-  // Full merge, newest table wins; tombstones drop out entirely.
-  std::map<std::string, MemEntry> merged;
-  for (const Sstable& table : tables_) {  // Oldest -> newest.
-    table.ForEach([&](const TableEntry& entry) {
-      merged[entry.key] = MemEntry{entry.type, entry.value};
-    });
-  }
-
+  // Full merge through the lazy k-way iterator (newest source wins,
+  // tombstones drop out): streaming memory — O(sources) iterator state
+  // instead of materializing the whole key space in a std::map.
   SstableBuilder builder(options_.bloom_bits_per_key);
-  for (const auto& [key, entry] : merged) {
-    if (entry.type == EntryType::kDelete) continue;
-    builder.Add(key, EntryType::kPut, entry.value);
+  for (auto it = NewIterator(); it.Valid(); it.Next()) {
+    builder.Add(it.key(), EntryType::kPut, it.value());
   }
   const uint64_t number = next_file_number_++;
   FABRICPP_RETURN_IF_ERROR(builder.Finish(TableFileName(number)));
@@ -197,18 +235,10 @@ Status Db::MaybeFlushAndCompact() {
 
 void Db::ForEach(const std::function<void(const std::string&,
                                           const std::string&)>& fn) const {
-  std::map<std::string, MemEntry> merged;
-  for (const Sstable& table : tables_) {
-    table.ForEach([&](const TableEntry& entry) {
-      merged[entry.key] = MemEntry{entry.type, entry.value};
-    });
-  }
-  for (auto it = memtable_->NewIterator(); it.Valid(); it.Next()) {
-    merged[it.key()] = it.value();
-  }
-  for (const auto& [key, entry] : merged) {
-    if (entry.type == EntryType::kDelete) continue;
-    fn(key, entry.value);
+  // Streaming k-way merge — same visit order as before (ascending keys,
+  // live entries only) without materializing the database in a std::map.
+  for (auto it = NewIterator(); it.Valid(); it.Next()) {
+    fn(it.key(), it.value());
   }
 }
 

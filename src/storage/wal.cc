@@ -51,11 +51,22 @@ void WalWriter::Close() {
 }
 
 Result<size_t> ReplayWal(const std::string& path,
-                         const std::function<void(const Bytes&)>& fn) {
+                         const std::function<Status(const Bytes&)>& fn) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return size_t{0};  // Fresh database.
+  std::fseek(file, 0, SEEK_END);
+  const long end = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  const size_t file_size = end < 0 ? 0 : static_cast<size_t>(end);
+
   size_t records = 0;
-  while (true) {
+  size_t offset = 0;
+  while (offset < file_size) {
+    const size_t remaining = file_size - offset;
+    // A crash mid-append truncates the file; it cannot corrupt earlier
+    // bytes. Everything short of the claimed record therefore classifies
+    // as a torn tail (tolerated); everything else is data loss.
+    if (remaining < 8) break;  // Partial header at the tail.
     uint8_t header[8];
     if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) break;
     uint32_t crc = 0;
@@ -64,12 +75,33 @@ Result<size_t> ReplayWal(const std::string& path,
       crc |= static_cast<uint32_t>(header[i]) << (8 * i);
       length |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
     }
-    if (length > (64u << 20)) break;  // Corrupt length; stop replay.
+    if (length > (64u << 20) && length <= remaining - 8) {
+      // The full record is present yet its length is implausible — a tear
+      // can truncate, never rewrite; this is corruption.
+      std::fclose(file);
+      return Status::DataLoss(
+          "wal record at offset " + std::to_string(offset) +
+          " has implausible length " + std::to_string(length));
+    }
+    if (remaining - 8 < length) break;  // Truncated payload at the tail.
     Bytes payload(length);
     if (std::fread(payload.data(), 1, length, file) != length) break;
-    if (Crc32(payload.data(), payload.size()) != crc) break;  // Torn tail.
-    fn(payload);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      if (offset + 8 + length == file_size) break;  // Corrupt final record.
+      std::fclose(file);
+      return Status::DataLoss(
+          "wal record at offset " + std::to_string(offset) +
+          " fails its crc with " +
+          std::to_string(file_size - offset - 8 - length) +
+          " bytes following — mid-log corruption, not a torn tail");
+    }
+    const Status applied = fn(payload);
+    if (!applied.ok()) {
+      std::fclose(file);
+      return applied;
+    }
     ++records;
+    offset += 8 + length;
   }
   std::fclose(file);
   return records;

@@ -42,8 +42,16 @@ class WalWriter {
 /// Replays a WAL file; invokes `fn` for every intact record in order.
 /// Returns the number of records recovered. Missing files recover zero
 /// records (fresh database).
+///
+/// Failure policy: only a torn *tail* is tolerated — a partial header,
+/// a truncated payload, or a CRC mismatch on the final record, all of
+/// which a crash mid-append legitimately produces. Anything a tear cannot
+/// explain fails recovery with kDataLoss instead of silently dropping
+/// committed writes: an implausible record length with the full record
+/// present, a CRC mismatch *followed by further bytes*, or `fn` rejecting
+/// a CRC-clean record (decode failure = corruption, not tearing).
 Result<size_t> ReplayWal(const std::string& path,
-                         const std::function<void(const Bytes&)>& fn);
+                         const std::function<Status(const Bytes&)>& fn);
 
 }  // namespace fabricpp::storage
 

@@ -1,0 +1,65 @@
+#include "storage/write_batch.h"
+
+namespace fabricpp::storage {
+
+Result<WalSyncMode> ParseWalSyncMode(std::string_view name) {
+  if (name == "none") return WalSyncMode::kNone;
+  if (name == "block") return WalSyncMode::kBlock;
+  if (name == "every_write") return WalSyncMode::kEveryWrite;
+  return Status::InvalidArgument(
+      "unknown WAL sync mode \"" + std::string(name) +
+      "\": expected none | block | every_write");
+}
+
+std::string_view WalSyncModeToString(WalSyncMode mode) {
+  switch (mode) {
+    case WalSyncMode::kNone:
+      return "none";
+    case WalSyncMode::kBlock:
+      return "block";
+    case WalSyncMode::kEveryWrite:
+      return "every_write";
+  }
+  return "unknown";
+}
+
+Bytes WriteBatch::EncodeForWal() const {
+  Bytes out;
+  ByteWriter writer(&out);
+  writer.PutU8(kWalBatchTag);
+  writer.PutVarint(entries_.size());
+  for (const Entry& entry : entries_) {
+    writer.PutU8(static_cast<uint8_t>(entry.type));
+    writer.PutString(entry.key);
+    writer.PutString(entry.value);
+  }
+  return out;
+}
+
+Result<WriteBatch> WriteBatch::DecodeFromWal(const Bytes& payload) {
+  ByteReader reader(payload);
+  FABRICPP_ASSIGN_OR_RETURN(const uint8_t tag, reader.GetU8());
+  if (tag != kWalBatchTag) {
+    return Status::DataLoss("wal batch record with bad tag");
+  }
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t count, reader.GetVarint());
+  WriteBatch batch;
+  batch.entries_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry entry;
+    FABRICPP_ASSIGN_OR_RETURN(const uint8_t type, reader.GetU8());
+    if (type > static_cast<uint8_t>(EntryType::kDelete)) {
+      return Status::DataLoss("wal batch entry with bad type");
+    }
+    entry.type = static_cast<EntryType>(type);
+    FABRICPP_ASSIGN_OR_RETURN(entry.key, reader.GetString());
+    FABRICPP_ASSIGN_OR_RETURN(entry.value, reader.GetString());
+    batch.entries_.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("wal batch record with trailing bytes");
+  }
+  return batch;
+}
+
+}  // namespace fabricpp::storage

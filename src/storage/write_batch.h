@@ -1,0 +1,83 @@
+#ifndef FABRICPP_STORAGE_WRITE_BATCH_H_
+#define FABRICPP_STORAGE_WRITE_BATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/sstable.h"
+
+namespace fabricpp::storage {
+
+/// WAL durability policy of a Db.
+enum class WalSyncMode : uint8_t {
+  /// Never fsync (fastest; a host crash may lose the WAL tail, but never
+  /// tear a batch — recovery is still all-or-nothing per record).
+  kNone = 0,
+  /// Group commit: one fsync per applied batch; individual Put/Delete calls
+  /// do not sync. The intended mode for block-structured commit paths —
+  /// O(1) fsyncs per block regardless of write-set size.
+  kBlock = 1,
+  /// fsync on every WAL append, including each individual Put/Delete (the
+  /// pre-batching behaviour of `DbOptions::sync_writes = true`).
+  kEveryWrite = 2,
+};
+
+/// Parses "none" | "block" | "every_write" (the config-file spellings).
+Result<WalSyncMode> ParseWalSyncMode(std::string_view name);
+std::string_view WalSyncModeToString(WalSyncMode mode);
+
+/// An ordered set of writes applied to a Db as one atomic unit.
+///
+/// The whole batch is encoded into a *single* framed WAL record, so the
+/// WAL's per-record CRC covers all of it: recovery replays the batch
+/// entirely or not at all — a torn tail can never surface half a batch.
+/// Entries are applied to the memtable in insertion order, so a later
+/// write to the same key wins, exactly as if the entries had been applied
+/// one by one.
+class WriteBatch {
+ public:
+  struct Entry {
+    EntryType type = EntryType::kPut;
+    std::string key;
+    std::string value;
+  };
+
+  void Put(std::string_view key, std::string_view value) {
+    entries_.push_back(Entry{EntryType::kPut, std::string(key),
+                             std::string(value)});
+  }
+  void Delete(std::string_view key) {
+    entries_.push_back(Entry{EntryType::kDelete, std::string(key), ""});
+  }
+  void Clear() { entries_.clear(); }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// WAL payload: `kWalBatchTag | varint count | count * (type,key,value)`.
+  /// The leading tag disambiguates batch records from single-write records,
+  /// whose first byte is an EntryType (0 or 1).
+  Bytes EncodeForWal() const;
+
+  /// Inverse of EncodeForWal (the tag byte must still be present). Any
+  /// malformation — bad tag, short payload, trailing garbage — is an error:
+  /// the record passed its CRC, so a decode failure means corruption (or a
+  /// version skew), never a torn write.
+  static Result<WriteBatch> DecodeFromWal(const Bytes& payload);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// First payload byte of a batch WAL record. Values 0 and 1 are taken by
+/// single-write records (EntryType); anything else is free.
+inline constexpr uint8_t kWalBatchTag = 0xB5;
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_WRITE_BATCH_H_

@@ -69,6 +69,22 @@ TEST(StateDbTest, ForEachVisitsAll) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(StateDbTest, ApplyBlockAppliesWritesInOrderAndAdvancesHeight) {
+  StateDb db;
+  db.SeedInitialState("a", "1");
+  std::vector<statedb::VersionedWrite> writes;
+  writes.push_back({{"a", "2", false}, Version{3, 0}});
+  writes.push_back({{"b", "9", false}, Version{3, 1}});
+  writes.push_back({{"a", "5", false}, Version{3, 2}});  // Later write wins.
+  writes.push_back({{"c", "", true}, Version{3, 2}});    // Delete no-op-safe.
+  ASSERT_TRUE(db.ApplyBlock(writes, 3).ok());
+  EXPECT_EQ(db.Get("a")->value, "5");
+  EXPECT_EQ(db.GetVersion("a"), (Version{3, 2}));
+  EXPECT_EQ(db.Get("b")->value, "9");
+  EXPECT_FALSE(db.Get("c").ok());
+  EXPECT_EQ(db.last_committed_block(), 3u);
+}
+
 // --- Ledger ---
 
 proto::Transaction MakeTx(const std::string& id) {

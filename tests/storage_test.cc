@@ -144,14 +144,18 @@ TEST_F(StorageFixture, WalRoundTrip) {
   }
   std::vector<Bytes> records;
   const auto count =
-      ReplayWal(path, [&](const Bytes& r) { records.push_back(r); });
+      ReplayWal(path, [&](const Bytes& r) {
+        records.push_back(r);
+        return Status::OK();
+      });
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 100u);
   EXPECT_EQ(records[7][0], 7);
 }
 
 TEST_F(StorageFixture, WalMissingFileIsEmpty) {
-  const auto count = ReplayWal(Path("nope.log"), [](const Bytes&) {});
+  const auto count =
+      ReplayWal(Path("nope.log"), [](const Bytes&) { return Status::OK(); });
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 0u);
 }
@@ -168,26 +172,141 @@ TEST_F(StorageFixture, WalTornTailStopsCleanly) {
   const auto size = fs::file_size(path);
   fs::resize_file(path, size - 2);
   size_t records = 0;
-  const auto count = ReplayWal(path, [&](const Bytes&) { ++records; });
+  const auto count = ReplayWal(path, [&](const Bytes&) {
+    ++records;
+    return Status::OK();
+  });
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 1u);  // First record intact, torn second dropped.
 }
 
-TEST_F(StorageFixture, WalCorruptedCrcStopsReplay) {
+TEST_F(StorageFixture, WalCorruptedCrcFinalRecordToleratedAsTornTail) {
   const std::string path = Path("wal.log");
   {
     WalWriter writer;
     ASSERT_TRUE(writer.Open(path).ok());
     ASSERT_TRUE(writer.Append({9, 9, 9}, true).ok());
   }
-  // Flip a payload byte.
+  // Flip a payload byte of the final (only) record: indistinguishable from
+  // a torn tail, so replay stops cleanly with zero records.
   std::FILE* f = std::fopen(path.c_str(), "r+b");
   std::fseek(f, 8, SEEK_SET);
   std::fputc(0xff, f);
   std::fclose(f);
-  const auto count = ReplayWal(path, [](const Bytes&) {});
+  const auto count =
+      ReplayWal(path, [](const Bytes&) { return Status::OK(); });
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(StorageFixture, WalMidLogCorruptionFailsReplay) {
+  const std::string path = Path("wal.log");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append({9, 9, 9}, true).ok());
+    ASSERT_TRUE(writer.Append({7, 7, 7}, true).ok());
+  }
+  // Flip a payload byte of the FIRST record. Valid records follow, so this
+  // cannot be a torn tail — replay must fail loudly instead of silently
+  // dropping a committed record and keeping later ones.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  std::fseek(f, 8, SEEK_SET);
+  std::fputc(0xff, f);
+  std::fclose(f);
+  const auto count =
+      ReplayWal(path, [](const Bytes&) { return Status::OK(); });
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(StorageFixture, WalDecodeFailurePropagatesFromCallback) {
+  const std::string path = Path("wal.log");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append({1, 1, 1}, true).ok());
+    ASSERT_TRUE(writer.Append({2, 2, 2}, true).ok());
+  }
+  // A CRC-clean record the application cannot decode is corruption too;
+  // the callback's error must abort the replay.
+  const auto count = ReplayWal(path, [](const Bytes& r) {
+    if (r[0] == 2) return Status::DataLoss("undecodable record");
+    return Status::OK();
+  });
+  ASSERT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kDataLoss);
+}
+
+// --- WriteBatch ---
+
+TEST(WriteBatchTest, EncodeDecodeRoundTrip) {
+  WriteBatch batch;
+  batch.Put("alpha", "1");
+  batch.Delete("beta");
+  batch.Put("gamma", std::string(1000, 'x'));
+  const Bytes record = batch.EncodeForWal();
+  EXPECT_EQ(record[0], kWalBatchTag);
+
+  const auto decoded = WriteBatch::DecodeFromWal(record);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ(decoded->entries()[0].type, EntryType::kPut);
+  EXPECT_EQ(decoded->entries()[0].key, "alpha");
+  EXPECT_EQ(decoded->entries()[0].value, "1");
+  EXPECT_EQ(decoded->entries()[1].type, EntryType::kDelete);
+  EXPECT_EQ(decoded->entries()[1].key, "beta");
+  EXPECT_EQ(decoded->entries()[2].value, std::string(1000, 'x'));
+}
+
+TEST(WriteBatchTest, DecodeRejectsMalformedRecords) {
+  // Wrong leading tag.
+  EXPECT_EQ(WriteBatch::DecodeFromWal({0x00, 0x01}).status().code(),
+            StatusCode::kDataLoss);
+  // Trailing garbage after a valid batch.
+  WriteBatch batch;
+  batch.Put("k", "v");
+  Bytes record = batch.EncodeForWal();
+  record.push_back(0xff);
+  EXPECT_EQ(WriteBatch::DecodeFromWal(record).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(WriteBatchTest, ParseWalSyncModeKnownAndUnknown) {
+  ASSERT_TRUE(ParseWalSyncMode("none").ok());
+  EXPECT_EQ(*ParseWalSyncMode("none"), WalSyncMode::kNone);
+  EXPECT_EQ(*ParseWalSyncMode("block"), WalSyncMode::kBlock);
+  EXPECT_EQ(*ParseWalSyncMode("every_write"), WalSyncMode::kEveryWrite);
+  EXPECT_FALSE(ParseWalSyncMode("fsync-sometimes").ok());
+  EXPECT_EQ(WalSyncModeToString(WalSyncMode::kBlock), "block");
+}
+
+TEST_F(StorageFixture, ApplyBatchIsOneAppendAndSurvivesReopen) {
+  DbOptions options;
+  options.sync_mode = WalSyncMode::kBlock;
+  {
+    auto db = Db::Open(Path("db"), options);
+    ASSERT_TRUE(db.ok());
+    WriteBatch batch;
+    for (int i = 0; i < 100; ++i) {
+      batch.Put(StrFormat("key%03d", i), "v" + std::to_string(i));
+    }
+    batch.Delete("key050");
+    ASSERT_TRUE((*db)->ApplyBatch(batch).ok());
+    // 101 entries, one framed WAL record, one group-commit fsync.
+    EXPECT_EQ((*db)->wal_appends(), 1u);
+    EXPECT_EQ((*db)->wal_syncs(), 1u);
+    // An empty batch is a no-op — no WAL traffic at all.
+    ASSERT_TRUE((*db)->ApplyBatch(WriteBatch()).ok());
+    EXPECT_EQ((*db)->wal_appends(), 1u);
+  }
+  auto db = Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->wal_records_replayed(), 1u);  // One record, 101 entries.
+  const auto v7 = (*db)->Get("key007");
+  ASSERT_TRUE(v7.ok());
+  EXPECT_EQ(*v7, "v7");
+  EXPECT_EQ((*db)->Get("key050").status().code(), StatusCode::kNotFound);
 }
 
 // --- SSTable ---

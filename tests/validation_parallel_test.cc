@@ -192,9 +192,12 @@ TEST(ValidatorConcurrencyTest, VerifyStageIdenticalAcrossWorkerCounts) {
 
 // --- Full-pipeline determinism across worker counts ---
 
-/// Fingerprint of a finished run: the deterministic report string plus the
-/// observer peer's chain tip. Wall-clock validation timings are *excluded*
-/// by design (they are host measurements and legitimately vary).
+/// Fingerprint of a finished run: the deterministic report string, the
+/// orderer's reorder stats, and the observer peer's chain tip. Wall-clock
+/// measurements (validation stage timings, reorder elapsed time) are
+/// *excluded* by design — they are host measurements and legitimately vary;
+/// ReorderStats is included precisely to pin down that it no longer carries
+/// any.
 std::pair<std::string, crypto::Digest> RunFingerprint(uint32_t workers,
                                                       bool with_faults) {
   workload::SmallbankConfig wl_config;
@@ -231,7 +234,12 @@ std::pair<std::string, crypto::Digest> RunFingerprint(uint32_t workers,
   }
   EXPECT_GT(network.metrics().successful(), 0u);
   EXPECT_GT(network.metrics().validation_wall_clock().blocks, 0u);
-  return {report.ToString(), network.peer(0).ledger(0).LastHash()};
+  // Reordering ran (FabricPlusPlus config) and its wall-clock landed on the
+  // measurement side, not in the deterministic stats.
+  EXPECT_GT(network.metrics().reorder_wall_clock().batches, 0u);
+  return {report.ToString() + "\n" +
+              network.orderer().last_reorder_stats().ToString(),
+          network.peer(0).ledger(0).LastHash()};
 }
 
 TEST(ValidationWorkersDeterminismTest, CleanRunBitIdenticalFor1_4_8Workers) {

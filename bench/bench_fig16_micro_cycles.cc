@@ -1,14 +1,19 @@
 // Reproduces Figure 16 (Appendix B.2): the stand-alone reordering
 // micro-benchmark on conflict-cycle chains — valid transactions under the
 // arrival order vs the reordered schedule, and the reordering time, as the
-// cycle length grows (1024 transactions total).
+// cycle length grows (1024 transactions total). A second scenario measures
+// what taking the reorder stage off the orderer's critical path buys:
+// block inter-arrival gap and cut-queue stalls, inline (pipeline depth 1)
+// vs pipelined (depth 4).
 
 #include <cstdio>
 
+#include "fabric/network.h"
 #include "harness.h"
 #include "ordering/reorderer.h"
 #include "peer/validator.h"
 #include "workload/micro_sequences.h"
+#include "workload/smallbank.h"
 
 namespace fabricpp::bench {
 namespace {
@@ -43,10 +48,61 @@ void Run() {
       "get longer, at increasing reordering cost.\n");
 }
 
+/// One saturated Fabric++ run at the given pipeline depth. Small blocks at a
+/// high fire rate keep a batch waiting in the cut queue whenever the
+/// reorder/ordering stage is busy, so the inline configuration (depth 1)
+/// accumulates stall time that the pipelined one overlaps away.
+fabric::RunReport RunPipelineDepth(uint32_t depth) {
+  workload::SmallbankConfig wl_config;
+  wl_config.num_users = 1000;
+  workload::SmallbankWorkload workload(wl_config);
+
+  fabric::FabricConfig config = fabric::FabricConfig::FabricPlusPlus();
+  config.block.max_transactions = 32;
+  config.client_fire_rate_tps = 400;
+  config.seed = 7;
+  config.ordering_pipeline_depth = depth;
+  // Price the reorder pass like the cycle-heavy Figure 16 worst cases
+  // (~80 ms per 32-transaction block), making it the stage the pipeline
+  // must take off the critical path.
+  config.cost.reorder_per_tx = 2500;
+
+  fabric::FabricNetwork network(config, &workload);
+  return network.RunFor(10 * sim::kSecond, 2 * sim::kSecond);
+}
+
+void RunPipelineComparison() {
+  PrintHeader(
+      "Ordering pipeline — reordering off the critical path "
+      "(32-tx blocks, saturated orderer)",
+      "DESIGN.md §10");
+
+  std::printf("\n%-10s %8s %8s %12s %14s %14s %10s\n", "pipeline", "blocks",
+              "stalls", "stall total", "block gap avg", "block gap p95",
+              "tps");
+  for (const uint32_t depth : {1u, 4u}) {
+    const fabric::RunReport report = RunPipelineDepth(depth);
+    std::printf("depth %-4u %8llu %8llu %9.1f ms %11.2f ms %11.2f ms %10.1f\n",
+                depth,
+                static_cast<unsigned long long>(report.blocks_committed),
+                static_cast<unsigned long long>(report.ordering_stalls),
+                report.ordering_stall_ms, report.block_gap_avg_ms,
+                report.block_gap_p95_ms, report.successful_tps);
+  }
+  std::printf(
+      "\nWith depth 1 every batch waits out the previous block's full "
+      "ordering cost (reorder included) before it may even be admitted; "
+      "deeper pipelines admit the next batch while earlier blocks are "
+      "still in the reorder stage, shrinking the cut-queue stall total "
+      "and the commit-to-commit gap. Blocks still reach consensus in "
+      "chain order through the in-order drain.\n");
+}
+
 }  // namespace
 }  // namespace fabricpp::bench
 
 int main() {
   fabricpp::bench::Run();
+  fabricpp::bench::RunPipelineComparison();
   return 0;
 }

@@ -1,13 +1,22 @@
 // google-benchmark timings of the reordering pipeline's stages (ablation of
-// the design choices in DESIGN.md §5): conflict-graph construction (sparse
-// inverted-index vs the paper's dense bit-vector build), Tarjan SCC
-// decomposition, Johnson cycle enumeration, schedule generation, and the
-// end-to-end reorder pass.
+// the design choices in DESIGN.md §5 and §10): conflict-graph construction
+// (sparse inverted-index vs the paper's dense bit-vector build, serial vs
+// sharded-parallel), Tarjan SCC decomposition, Johnson cycle enumeration,
+// schedule generation (including the 10k-transaction regression guards for
+// the linear-time rewrite), and the end-to-end reorder pass at worker
+// counts 1/2/4.
+//
+// `--smoke` (used by CI) shortens every measurement to 0.05s so the binary
+// doubles as a build-and-run sanity check emitting BENCH_reorder.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "ordering/conflict_graph.h"
 #include "ordering/johnson.h"
 #include "ordering/reorderer.h"
@@ -121,7 +130,116 @@ void BM_ScheduleAcyclic(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleAcyclic)->Arg(256)->Arg(1024);
 
+// --- Parallel reorder engine (DESIGN.md §10) ---
+
+void BM_ConflictGraphParallel(benchmark::State& state) {
+  // Sharded parallel build at `range(1)`-way parallelism; range(1) == 1
+  // is the serial baseline for the scaling table in EXPERIMENTS.md.
+  const auto sets =
+      MakeBatch(static_cast<uint32_t>(state.range(0)), 4096, 4);
+  const auto rwsets = workload::AsPointers(sets);
+  const uint32_t workers = static_cast<uint32_t>(state.range(1));
+  ThreadPool pool(workers - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ConflictGraph::Build(rwsets, workers > 1 ? &pool : nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConflictGraphParallel)
+    ->ArgsProduct({{512, 2048}, {1, 2, 4}});
+
+void BM_ReorderEndToEndParallel(benchmark::State& state) {
+  // Full pass (graph build + SCC enumeration fan-out) at range(1)-way
+  // parallelism over a cycle-heavy batch, so the per-SCC enumeration
+  // tasks dominate and actually exercise the worker pool.
+  const auto sets = workload::MakeCycleSequence(
+      static_cast<uint32_t>(state.range(0)), 16);
+  const auto rwsets = workload::AsPointers(sets);
+  const uint32_t workers = static_cast<uint32_t>(state.range(1));
+  ThreadPool pool(workers - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ReorderTransactions(rwsets, {}, workers > 1 ? &pool : nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReorderEndToEndParallel)
+    ->ArgsProduct({{512, 2048}, {1, 2, 4}});
+
+// --- ScheduleAcyclic linear-time regression guards ---
+//
+// Both graphs made the paper's parent-chasing traversal quadratic: the seed
+// implementation re-scanned parent lists from index 0 on every visit. With
+// the monotonic scan positions these complete in O(V + E); a regression to
+// the quadratic scan makes the 10k-transaction runs ~1000x slower and is
+// unmissable in the committed BENCH_reorder.json.
+
+void BM_ScheduleAcyclicChain10k(benchmark::State& state) {
+  // tx i reads k_{i-1} and writes k_i: one 10k-deep dependency chain.
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  std::vector<proto::ReadWriteSet> sets(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      sets[i].reads.push_back(
+          {StrFormat("k%u", i - 1), proto::kNilVersion});
+    }
+    sets[i].writes.push_back({StrFormat("k%u", i), "v", false});
+  }
+  const ConflictGraph graph = ConflictGraph::Build(workload::AsPointers(sets));
+  std::vector<uint32_t> alive(graph.num_nodes());
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) alive[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScheduleAcyclic(graph, alive));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAcyclicChain10k)->Arg(10000);
+
+void BM_ScheduleAcyclicHotReader10k(benchmark::State& state) {
+  // One reader of n-1 disjoint writers' keys, *first* in batch order: the
+  // traversal starts there, schedules one writer per return to the start
+  // node, and the seed re-scanned the reader's n-1 parents from the front
+  // on every return — the measured quadratic case (~2.6 s at n=10k vs
+  // ~0.2 ms for the monotonic-position rewrite).
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  std::vector<proto::ReadWriteSet> sets(n);
+  for (uint32_t i = 1; i < n; ++i) {
+    sets[i].writes.push_back({StrFormat("k%u", i), "v", false});
+    sets[0].reads.push_back({StrFormat("k%u", i), proto::kNilVersion});
+  }
+  const ConflictGraph graph = ConflictGraph::Build(workload::AsPointers(sets));
+  std::vector<uint32_t> alive(graph.num_nodes());
+  for (uint32_t i = 0; i < graph.num_nodes(); ++i) alive[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScheduleAcyclic(graph, alive));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAcyclicHotReader10k)->Arg(10000);
+
 }  // namespace
 }  // namespace fabricpp::ordering
 
-BENCHMARK_MAIN();
+// Custom main so CI can pass `--smoke`: expands to a 0.05s minimum
+// measurement time per benchmark (libbenchmark 1.7 takes a plain double),
+// keeping the full matrix runnable as a fast sanity pass that still emits
+// a complete BENCH_reorder.json via --benchmark_out.
+int main(int argc, char** argv) {
+  static char min_time_arg[] = "--benchmark_min_time=0.05";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.push_back(min_time_arg);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -52,6 +52,16 @@ Status FabricConfig::Validate() const {
         "validator_workers must be in [1, 256]: it counts host threads "
         "(including the committing one) running real signature checks");
   }
+  if (reorder_workers == 0 || reorder_workers > 256) {
+    return Status::InvalidArgument(
+        "reorder_workers must be in [1, 256]: it counts host threads "
+        "(including the calling one) running the real reordering work");
+  }
+  if (ordering_pipeline_depth == 0 || ordering_pipeline_depth > 64) {
+    return Status::InvalidArgument(
+        "ordering_pipeline_depth must be in [1, 64]: it bounds the batches "
+        "concurrently inside the orderer's reorder stage per channel");
+  }
   if (client_resubmit) {
     if (client_max_retries == 0) {
       return Status::InvalidArgument(

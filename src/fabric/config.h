@@ -135,6 +135,22 @@ struct FabricConfig {
   /// output (validation codes, metrics, chain hashes) is byte-identical for
   /// any value. Must be in [1, 256].
   uint32_t validator_workers = 1;
+  /// Host threads running the orderer's *real* reordering work (conflict
+  /// graph build + per-SCC cycle enumeration), counting the calling thread:
+  /// 1 = fully serial, N = the engine fans out N-wide on a dedicated
+  /// ThreadPool shared via FabricNetwork::reorder_pool(). Same contract as
+  /// validator_workers: wall-clock acceleration only — the ReorderResult
+  /// (order, aborted set, stats) is byte-identical for any value. Must be
+  /// in [1, 256].
+  uint32_t reorder_workers = 1;
+  /// Bound on orderer batches simultaneously inside the reorder stage per
+  /// channel (the single-producer pipeline between block cutting and
+  /// consensus submission). 1 reproduces the strictly serial seed behavior:
+  /// batch N+1 waits until block N's ordering cost has been paid. Higher
+  /// depths let the reorder of block N overlap the batching/reordering of
+  /// block N+1 on the orderer's cores — blocks still enter consensus in
+  /// chain order via an in-order drain. Must be in [1, 64].
+  uint32_t ordering_pipeline_depth = 1;
 
   // --- Block formation (paper Table 5) ---
   ordering::BatchCutConfig block;

@@ -47,10 +47,15 @@ std::string ValidationWallClock::ToString() const {
 std::string ReorderWallClock::ToString() const {
   const double batches_d = batches == 0 ? 1.0 : static_cast<double>(batches);
   return StrFormat(
-      "batches=%llu reorder_total=%.2fms reorder_avg=%.1fus",
+      "batches=%llu reorder_total=%.2fms reorder_avg=%.1fus "
+      "(build=%.2fms enumerate=%.2fms break=%.2fms schedule=%.2fms)",
       static_cast<unsigned long long>(batches),
       static_cast<double>(elapsed_us) / 1e3,
-      static_cast<double>(elapsed_us) / batches_d);
+      static_cast<double>(elapsed_us) / batches_d,
+      static_cast<double>(build_us) / 1e3,
+      static_cast<double>(enumerate_us) / 1e3,
+      static_cast<double>(break_us) / 1e3,
+      static_cast<double>(schedule_us) / 1e3);
 }
 
 std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
@@ -97,6 +102,12 @@ bool Metrics::ResolveFired(const std::string& key, TxOutcome outcome,
 }
 
 void Metrics::NoteBlockCommitted(uint32_t num_txs, sim::SimTime now) {
+  // Commit-to-commit gap at the observer peer; the previous commit may sit
+  // outside the window, the gap counts where it *ends*.
+  if (last_block_commit_ != 0 && now >= last_block_commit_ && InWindow(now)) {
+    block_gap_us_.Add(now - last_block_commit_);
+  }
+  last_block_commit_ = now;
   if (!InWindow(now)) return;
   ++blocks_committed_;
   block_tx_total_ += num_txs;
@@ -127,6 +138,12 @@ RunReport Metrics::Report() const {
     report.avg_block_size =
         static_cast<double>(block_tx_total_) / blocks_committed_;
   }
+  if (block_gap_us_.count() > 0) {
+    report.block_gap_avg_ms = block_gap_us_.Mean() / 1000.0;
+    report.block_gap_p95_ms = block_gap_us_.Quantile(0.95) / 1000.0;
+  }
+  report.ordering_stalls = ordering_stalls_;
+  report.ordering_stall_ms = static_cast<double>(ordering_stall_us_) / 1000.0;
   report.net_messages_dropped = net_dropped_;
   report.net_messages_duplicated = net_duplicated_;
   report.blocks_corrupted = blocks_corrupted_;
@@ -158,6 +175,13 @@ std::string RunReport::ToString() const {
                            .c_str(),
                        static_cast<unsigned long long>(aborts[i]));
     }
+  }
+  if (ordering_stalls != 0) {
+    out += StrFormat(
+        "\n  ordering: stalls=%llu stall_total=%.1fms block_gap avg=%.1fms "
+        "p95=%.1fms",
+        static_cast<unsigned long long>(ordering_stalls), ordering_stall_ms,
+        block_gap_avg_ms, block_gap_p95_ms);
   }
   if (net_messages_dropped != 0 || net_messages_duplicated != 0 ||
       blocks_corrupted != 0 || blocks_deduplicated != 0 ||

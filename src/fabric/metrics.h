@@ -61,6 +61,18 @@ struct RunReport {
   double latency_p99_ms = 0;
   uint64_t blocks_committed = 0;
   double avg_block_size = 0;
+  // Block inter-arrival gap at the observer peer (commit-to-commit virtual
+  // time) — what the ordering pipeline compresses when the reorder stage is
+  // the bottleneck.
+  double block_gap_avg_ms = 0;
+  double block_gap_p95_ms = 0;
+
+  // --- Ordering pipeline (virtual-time, deterministic) ---
+  /// Batches that sat in the orderer's cut queue because the reorder stage
+  /// was at its pipeline depth (with depth 1, every wait behind the
+  /// previous block counts).
+  uint64_t ordering_stalls = 0;
+  double ordering_stall_ms = 0;  ///< Total virtual time those batches waited.
 
   // --- Fault / recovery telemetry (zero in fault-free runs) ---
   uint64_t net_messages_dropped = 0;     ///< Injector drops, all causes.
@@ -94,8 +106,15 @@ struct ValidationWallClock {
 /// the deterministic ReorderStats so simulation outputs stay byte-identical
 /// run-to-run. Benches read it via Metrics::reorder_wall_clock().
 struct ReorderWallClock {
-  uint64_t batches = 0;      ///< Reordering passes measured.
+  uint64_t batches = 0;     ///< Reordering passes measured.
   uint64_t elapsed_us = 0;  ///< Total host microseconds across passes.
+  // Per-stage split of elapsed_us (graph build / SCC + cycle enumeration /
+  // cycle breaking / schedule generation) — the reorder_workers pool
+  // accelerates the first two; benches report the split.
+  uint64_t build_us = 0;
+  uint64_t enumerate_us = 0;
+  uint64_t break_us = 0;
+  uint64_t schedule_us = 0;
 
   std::string ToString() const;
 };
@@ -151,13 +170,29 @@ class Metrics {
     return validation_wall_;
   }
 
-  /// Host wall-clock of one reordering pass (orderer). Accumulated outside
-  /// the deterministic report — see ReorderWallClock.
-  void NoteReorderWallClock(uint64_t elapsed_us) {
+  /// Host wall-clock of one reordering pass (orderer), with its per-stage
+  /// split. Accumulated outside the deterministic report — see
+  /// ReorderWallClock.
+  void NoteReorderWallClock(uint64_t elapsed_us, uint64_t build_us = 0,
+                            uint64_t enumerate_us = 0, uint64_t break_us = 0,
+                            uint64_t schedule_us = 0) {
     ++reorder_wall_.batches;
     reorder_wall_.elapsed_us += elapsed_us;
+    reorder_wall_.build_us += build_us;
+    reorder_wall_.enumerate_us += enumerate_us;
+    reorder_wall_.break_us += break_us;
+    reorder_wall_.schedule_us += schedule_us;
   }
   const ReorderWallClock& reorder_wall_clock() const { return reorder_wall_; }
+
+  /// A cut batch waited `waited` virtual time in the orderer's queue before
+  /// the reorder stage had pipeline capacity for it. Virtual-time and thus
+  /// deterministic: part of RunReport, unlike the wall-clock notes above.
+  void NoteOrderingStall(sim::SimTime waited, sim::SimTime now) {
+    if (!InWindow(now)) return;
+    ++ordering_stalls_;
+    ordering_stall_us_ += waited;
+  }
 
   /// Injector totals, folded into the report by the harness after the run.
   void SetNetworkFaultTotals(uint64_t dropped, uint64_t duplicated) {
@@ -187,6 +222,10 @@ class Metrics {
   Histogram latency_us_;
   uint64_t blocks_committed_ = 0;
   uint64_t block_tx_total_ = 0;
+  sim::SimTime last_block_commit_ = 0;
+  Histogram block_gap_us_;
+  uint64_t ordering_stalls_ = 0;
+  uint64_t ordering_stall_us_ = 0;
   uint64_t blocks_corrupted_ = 0;
   uint64_t blocks_deduplicated_ = 0;
   Histogram recovery_us_;

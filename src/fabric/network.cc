@@ -584,7 +584,7 @@ void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
   std::optional<ordering::Batch> batch = ch.cutter.Add(std::move(tx));
   if (batch.has_value()) {
     ++ch.timer_generation;  // Cancel the pending timeout.
-    ch.batch_queue.push_back(std::move(*batch));
+    ch.batch_queue.push_back({std::move(*batch), net_->env().Now()});
     MaybeProcessNextBatch(channel);
   } else if (was_empty) {
     ArmTimer(channel);
@@ -593,11 +593,18 @@ void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
 
 void OrdererNode::MaybeProcessNextBatch(uint32_t channel) {
   ChannelState& ch = channels_[channel];
-  if (ch.processing || ch.batch_queue.empty()) return;
-  ch.processing = true;
-  ordering::Batch batch = std::move(ch.batch_queue.front());
-  ch.batch_queue.pop_front();
-  ProcessBatch(channel, std::move(batch));
+  const uint32_t depth = net_->config().ordering_pipeline_depth;
+  while (!ch.batch_queue.empty() && ch.stage_inflight < depth) {
+    PendingBatch pending = std::move(ch.batch_queue.front());
+    ch.batch_queue.pop_front();
+    const sim::SimTime now = net_->env().Now();
+    if (now > pending.enqueued_at) {
+      // The batch was cut while the reorder stage was at capacity — the
+      // pipeline stall the ordering_pipeline_depth knob exists to hide.
+      net_->metrics().NoteOrderingStall(now - pending.enqueued_at, now);
+    }
+    ProcessBatch(channel, std::move(pending.batch));
+  }
 }
 
 void OrdererNode::ArmTimer(uint32_t channel) {
@@ -611,7 +618,7 @@ void OrdererNode::ArmTimer(uint32_t channel) {
         std::optional<ordering::Batch> batch =
             state.cutter.Flush(ordering::CutReason::kTimeout);
         if (batch.has_value()) {
-          state.batch_queue.push_back(std::move(*batch));
+          state.batch_queue.push_back({std::move(*batch), net_->env().Now()});
           MaybeProcessNextBatch(channel);
         }
       });
@@ -656,12 +663,15 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
     std::vector<const proto::ReadWriteSet*> rwsets;
     rwsets.reserve(survivors.size());
     for (const uint32_t i : survivors) rwsets.push_back(&txs[i].rwset);
-    ordering::ReorderResult reorder =
-        ordering::ReorderTransactions(rwsets, config.reorder);
+    ordering::ReorderResult reorder = ordering::ReorderTransactions(
+        rwsets, config.reorder, net_->reorder_pool());
     last_reorder_stats_ = reorder.stats;
     // Wall-clock of the pass goes to the measurement side of Metrics, never
     // into the deterministic stats/report (same rule as validation timings).
-    net_->metrics().NoteReorderWallClock(reorder.elapsed_wall_us);
+    net_->metrics().NoteReorderWallClock(
+        reorder.elapsed_wall_us, reorder.stage_wall.build_us,
+        reorder.stage_wall.enumerate_us, reorder.stage_wall.break_us,
+        reorder.stage_wall.schedule_us);
     for (const uint32_t victim : reorder.aborted) {
       const proto::Transaction& tx = txs[survivors[victim]];
       net_->metrics().Resolve(ProposalKey(tx.client, tx.proposal_id),
@@ -677,9 +687,9 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
   }
 
   if (final_order.empty()) {
-    // Nothing survived; no block to distribute.
-    channels_[channel].processing = false;
-    MaybeProcessNextBatch(channel);
+    // Nothing survived; no block to distribute and no pipeline slot taken —
+    // the admission loop in MaybeProcessNextBatch continues to the next
+    // queued batch.
     return;
   }
 
@@ -689,6 +699,10 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
     block->transactions.push_back(std::move(txs[i]));
   }
 
+  // Seal at admission: batches are admitted in cut order, so numbering and
+  // hash-chaining here keeps the chain identical for any pipeline depth
+  // even though a deeper pipeline lets several blocks' ordering costs
+  // overlap below.
   ChannelState& ch = channels_[channel];
   block->header.number = ch.next_block_number++;
   block->header.previous_hash = ch.prev_hash;
@@ -699,11 +713,29 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
   const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
   service += cost.hash_per_kb * (block_bytes / 1024 + 1);
 
-  cpu_.Submit(service, [this, channel, block, block_bytes]() {
-    SubmitToConsensus(channel, block, block_bytes);
-    channels_[channel].processing = false;
-    MaybeProcessNextBatch(channel);
+  const uint64_t seq = ch.next_stage_seq++;
+  ++ch.stage_inflight;
+  cpu_.Submit(service, [this, channel, seq, block, block_bytes]() {
+    FinishBatchStage(channel, seq, StagedBlock{block, block_bytes});
   });
+}
+
+void OrdererNode::FinishBatchStage(uint32_t channel, uint64_t seq,
+                                   StagedBlock done) {
+  ChannelState& ch = channels_[channel];
+  --ch.stage_inflight;
+  ch.staged.emplace(seq, std::move(done));
+  // Blocks enter consensus strictly in chain order even when a later,
+  // lighter block pays off its ordering cost before a heavy predecessor.
+  while (true) {
+    const auto it = ch.staged.find(ch.next_submit_seq);
+    if (it == ch.staged.end()) break;
+    StagedBlock ready = std::move(it->second);
+    ch.staged.erase(it);
+    ++ch.next_submit_seq;
+    SubmitToConsensus(channel, std::move(ready.block), ready.block_bytes);
+  }
+  MaybeProcessNextBatch(channel);
 }
 
 // ---------------------------------------------------------------------------
@@ -966,6 +998,14 @@ FabricNetwork::FabricNetwork(FabricConfig config,
   if (config_.validator_workers > 1) {
     validator_pool_ =
         std::make_unique<ThreadPool>(config_.validator_workers - 1);
+  }
+
+  // Reorder worker pool for the orderer's graph build + cycle enumeration
+  // (the calling thread participates, so N workers = N - 1 extra threads).
+  // Deliberately distinct from validator_pool_: ParallelFor is not
+  // reentrant across users on the same call stack.
+  if (config_.reorder_workers > 1) {
+    reorder_pool_ = std::make_unique<ThreadPool>(config_.reorder_workers - 1);
   }
 
   // Endorsement policy: one peer of every org (paper §2.2.1).

@@ -176,6 +176,19 @@ class OrdererNode {
  private:
   friend class FabricNetwork;
 
+  /// A cut batch waiting for the reorder stage, stamped with its cut time
+  /// so the pipeline-stall metric can measure how long it sat.
+  struct PendingBatch {
+    ordering::Batch batch;
+    sim::SimTime enqueued_at;
+  };
+
+  /// A block whose reorder stage finished, awaiting its turn at consensus.
+  struct StagedBlock {
+    std::shared_ptr<proto::Block> block;
+    uint64_t block_bytes;
+  };
+
   struct ChannelState {
     explicit ChannelState(ordering::BatchCutConfig config)
         : cutter(config) {}
@@ -183,10 +196,23 @@ class OrdererNode {
     uint64_t next_block_number = 1;
     crypto::Digest prev_hash{};
     uint64_t timer_generation = 0;
-    /// Batches are processed strictly one at a time per channel so blocks
-    /// are dispatched in chain order (the consensus log is sequential).
-    std::deque<ordering::Batch> batch_queue;
-    bool processing = false;
+    /// Single-producer queue between the batch cutter and the reorder
+    /// stage. Admission is bounded by ordering_pipeline_depth: with depth
+    /// 1 this is the seed's strictly serial behavior, with depth d the
+    /// reorder+hash of up to d consecutive blocks overlaps on the
+    /// orderer's cores while block N+d's batch accumulates.
+    std::deque<PendingBatch> batch_queue;
+    /// Batches currently inside the reorder stage (their virtual CPU cost
+    /// has been submitted but not completed).
+    uint32_t stage_inflight = 0;
+    /// Stage sequence numbers, assigned at admission in cut order. Blocks
+    /// are sealed (numbered + hash-chained) at admission, but a deeper
+    /// pipeline can finish a light block's stage before a heavy
+    /// predecessor's — the staged map + next_submit_seq drain re-imposes
+    /// chain order on consensus submission.
+    uint64_t next_stage_seq = 0;
+    uint64_t next_submit_seq = 0;
+    std::map<uint64_t, StagedBlock> staged;
     /// Every dispatched block, keyed by number — the delivery service peers
     /// fetch from when they detect a gap or recover from a crash.
     std::map<uint64_t, std::shared_ptr<proto::Block>> dispatched;
@@ -195,10 +221,16 @@ class OrdererNode {
   void Enqueue(uint32_t channel, proto::Transaction tx);
   void NotifyEarlyAbort(const proto::Transaction& tx);
   void ArmTimer(uint32_t channel);
+  /// Admits queued batches into the reorder stage while the pipeline has
+  /// capacity, recording a stall for each batch that had to wait.
   void MaybeProcessNextBatch(uint32_t channel);
   /// Runs the Fabric++ ordering-phase logic on a cut batch (early abort +
-  /// reordering), charges its virtual cost, seals the block, distributes.
+  /// reordering), seals the block, and charges its virtual cost; the block
+  /// proceeds to consensus via FinishBatchStage when the cost is paid.
   void ProcessBatch(uint32_t channel, ordering::Batch batch);
+  /// Stage-completion: queues the block for in-order consensus submission,
+  /// drains every consecutively finished block, and refills the stage.
+  void FinishBatchStage(uint32_t channel, uint64_t seq, StagedBlock done);
   /// Hands a sealed block to the configured consensus backend; distribution
   /// happens on consensus commit (immediately for kSolo).
   void SubmitToConsensus(uint32_t channel,
@@ -375,6 +407,13 @@ class FabricNetwork {
   /// wall-clock crypto only — never virtual time or validation outcomes.
   ThreadPool* validator_pool() { return validator_pool_.get(); }
 
+  /// Pool running the orderer's real reordering work (null when
+  /// reorder_workers == 1). Separate from validator_pool: ParallelFor is
+  /// not reentrant, and the validator may be mid-fan-out on the same host
+  /// thread's call stack when a reorder pass runs. Same determinism
+  /// contract: wall-clock acceleration only.
+  ThreadPool* reorder_pool() { return reorder_pool_.get(); }
+
   size_t num_peers() const { return peers_.size(); }
   PeerNode& peer(uint32_t i) { return *peers_[i]; }
   const PeerNode& peer(uint32_t i) const { return *peers_[i]; }
@@ -413,6 +452,8 @@ class FabricNetwork {
   sim::NodeId client_machine_node_;
   /// Built before peers_ (their validators borrow it); destroyed after.
   std::unique_ptr<ThreadPool> validator_pool_;
+  /// Built before orderer_ (its reorder stage borrows it); destroyed after.
+  std::unique_ptr<ThreadPool> reorder_pool_;
   std::vector<std::unique_ptr<PeerNode>> peers_;
   std::unique_ptr<OrdererNode> orderer_;
   std::vector<std::unique_ptr<ClientNode>> clients_;

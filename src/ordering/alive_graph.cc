@@ -1,0 +1,58 @@
+#include "ordering/alive_graph.h"
+
+#include <algorithm>
+
+#include "ordering/tarjan.h"
+
+namespace fabricpp::ordering {
+
+namespace {
+
+/// Swap-with-back erase of one occurrence of `value` (lists hold no
+/// duplicate neighbors, so one is all there is).
+void SwapErase(std::vector<uint32_t>* list, uint32_t value) {
+  const auto it = std::find(list->begin(), list->end(), value);
+  if (it == list->end()) return;
+  *it = list->back();
+  list->pop_back();
+}
+
+}  // namespace
+
+AliveGraph::AliveGraph(const ConflictGraph& graph)
+    : adj_(graph.num_nodes()),
+      radj_(graph.num_nodes()),
+      alive_(graph.num_nodes(), true),
+      num_alive_(graph.num_nodes()) {
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    adj_[v] = graph.Children(v);
+    radj_[v] = graph.Parents(v);
+  }
+}
+
+void AliveGraph::Kill(uint32_t v) {
+  if (!alive_[v]) return;
+  alive_[v] = false;
+  --num_alive_;
+  for (const uint32_t parent : radj_[v]) SwapErase(&adj_[parent], v);
+  for (const uint32_t child : adj_[v]) SwapErase(&radj_[child], v);
+  adj_[v].clear();
+  adj_[v].shrink_to_fit();
+  radj_[v].clear();
+  radj_[v].shrink_to_fit();
+}
+
+std::vector<std::vector<uint32_t>> AliveGraph::NontrivialSccs() const {
+  // Dead nodes have empty adjacency, so they fall out as trivial singleton
+  // components — no alive-filtering pass needed.
+  const auto sccs = StronglyConnectedComponents(
+      static_cast<uint32_t>(adj_.size()),
+      [this](uint32_t v) -> const std::vector<uint32_t>& { return adj_[v]; });
+  std::vector<std::vector<uint32_t>> out;
+  for (const auto& scc : sccs) {
+    if (scc.size() > 1) out.push_back(scc);
+  }
+  return out;
+}
+
+}  // namespace fabricpp::ordering

@@ -1,0 +1,60 @@
+#ifndef FABRICPP_ORDERING_ALIVE_GRAPH_H_
+#define FABRICPP_ORDERING_ALIVE_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ordering/conflict_graph.h"
+
+namespace fabricpp::ordering {
+
+/// Mutable view of a ConflictGraph restricted to the still-alive nodes,
+/// with incremental edge/degree maintenance as victims die.
+///
+/// The reorderer's break-and-re-enumerate loop used to rebuild the whole
+/// filtered adjacency from scratch every round (O(V+E) per round even when
+/// a single victim died); this structure instead prunes exactly the dying
+/// node's incident edges on Kill(), so a round's cost is proportional to
+/// the degrees of that round's victims.
+///
+/// Adjacency lists are maintained *unsorted* (removal is a swap-with-back
+/// erase). That is safe because every downstream consumer is neighbor-order
+/// independent: Tarjan sorts its components and Johnson re-sorts its local
+/// adjacency, so SCCs and enumerated cycles come out identical regardless
+/// of list order — the determinism tests pin this down.
+class AliveGraph {
+ public:
+  explicit AliveGraph(const ConflictGraph& graph);
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_alive() const { return num_alive_; }
+  bool IsAlive(uint32_t v) const { return alive_[v]; }
+
+  /// Alive children of v, unsorted. Empty for dead v.
+  const std::vector<uint32_t>& Children(uint32_t v) const { return adj_[v]; }
+  size_t OutDegree(uint32_t v) const { return adj_[v].size(); }
+  size_t InDegree(uint32_t v) const { return radj_[v].size(); }
+
+  /// The full children adjacency (dead nodes have empty lists) — the shape
+  /// FindElementaryCycles and Tarjan consume.
+  const std::vector<std::vector<uint32_t>>& adjacency() const { return adj_; }
+
+  /// Removes v and its incident edges. Cost: O(deg(v) + sum of the
+  /// neighbors' degrees touched by the swap-erase scans).
+  void Kill(uint32_t v);
+
+  /// Strongly connected components of the alive subgraph with more than one
+  /// node, sorted ascending internally and ordered by smallest member
+  /// (Tarjan's deterministic output contract).
+  std::vector<std::vector<uint32_t>> NontrivialSccs() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_;   ///< Children among alive.
+  std::vector<std::vector<uint32_t>> radj_;  ///< Parents among alive.
+  std::vector<bool> alive_;
+  size_t num_alive_ = 0;
+};
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_ALIVE_GRAPH_H_

@@ -2,13 +2,39 @@
 #define FABRICPP_ORDERING_CONFLICT_GRAPH_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "proto/rwset.h"
 
+namespace fabricpp {
+class ThreadPool;
+}  // namespace fabricpp
+
 namespace fabricpp::ordering {
+
+/// Assigns a dense index to every distinct key in a batch, in first-seen
+/// order. Interns by std::string_view over the caller's key storage — the
+/// batch's read/write sets own their key strings and outlive the graph
+/// build, so no per-key copies or allocations beyond the hash table are
+/// made (the seed version keyed the map by std::string, copying every key).
+class KeyDictionary {
+ public:
+  /// Returns the key's dense id, assigning the next one on first sight.
+  /// The view must stay valid for the dictionary's lifetime.
+  uint32_t Intern(std::string_view key) {
+    const auto [it, inserted] =
+        index_.emplace(key, static_cast<uint32_t>(index_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+  size_t size() const { return index_.size(); }
+
+ private:
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
 
 /// Read-write conflict graph of a batch of transactions (paper §5.1
 /// step 1 / Figure 3).
@@ -27,9 +53,18 @@ namespace fabricpp::ordering {
 /// (BuildDense) and matches the paper's Table 3 description.
 class ConflictGraph {
  public:
-  /// Builds the graph from the batch's read/write sets (not owned).
+  /// Builds the graph from the batch's read/write sets (not owned; they
+  /// must outlive the call — key interning borrows their storage).
+  ///
+  /// With a non-null `pool`, the rwset scan, edge generation and adjacency
+  /// finalization fan out across its workers. The transaction range is
+  /// sharded contiguously and the per-shard key dictionaries are merged in
+  /// shard order, so key ids, inverted-index entries and the resulting
+  /// adjacency are byte-identical to the serial build for any worker count
+  /// (see DESIGN.md §10 on the deterministic merge boundary).
   static ConflictGraph Build(
-      const std::vector<const proto::ReadWriteSet*>& rwsets);
+      const std::vector<const proto::ReadWriteSet*>& rwsets,
+      ThreadPool* pool = nullptr);
 
   /// Reference n^2 bit-vector construction (paper §5.1 step 1).
   static ConflictGraph BuildDense(
@@ -52,7 +87,7 @@ class ConflictGraph {
 
  private:
   ConflictGraph() = default;
-  void Finalize();
+  void Finalize(ThreadPool* pool = nullptr);
 
   std::vector<std::vector<uint32_t>> children_;
   std::vector<std::vector<uint32_t>> parents_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <queue>
 
+#include "common/thread_pool.h"
+#include "ordering/alive_graph.h"
 #include "ordering/johnson.h"
 #include "ordering/tarjan.h"
 
@@ -11,39 +14,65 @@ namespace fabricpp::ordering {
 
 namespace {
 
-/// Filtered adjacency: edges of `graph` restricted to alive nodes.
-std::vector<std::vector<uint32_t>> FilterAdjacency(
-    const ConflictGraph& graph, const std::vector<bool>& alive) {
-  std::vector<std::vector<uint32_t>> adj(graph.num_nodes());
-  for (uint32_t i = 0; i < graph.num_nodes(); ++i) {
-    if (!alive[i]) continue;
-    for (const uint32_t j : graph.Children(i)) {
-      if (alive[j]) adj[i].push_back(j);
-    }
-  }
-  return adj;
+uint64_t MicrosSince(std::chrono::steady_clock::time_point* mark) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - *mark)
+          .count();
+  *mark = now;
+  return static_cast<uint64_t>(us);
 }
 
-std::vector<std::vector<uint32_t>> NontrivialSccs(
-    const std::vector<std::vector<uint32_t>>& adj) {
-  const auto sccs = StronglyConnectedComponents(
-      static_cast<uint32_t>(adj.size()),
-      [&](uint32_t v) -> const std::vector<uint32_t>& { return adj[v]; });
-  std::vector<std::vector<uint32_t>> out;
-  for (const auto& scc : sccs) {
-    if (scc.size() > 1) out.push_back(scc);
+/// Splits the round's cycle budget across its non-trivial SCCs up front:
+/// proportional to SCC size, allocated largest-SCC-first (ties to the one
+/// with the smallest member), at least one cycle per SCC while budget
+/// remains, leftover to the largest. Fixed shares make each SCC's
+/// enumeration independent of the others — the precondition for running
+/// them as parallel tasks without changing the joined cycle list. (The old
+/// sequential greedy hand-off gave SCC k whatever SCCs 0..k-1 left over,
+/// which would differ under any reordering of completion.)
+std::vector<uint64_t> PartitionCycleBudget(
+    const std::vector<std::vector<uint32_t>>& sccs, uint64_t budget) {
+  std::vector<uint64_t> share(sccs.size(), 0);
+  if (sccs.empty() || budget == 0) return share;
+  // Keep the proportional arithmetic overflow-free for any config value;
+  // 2^32 cycles per round is far beyond any practical budget.
+  budget = std::min<uint64_t>(budget, uint64_t{1} << 32);
+
+  std::vector<uint32_t> by_size(sccs.size());
+  std::iota(by_size.begin(), by_size.end(), 0);
+  std::sort(by_size.begin(), by_size.end(), [&](uint32_t a, uint32_t b) {
+    if (sccs[a].size() != sccs[b].size()) {
+      return sccs[a].size() > sccs[b].size();
+    }
+    return sccs[a].front() < sccs[b].front();
+  });
+
+  size_t total_nodes = 0;
+  for (const auto& scc : sccs) total_nodes += scc.size();
+
+  uint64_t remaining = budget;
+  for (const uint32_t idx : by_size) {
+    if (remaining == 0) break;
+    uint64_t s = budget * sccs[idx].size() / total_nodes;
+    if (s == 0) s = 1;
+    s = std::min(s, remaining);
+    share[idx] = s;
+    remaining -= s;
   }
-  return out;
+  share[by_size.front()] += remaining;
+  return share;
 }
 
 /// Steps 3+4 of Algorithm 1: greedily removes the transaction occurring in
 /// the most (enumerated) cycles until every enumerated cycle is broken.
 /// Ties go to the smallest batch position ("the one with the smaller
-/// subscript"), keeping the algorithm deterministic. Appends removed nodes
-/// to `aborted` and clears them in `alive`.
+/// subscript"), keeping the algorithm deterministic. Victims are killed in
+/// the alive graph (pruning their edges incrementally) and appended to
+/// `aborted`.
 void BreakCycles(const std::vector<std::vector<uint32_t>>& cycles,
-                 std::vector<bool>* alive, std::vector<uint32_t>* aborted) {
-  const size_t n = alive->size();
+                 AliveGraph* ag, std::vector<uint32_t>* aborted) {
+  const size_t n = ag->num_nodes();
   std::vector<uint32_t> count(n, 0);
   std::vector<std::vector<uint32_t>> tx_to_cycles(n);
   for (uint32_t c = 0; c < cycles.size(); ++c) {
@@ -72,7 +101,7 @@ void BreakCycles(const std::vector<std::vector<uint32_t>>& cycles,
     heap.pop();
     if (heap_count != count[tx] || count[tx] == 0) continue;  // Stale entry.
     // Abort tx: every open cycle through it is now broken.
-    (*alive)[tx] = false;
+    ag->Kill(tx);
     aborted->push_back(tx);
     for (const uint32_t c : tx_to_cycles[tx]) {
       if (!cycle_open[c]) continue;
@@ -94,23 +123,18 @@ void BreakCycles(const std::vector<std::vector<uint32_t>>& cycles,
 /// Last-resort fallback for adversarial graphs: repeatedly removes the
 /// highest-degree decile of every remaining non-trivial SCC until the graph
 /// is acyclic. Aborts more transactions than the cycle-count heuristic but
-/// runs in near-linear time per round.
-void ShatterSccs(const ConflictGraph& graph, std::vector<bool>* alive,
-                 std::vector<uint32_t>* aborted) {
+/// runs in near-linear time per round (degrees come straight off the
+/// incrementally maintained alive graph).
+void ShatterSccs(AliveGraph* ag, std::vector<uint32_t>* aborted) {
   while (true) {
-    const auto adj = FilterAdjacency(graph, *alive);
-    const auto sccs = NontrivialSccs(adj);
+    const auto sccs = ag->NontrivialSccs();
     if (sccs.empty()) return;
     for (const auto& scc : sccs) {
       // Degree within the alive subgraph.
       std::vector<std::pair<size_t, uint32_t>> degree;  // (degree, node)
       degree.reserve(scc.size());
       for (const uint32_t v : scc) {
-        size_t in_degree = 0;
-        for (const uint32_t p : graph.Parents(v)) {
-          if ((*alive)[p]) ++in_degree;
-        }
-        degree.push_back({adj[v].size() + in_degree, v});
+        degree.push_back({ag->OutDegree(v) + ag->InDegree(v), v});
       }
       std::sort(degree.begin(), degree.end(), [](const auto& a, const auto& b) {
         if (a.first != b.first) return a.first > b.first;
@@ -119,7 +143,7 @@ void ShatterSccs(const ConflictGraph& graph, std::vector<bool>* alive,
       const size_t to_remove = std::max<size_t>(1, scc.size() / 10);
       for (size_t i = 0; i < to_remove && i < degree.size(); ++i) {
         const uint32_t victim = degree[i].second;
-        (*alive)[victim] = false;
+        ag->Kill(victim);
         aborted->push_back(victim);
       }
     }
@@ -135,10 +159,20 @@ std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
   // schedule it, then walk back down through its children. The accumulated
   // order is inverted at the end, so sources — transactions that overwrite
   // others' reads — commit last.
+  //
+  // Each node keeps a monotonic scan position into its parent and child
+  // lists: entries behind the position were seen to be dead or already
+  // scheduled, and both conditions are permanent, so no revisit ever has to
+  // rescan them. The first eligible neighbor from the position is therefore
+  // the same node the paper's full front-to-back rescan would pick, and the
+  // whole traversal amortizes to O(V + E) instead of the rescan's
+  // worst-case O(V^2) (hot-reader graphs; see bench_reorder_micro).
   const size_t n = graph.num_nodes();
   std::vector<bool> in_alive(n, false);
   for (const uint32_t v : alive) in_alive[v] = true;
   std::vector<bool> scheduled(n, false);
+  std::vector<uint32_t> parent_pos(n, 0);
+  std::vector<uint32_t> child_pos(n, 0);
 
   std::vector<uint32_t> order;
   order.reserve(alive.size());
@@ -159,9 +193,14 @@ std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
       start_node = next_node();
       continue;
     }
+    const uint32_t node = start_node;
     bool add_node = true;
-    // Traverse upwards to find a source.
-    for (const uint32_t parent : graph.Parents(start_node)) {
+    // Traverse upwards to find a source. The position is not advanced past
+    // an eligible parent: it stays eligible until scheduled, after which
+    // the revisit skips it.
+    const std::vector<uint32_t>& parents = graph.Parents(node);
+    for (uint32_t& pp = parent_pos[node]; pp < parents.size(); ++pp) {
+      const uint32_t parent = parents[pp];
       if (in_alive[parent] && !scheduled[parent]) {
         start_node = parent;
         add_node = false;
@@ -169,10 +208,12 @@ std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
       }
     }
     if (add_node) {
-      scheduled[start_node] = true;
-      order.push_back(start_node);
+      scheduled[node] = true;
+      order.push_back(node);
       // A source has been scheduled; traverse downwards.
-      for (const uint32_t child : graph.Children(start_node)) {
+      const std::vector<uint32_t>& children = graph.Children(node);
+      for (uint32_t& cp = child_pos[node]; cp < children.size(); ++cp) {
+        const uint32_t child = children[cp];
         if (in_alive[child] && !scheduled[child]) {
           start_node = child;
           break;
@@ -186,59 +227,81 @@ std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
 
 ReorderResult ReorderTransactions(
     const std::vector<const proto::ReadWriteSet*>& rwsets,
-    const ReorderConfig& config) {
+    const ReorderConfig& config, ThreadPool* pool) {
   const auto t0 = std::chrono::steady_clock::now();
+  auto mark = t0;
   ReorderResult result;
   const size_t n = rwsets.size();
   result.stats.num_transactions = n;
 
-  // Step 1: conflict graph.
-  const ConflictGraph graph = ConflictGraph::Build(rwsets);
+  // Step 1: conflict graph (sharded scan + deterministic merge when a pool
+  // is supplied).
+  const ConflictGraph graph = ConflictGraph::Build(rwsets, pool);
   result.stats.num_edges = graph.num_edges();
   result.stats.num_unique_keys = graph.num_unique_keys();
+  result.stage_wall.build_us += MicrosSince(&mark);
 
-  std::vector<bool> alive(n, true);
+  AliveGraph ag(graph);
 
   // Steps 2-4, iterated: enumerate cycles (budgeted), break them, and loop
   // until the alive subgraph is acyclic.
   for (uint32_t round = 1;; ++round) {
     result.stats.rounds = round;
-    const auto adj = FilterAdjacency(graph, alive);
-    const auto sccs = NontrivialSccs(adj);
+    const auto sccs = ag.NontrivialSccs();
     if (round == 1) result.stats.num_nontrivial_sccs = sccs.size();
-    if (sccs.empty()) break;  // Acyclic — proceed to scheduling.
+    if (sccs.empty()) {
+      result.stage_wall.enumerate_us += MicrosSince(&mark);
+      break;  // Acyclic — proceed to scheduling.
+    }
 
     if (round > config.max_rounds) {
-      ShatterSccs(graph, &alive, &result.aborted);
+      result.stage_wall.enumerate_us += MicrosSince(&mark);
+      ShatterSccs(&ag, &result.aborted);
       result.stats.fallback_used = true;
+      result.stage_wall.break_us += MicrosSince(&mark);
       break;
     }
 
-    // Step 2: all elementary cycles of every strongly connected subgraph.
+    // Step 2: elementary cycles of every strongly connected subgraph, with
+    // the round budget partitioned up front so each SCC enumerates
+    // independently (in parallel when a pool is supplied). Joining in SCC
+    // order reproduces the serial cycle list exactly.
+    const std::vector<uint64_t> share =
+        PartitionCycleBudget(sccs, config.max_cycles_per_round);
+    std::vector<CycleEnumeration> per_scc(sccs.size());
+    auto enumerate_one = [&](size_t i) {
+      if (share[i] > 0) {
+        per_scc[i] = FindElementaryCycles(ag.adjacency(), sccs[i], share[i]);
+      }
+    };
+    if (pool != nullptr && pool->parallelism() > 1 && sccs.size() > 1) {
+      pool->ParallelFor(sccs.size(), enumerate_one);
+    } else {
+      for (size_t i = 0; i < sccs.size(); ++i) enumerate_one(i);
+    }
     std::vector<std::vector<uint32_t>> cycles;
-    uint64_t budget = config.max_cycles_per_round;
-    for (const auto& scc : sccs) {
-      if (budget == 0) break;
-      CycleEnumeration enumeration = FindElementaryCycles(adj, scc, budget);
-      budget -= std::min<uint64_t>(budget, enumeration.cycles.size());
+    for (auto& enumeration : per_scc) {
       for (auto& c : enumeration.cycles) cycles.push_back(std::move(c));
     }
     result.stats.num_cycles_found += cycles.size();
+    result.stage_wall.enumerate_us += MicrosSince(&mark);
 
     // Steps 3+4: greedy cycle cover removal.
-    BreakCycles(cycles, &alive, &result.aborted);
+    BreakCycles(cycles, &ag, &result.aborted);
+    result.stage_wall.break_us += MicrosSince(&mark);
     // If enumeration was complete, the next round's SCC pass will find the
     // graph acyclic and exit; if the budget tripped, it re-enumerates.
   }
 
   // Step 5: serializable schedule of the survivors.
   std::vector<uint32_t> alive_list;
-  alive_list.reserve(n);
+  alive_list.reserve(ag.num_alive());
   for (uint32_t i = 0; i < n; ++i) {
-    if (alive[i]) alive_list.push_back(i);
+    if (ag.IsAlive(i)) alive_list.push_back(i);
   }
   result.order = ScheduleAcyclic(graph, alive_list);
   std::sort(result.aborted.begin(), result.aborted.end());
+  result.stage_wall.schedule_us += MicrosSince(&mark);
 
   result.elapsed_wall_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

@@ -8,6 +8,10 @@
 #include "ordering/conflict_graph.h"
 #include "proto/rwset.h"
 
+namespace fabricpp {
+class ThreadPool;
+}  // namespace fabricpp
+
 namespace fabricpp::ordering {
 
 /// Tuning knobs for the reordering mechanism.
@@ -20,6 +24,12 @@ struct ReorderConfig {
   /// the ordering pipeline, so the budget directly bounds per-block latency;
   /// the default keeps worst-case hot-key blocks in the low hundreds of
   /// milliseconds (the regime of the paper's Figure 16 timings).
+  ///
+  /// The budget is partitioned across a round's non-trivial SCCs *up front*
+  /// (proportional to SCC size, largest first, at least one per SCC while
+  /// any budget remains), so each SCC's enumeration is independent of the
+  /// others and can run on a worker thread without changing the joined
+  /// cycle list — see DESIGN.md §10.
   uint64_t max_cycles_per_round = 2048;
   /// Hard cap on break-and-re-enumerate rounds; beyond it the reorderer
   /// falls back to degree-based SCC shattering, which is abort-heavier but
@@ -31,7 +41,7 @@ struct ReorderConfig {
 /// function of the input batch — pure counts of the algorithm's work, never
 /// host time — so the stats may feed virtual-time cost models and
 /// byte-identical determinism fingerprints. Wall-clock measurement of the
-/// pass lives in ReorderResult::elapsed_wall_us instead.
+/// pass lives in ReorderResult::elapsed_wall_us / stage_wall instead.
 struct ReorderStats {
   size_t num_transactions = 0;
   size_t num_edges = 0;
@@ -43,6 +53,18 @@ struct ReorderStats {
 
   /// Deterministic one-line rendering (determinism tests fingerprint it).
   std::string ToString() const;
+};
+
+/// Host wall-clock of one reordering pass, broken down by stage. Like
+/// ReorderResult::elapsed_wall_us these are real measurements: they vary
+/// run-to-run and with the worker count, and must never feed virtual time
+/// or the deterministic stats (Metrics accumulates them on its wall-clock
+/// side; the micro benches report them per stage).
+struct ReorderStageWallClock {
+  uint64_t build_us = 0;      ///< Conflict-graph construction (step 1).
+  uint64_t enumerate_us = 0;  ///< SCC decomposition + cycle enumeration.
+  uint64_t break_us = 0;      ///< Greedy cycle breaking (+ shatter fallback).
+  uint64_t schedule_us = 0;   ///< Acyclic schedule generation (step 5).
 };
 
 /// Output of the reorderer.
@@ -62,6 +84,8 @@ struct ReorderResult {
   /// stats/report (Metrics keeps it on the wall-clock side, like the
   /// validator's stage timings).
   uint64_t elapsed_wall_us = 0;
+  /// Per-stage split of elapsed_wall_us (same measurement-only contract).
+  ReorderStageWallClock stage_wall;
 };
 
 /// The Fabric++ transaction reordering mechanism (paper §5.1, Algorithm 1):
@@ -76,15 +100,31 @@ struct ReorderResult {
 ///   (5) emit a serializable schedule of the survivors via the paper's
 ///       parent-chasing source traversal, inverted.
 ///
+/// With a non-null `pool`, graph construction fans out over sharded rwset
+/// scans and each SCC's cycle enumeration runs as an independent worker
+/// task; results are merged at deterministic boundaries, so the returned
+/// ReorderResult (order, aborted set, stats) is byte-identical for any
+/// worker count — the pool accelerates host wall-clock only. Must be called
+/// from one thread at a time per pool (ThreadPool::ParallelFor is not
+/// reentrant).
+///
 /// The returned schedule is asserted against the paper's worked example
-/// (Table 3 -> T5, T1, T3, T4) in tests/ordering/reorderer_test.cc.
+/// (Table 3 -> T5, T1, T3, T4) in tests/ordering_test.cc.
 ReorderResult ReorderTransactions(
     const std::vector<const proto::ReadWriteSet*>& rwsets,
-    const ReorderConfig& config = {});
+    const ReorderConfig& config = {}, ThreadPool* pool = nullptr);
 
 /// Step 5 in isolation: builds a serializable schedule for an *acyclic*
-/// conflict graph restricted to `alive` (batch positions). Exposed for unit
-/// testing and for the micro-benchmarks.
+/// conflict graph restricted to `alive` (batch positions, sorted ascending).
+/// Exposed for unit testing and for the micro-benchmarks.
+///
+/// Runs in O(V + E): the paper's parent-chasing traversal re-scanned every
+/// visited node's parent list from the front, which degenerates to O(V^2)
+/// on hot-reader graphs (one transaction reading n keys written by n
+/// writers); per-node monotonic scan positions over the parent/child lists
+/// skip the already-scheduled prefix instead, provably picking the same
+/// neighbor (tests/ordering_test.cc cross-checks against the quadratic
+/// reference).
 std::vector<uint32_t> ScheduleAcyclic(const ConflictGraph& graph,
                                       const std::vector<uint32_t>& alive);
 

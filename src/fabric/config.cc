@@ -24,6 +24,11 @@ FabricConfig FabricConfig::FabricPlusPlus() {
   return config;
 }
 
+runtime::RuntimeMode FabricConfig::RuntimeModeOrDefault() const {
+  const auto mode = runtime::ParseRuntimeMode(runtime_mode);
+  return mode.ok() ? *mode : runtime::RuntimeMode::kSim;
+}
+
 storage::DbOptions FabricConfig::StorageOptions() const {
   storage::DbOptions options;
   const auto mode = storage::ParseWalSyncMode(storage_sync_mode);
@@ -103,6 +108,29 @@ Status FabricConfig::Validate() const {
     return Status::InvalidArgument(
         "storage_sync_mode must be one of \"none\", \"block\", "
         "\"every_write\"; got \"" + storage_sync_mode + "\"");
+  }
+  const auto runtime_parsed = runtime::ParseRuntimeMode(runtime_mode);
+  if (!runtime_parsed.ok()) {
+    return Status::InvalidArgument(
+        "runtime_mode must be \"sim\" or \"thread\"; got \"" + runtime_mode +
+        "\"");
+  }
+  if (*runtime_parsed == runtime::RuntimeMode::kThread &&
+      ordering_backend == OrderingBackend::kRaft) {
+    return Status::InvalidArgument(
+        "the raft ordering backend is simulation-only (the raft cluster "
+        "runs on sim primitives); use runtime_mode=\"sim\" or "
+        "ordering_backend=kSolo");
+  }
+  if (mailbox_capacity < 16 || mailbox_capacity > 1048576) {
+    return Status::InvalidArgument(
+        "mailbox_capacity must be in [16, 1048576]: it bounds each node's "
+        "mailbox under the thread runtime");
+  }
+  if (thread_client_shards == 0 || thread_client_shards > 256) {
+    return Status::InvalidArgument(
+        "thread_client_shards must be in [1, 256]: it counts the endpoint "
+        "threads the client machine is sharded across");
   }
   return Status::OK();
 }

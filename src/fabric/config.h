@@ -8,6 +8,7 @@
 #include "ordering/batch_cutter.h"
 #include "raft/raft_node.h"
 #include "ordering/reorderer.h"
+#include "runtime/runtime.h"
 #include "sim/network.h"
 #include "sim/time.h"
 #include "storage/db.h"
@@ -172,6 +173,29 @@ struct FabricConfig {
   bool enable_early_abort_sim = false;
   bool enable_early_abort_ordering = false;
   ConcurrencyMode concurrency = ConcurrencyMode::kCoarseLock;
+
+  // --- Execution runtime ---
+  /// Which runtime::Runtime executes the node state machines: "sim" (the
+  /// default — single-threaded discrete-event simulation on a virtual
+  /// clock, byte-identical replay) or "thread" (every node on its own OS
+  /// thread with bounded mailboxes and a steady_clock-based clock; real
+  /// concurrency, nondeterministic timings). Parsed by
+  /// runtime::ParseRuntimeMode; Validate() rejects anything else.
+  std::string runtime_mode = "sim";
+  /// Bounded capacity of each node's mailbox under the thread runtime (a
+  /// producer that finds the mailbox full blocks briefly, then the task is
+  /// force-enqueued with a warning). Ignored under "sim". Must be in
+  /// [16, 1048576].
+  uint32_t mailbox_capacity = 8192;
+  /// Number of endpoint threads the client machine's population is sharded
+  /// across under the thread runtime (clients keep sharing one executor,
+  /// mirroring the single client machine). Ignored under "sim". Must be in
+  /// [1, 256].
+  uint32_t thread_client_shards = 1;
+
+  /// runtime_mode resolved to the enum. Call Validate() first; an
+  /// unparseable mode falls back to kSim here.
+  runtime::RuntimeMode RuntimeModeOrDefault() const;
 
   // --- Storage (persistent state database) ---
   /// WAL durability of the LSM state store: "none" (leave syncing to the

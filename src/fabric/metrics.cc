@@ -64,11 +64,13 @@ std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
 }
 
 void Metrics::NoteFired(const std::string& key, sim::SimTime fired_at) {
+  const std::lock_guard<std::mutex> lock(mu_);
   fired_at_[key] = fired_at;
 }
 
 void Metrics::Resolve(const std::string& key, TxOutcome outcome,
                       sim::SimTime now) {
+  const std::lock_guard<std::mutex> lock(mu_);
   sim::SimTime fired = now;
   if (const auto it = fired_at_.find(key); it != fired_at_.end()) {
     fired = it->second;
@@ -86,6 +88,7 @@ void Metrics::Resolve(const std::string& key, TxOutcome outcome,
 
 bool Metrics::ResolveFired(const std::string& key, TxOutcome outcome,
                            sim::SimTime now) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = fired_at_.find(key);
   if (it == fired_at_.end()) return false;
   const sim::SimTime fired = it->second;
@@ -102,6 +105,7 @@ bool Metrics::ResolveFired(const std::string& key, TxOutcome outcome,
 }
 
 void Metrics::NoteBlockCommitted(uint32_t num_txs, sim::SimTime now) {
+  const std::lock_guard<std::mutex> lock(mu_);
   // Commit-to-commit gap at the observer peer; the previous commit may sit
   // outside the window, the gap counts where it *ends*.
   if (last_block_commit_ != 0 && now >= last_block_commit_ && InWindow(now)) {
@@ -114,6 +118,7 @@ void Metrics::NoteBlockCommitted(uint32_t num_txs, sim::SimTime now) {
 }
 
 RunReport Metrics::Report() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   RunReport report;
   report.measure_seconds =
       sim::ToSeconds(window_end_ == ~0ULL ? 0 : window_end_ - window_start_);

@@ -2,6 +2,7 @@
 #define FABRICPP_FABRIC_METRICS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -119,14 +120,20 @@ struct ReorderWallClock {
   std::string ToString() const;
 };
 
-/// Collects transaction outcomes during a simulation run.
+/// Collects transaction outcomes during a run.
 ///
 /// Only events inside the measurement window [window_start, window_end)
 /// count — the warm-up ramp and the drain are excluded, mirroring how the
 /// paper reports steady-state transactions per second.
+///
+/// Thread-safe: under the thread runtime, the observer peer, the orderer
+/// and the client machine report concurrently, so every entry takes an
+/// internal mutex. Under the (single-threaded) simulation runtime the lock
+/// is uncontended and has no effect on any recorded value.
 class Metrics {
  public:
   void SetWindow(sim::SimTime start, sim::SimTime end) {
+    const std::lock_guard<std::mutex> lock(mu_);
     window_start_ = start;
     window_end_ = end;
   }
@@ -150,18 +157,28 @@ class Metrics {
   void NoteBlockCommitted(uint32_t num_txs, sim::SimTime now);
 
   /// A peer rejected a block whose hashes or chain linkage did not check out.
-  void NoteCorruptedBlock() { ++blocks_corrupted_; }
+  void NoteCorruptedBlock() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++blocks_corrupted_;
+  }
 
   /// A peer discarded a duplicate delivery of a block it already has.
-  void NoteDuplicateBlock() { ++blocks_deduplicated_; }
+  void NoteDuplicateBlock() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++blocks_deduplicated_;
+  }
 
   /// A restarted peer finished catching up; `duration` is restart -> parity
   /// with the orderer's chain.
-  void NoteRecovery(sim::SimTime duration) { recovery_us_.Add(duration); }
+  void NoteRecovery(sim::SimTime duration) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    recovery_us_.Add(duration);
+  }
 
   /// Host wall-clock of one block's verify/commit stages (observer peer).
   /// Accumulated outside the deterministic report — see ValidationWallClock.
   void NoteValidationWallClock(uint64_t verify_ns, uint64_t commit_ns) {
+    const std::lock_guard<std::mutex> lock(mu_);
     ++validation_wall_.blocks;
     validation_wall_.verify_ns += verify_ns;
     validation_wall_.commit_ns += commit_ns;
@@ -176,6 +193,7 @@ class Metrics {
   void NoteReorderWallClock(uint64_t elapsed_us, uint64_t build_us = 0,
                             uint64_t enumerate_us = 0, uint64_t break_us = 0,
                             uint64_t schedule_us = 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
     ++reorder_wall_.batches;
     reorder_wall_.elapsed_us += elapsed_us;
     reorder_wall_.build_us += build_us;
@@ -189,6 +207,7 @@ class Metrics {
   /// the reorder stage had pipeline capacity for it. Virtual-time and thus
   /// deterministic: part of RunReport, unlike the wall-clock notes above.
   void NoteOrderingStall(sim::SimTime waited, sim::SimTime now) {
+    const std::lock_guard<std::mutex> lock(mu_);
     if (!InWindow(now)) return;
     ++ordering_stalls_;
     ordering_stall_us_ += waited;
@@ -196,15 +215,23 @@ class Metrics {
 
   /// Injector totals, folded into the report by the harness after the run.
   void SetNetworkFaultTotals(uint64_t dropped, uint64_t duplicated) {
+    const std::lock_guard<std::mutex> lock(mu_);
     net_dropped_ = dropped;
     net_duplicated_ = duplicated;
   }
 
   RunReport Report() const;
 
-  uint64_t successful() const { return successful_; }
-  uint64_t failed() const { return failed_; }
+  uint64_t successful() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return successful_;
+  }
+  uint64_t failed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+  }
   uint64_t aborts(TxOutcome outcome) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return aborts_[static_cast<size_t>(outcome)];
   }
 
@@ -213,6 +240,7 @@ class Metrics {
     return t >= window_start_ && t < window_end_;
   }
 
+  mutable std::mutex mu_;
   sim::SimTime window_start_ = 0;
   sim::SimTime window_end_ = ~0ULL;
   std::unordered_map<std::string, sim::SimTime> fired_at_;

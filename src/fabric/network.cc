@@ -2,1013 +2,74 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/strings.h"
-#include "ordering/early_abort.h"
-#include "ordering/reorderer.h"
 
 namespace fabricpp::fabric {
 
-namespace {
-
-/// Fixed per-message envelope overhead (headers, signatures) in bytes.
-constexpr uint64_t kMessageOverhead = 300;
-
-TxOutcome OutcomeFromValidationCode(proto::TxValidationCode code) {
-  switch (code) {
-    case proto::TxValidationCode::kValid:
-      return TxOutcome::kSuccess;
-    case proto::TxValidationCode::kMvccConflict:
-      return TxOutcome::kAbortMvcc;
-    case proto::TxValidationCode::kEndorsementPolicyFailure:
-      return TxOutcome::kAbortPolicy;
-    case proto::TxValidationCode::kDuplicateTxId:
-      return TxOutcome::kAbortDuplicateTxId;
-    default:
-      return TxOutcome::kAbortChaincodeError;
-  }
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// PeerNode
-// ---------------------------------------------------------------------------
-
-PeerNode::PeerNode(FabricNetwork* net, uint32_t index, std::string name,
-                   std::string org)
-    : net_(net),
-      index_(index),
-      name_(std::move(name)),
-      org_(std::move(org)),
-      node_id_(net->network().AddNode(name_)),
-      cpu_(&net->env(), name_ + "-cpu", net->config().peer_cores),
-      endorser_(name_, org_, net->config().seed, net->registry_.get()),
-      validator_(net->config().seed, &net->policies_,
-                 net->validator_pool()),
-      channels_(net->config().num_channels) {}
-
-void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
-                              uint32_t client_index) {
-  if (crashed_) return;
-  ChannelState& ch = channels_[channel];
-  PendingSim sim{std::move(proposal), client_index};
-  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
-      ch.commit_phase) {
-    // Vanilla: a block's commit stage wants (or holds) the exclusive state
-    // lock; the simulation's read lock must wait (paper §4.2.1).
-    ch.pending_sims.push_back(std::move(sim));
-    return;
-  }
-  StartSimulation(channel, std::move(sim));
-}
-
-void PeerNode::StartSimulation(uint32_t channel, PendingSim sim) {
-  ChannelState& ch = channels_[channel];
-  ++ch.active_sims;
-
-  // The chaincode's effects are determined by the state at simulation
-  // start; the CPU job then models the wall time the simulation occupies.
-  const bool stale_checks = net_->config().enable_early_abort_sim;
-  Result<peer::EndorsementResponse> response = endorser_.Endorse(
-      sim.proposal, net_->default_policy_id(), ch.db, stale_checks);
-
-  const CostModel& cost = net_->config().cost;
-  sim::SimTime service = cost.verify + cost.chaincode_base;
-  if (response.ok()) {
-    service += cost.per_read * response->rwset.reads.size() +
-               cost.per_write * response->rwset.writes.size() + cost.sign;
-  }
-  const uint64_t proposal_id = sim.proposal.proposal_id;
-  const uint32_t client_index = sim.client_index;
-  const uint64_t epoch = crash_epoch_;
-  cpu_.Submit(service, [this, channel, client_index, proposal_id, epoch,
-                        response = std::move(response)]() mutable {
-    if (crashed_ || epoch != crash_epoch_) return;
-    FinishSimulation(channel, client_index, proposal_id, std::move(response));
-  });
-}
-
-void PeerNode::FinishSimulation(uint32_t channel, uint32_t client_index,
-                                uint64_t proposal_id,
-                                Result<peer::EndorsementResponse> response) {
-  ChannelState& ch = channels_[channel];
-  --ch.active_sims;
-
-  // Fabric++ early abort in the simulation phase (paper §5.2.1): with the
-  // fine-grained concurrency control, a block may have committed while this
-  // simulation ran; re-checking the read versions detects exactly the stale
-  // reads the vanilla version would only discover in its validation phase.
-  if (response.ok() && net_->config().enable_early_abort_sim) {
-    for (const proto::ReadItem& r : response->rwset.reads) {
-      if (ch.db.GetVersion(r.key) != r.version) {
-        response = Status::StaleRead("overtaken by commit during simulation");
-        break;
-      }
-    }
-  }
-
-  uint64_t reply_size = kMessageOverhead;
-  if (response.ok()) reply_size += response->rwset.ByteSize();
-  ClientNode* client = &net_->client(client_index);
-  net_->network().Send(node_id_, net_->client_machine_node(), reply_size,
-                       [client, proposal_id,
-                        response = std::move(response)]() mutable {
-                         client->HandleEndorsement(proposal_id,
-                                                   std::move(response));
-                       });
-
-  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
-      ch.active_sims == 0 && ch.commit_phase) {
-    TryStartCommit(channel);
-  }
-}
-
-void PeerNode::HandleBlock(uint32_t channel,
-                           std::shared_ptr<proto::Block> block) {
-  if (crashed_) return;
-  ChannelState& ch = channels_[channel];
-  const uint64_t number = block->header.number;
-  if (number < ch.next_accept || ch.reorder_buffer.count(number) != 0) {
-    // Already admitted (or waiting): duplicated delivery, discard.
-    net_->metrics().NoteDuplicateBlock();
-    return;
-  }
-  // Integrity at admission: a block whose payload does not match its sealed
-  // data hash was tampered with in flight; reject it and fetch a clean copy.
-  if (!block->VerifyDataHash()) {
-    net_->metrics().NoteCorruptedBlock();
-    FABRICPP_LOG(Warn) << name_ << ": rejecting block " << number
-                       << " on channel " << channel
-                       << " with mismatched data hash";
-    RequestMissingBlocks(channel);
-    ArmFetchTimer(channel);
-    return;
-  }
-  ch.reorder_buffer[number] = std::move(block);
-  DrainReorderBuffer(channel);
-  // Anything left is out of order: a predecessor was lost or is still in
-  // flight. Fetch right away the first time the gap is seen — waiting a
-  // full retry interval would stall every transaction of the lost block,
-  // and with tight client commit timeouts that turns one lost delivery
-  // into a resubmission storm. The timer covers lost fetches.
-  if (!ch.reorder_buffer.empty() && !ch.fetch_timer_armed) {
-    RequestMissingBlocks(channel);
-    ArmFetchTimer(channel);
-  }
-}
-
-void PeerNode::DrainReorderBuffer(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  while (true) {
-    const auto it = ch.reorder_buffer.find(ch.next_accept);
-    if (it == ch.reorder_buffer.end()) break;
-    ch.pending_blocks.push_back(std::move(it->second));
-    ch.reorder_buffer.erase(it);
-    ++ch.next_accept;
-  }
-  MaybeStartValidation(channel);
-}
-
-void PeerNode::RequestMissingBlocks(uint32_t channel) {
-  if (crashed_) return;
-  OrdererNode* orderer = &net_->orderer();
-  const uint64_t from = channels_[channel].next_accept;
-  const uint32_t peer_index = index_;
-  net_->network().Send(node_id_, orderer->node_id(), kMessageOverhead,
-                       [orderer, channel, peer_index, from]() {
-                         orderer->HandleBlockRequest(channel, peer_index,
-                                                     from);
-                       });
-}
-
-void PeerNode::ArmFetchTimer(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  if (crashed_ || ch.fetch_timer_armed) return;
-  ch.fetch_timer_armed = true;
-  const uint64_t epoch = crash_epoch_;
-  net_->env().Schedule(
-      net_->config().peer_fetch_retry_interval, [this, channel, epoch]() {
-        if (crashed_ || epoch != crash_epoch_) return;
-        ChannelState& state = channels_[channel];
-        state.fetch_timer_armed = false;
-        if (!state.reorder_buffer.empty() || state.recovering) {
-          RequestMissingBlocks(channel);
-          ArmFetchTimer(channel);
-        }
-      });
-}
-
-void PeerNode::HandleChainInfo(uint32_t channel, uint64_t orderer_height) {
-  if (crashed_) return;
-  ChannelState& ch = channels_[channel];
-  if (ch.next_accept <= orderer_height) {
-    // Still behind the orderer's dispatched chain: keep fetching.
-    ArmFetchTimer(channel);
-    return;
-  }
-  if (ch.recovering) {
-    ch.recovering = false;
-    const sim::SimTime took = net_->env().Now() - ch.restart_time;
-    net_->metrics().NoteRecovery(took);
-    FABRICPP_LOG(Info) << name_ << ": caught up on channel " << channel
-                       << " " << took / 1000 << "ms after restart";
-  }
-}
-
-void PeerNode::ResyncChannel(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  ch.validating = false;
-  ch.commit_phase = false;
-  ch.commit_submitted = false;
-  ch.current_block.reset();
-  ch.pending_blocks.clear();
-  ch.reorder_buffer.clear();
-  ch.next_accept = ch.ledger.Height();
-  RequestMissingBlocks(channel);
-  ArmFetchTimer(channel);
-}
-
-void PeerNode::Crash() {
-  if (crashed_) return;
-  crashed_ = true;
-  ++crash_epoch_;
-  for (ChannelState& ch : channels_) {
-    // The process dies: running simulations, queued work and undelivered
-    // blocks are gone. Ledger and state database are durable and survive.
-    ch.active_sims = 0;
-    ch.validating = false;
-    ch.commit_phase = false;
-    ch.commit_submitted = false;
-    ch.current_block.reset();
-    ch.pending_sims.clear();
-    ch.pending_blocks.clear();
-    ch.reorder_buffer.clear();
-    ch.fetch_timer_armed = false;
-    ch.recovering = false;
-    ch.next_accept = ch.ledger.Height();
-  }
-  FABRICPP_LOG(Info) << name_ << ": crashed at "
-                     << net_->env().Now() / 1000 << "ms";
-}
-
-void PeerNode::Restart() {
-  if (!crashed_) return;
-  crashed_ = false;
-  const sim::SimTime now = net_->env().Now();
-  FABRICPP_LOG(Info) << name_ << ": restarting at " << now / 1000 << "ms";
-  for (uint32_t c = 0; c < channels_.size(); ++c) {
-    channels_[c].recovering = true;
-    channels_[c].restart_time = now;
-    RequestMissingBlocks(c);
-    ArmFetchTimer(c);
-  }
-}
-
-void PeerNode::MaybeStartValidation(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  if (ch.validating || ch.pending_blocks.empty()) return;
-  ch.validating = true;
-  ch.current_block = ch.pending_blocks.front();
-  ch.pending_blocks.pop_front();
-
-  const CostModel& cost = net_->config().cost;
-  const size_t num_txs = ch.current_block->transactions.size();
-
-  // Endorsement-policy evaluation parallelizes across the peer's cores
-  // (Fabric 1.2's validator workers) and runs *outside* the state lock;
-  // only the subsequent commit stage needs exclusivity.
-  auto on_policy_done = [this, channel]() {
-    ChannelState& state = channels_[channel];
-    state.commit_phase = true;
-    TryStartCommit(channel);
-  };
-
-  if (num_txs == 0) {
-    on_policy_done();
-    return;
-  }
-  auto remaining = std::make_shared<size_t>(num_txs);
-  const uint64_t epoch = crash_epoch_;
-  for (const proto::Transaction& tx : ch.current_block->transactions) {
-    const sim::SimTime policy_service =
-        cost.validate_per_tx + cost.verify * tx.endorsements.size();
-    cpu_.Submit(policy_service, [this, epoch, remaining, on_policy_done]() {
-      if (crashed_ || epoch != crash_epoch_) return;
-      if (--*remaining == 0) on_policy_done();
-    });
-  }
-}
-
-void PeerNode::TryStartCommit(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  if (ch.commit_submitted) return;
-  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock &&
-      ch.active_sims > 0) {
-    // Vanilla: the exclusive lock waits for running simulations
-    // (paper §4.2.1's "the block has to wait").
-    return;
-  }
-  ch.commit_submitted = true;
-  const CostModel& cost = net_->config().cost;
-  const std::shared_ptr<proto::Block>& block = ch.current_block;
-  sim::SimTime commit_service =
-      cost.block_fixed_commit +
-      cost.ledger_append_per_kb * (block->ByteSize() / 1024 + 1);
-  for (const proto::Transaction& tx : block->transactions) {
-    commit_service += cost.per_read * tx.rwset.reads.size() +
-                      cost.commit_per_write * tx.rwset.writes.size();
-  }
-  const uint64_t epoch = crash_epoch_;
-  cpu_.Submit(commit_service, [this, channel, epoch]() {
-    if (crashed_ || epoch != crash_epoch_) return;
-    FinishCommit(channel);
-  });
-}
-
-void PeerNode::FinishCommit(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  const std::shared_ptr<proto::Block> block = std::move(ch.current_block);
-
-  // Integrity gate before any state mutation: the block must extend our
-  // chain (number + previous-hash link) and carry the data it was sealed
-  // with. ValidateAndCommit applies state writes before the ledger append,
-  // so a tampered block caught only there would already have leaked writes.
-  const bool intact = block->header.number == ch.ledger.Height() &&
-                      block->header.previous_hash == ch.ledger.LastHash() &&
-                      block->VerifyDataHash();
-  if (!intact) {
-    net_->metrics().NoteCorruptedBlock();
-    FABRICPP_LOG(Warn) << name_ << ": rejecting corrupted block "
-                       << block->header.number << " on channel " << channel
-                       << " at commit (bad chain link or data hash)";
-    ResyncChannel(channel);
-    if (net_->config().concurrency == ConcurrencyMode::kCoarseLock) {
-      std::deque<PendingSim> sims;
-      sims.swap(ch.pending_sims);
-      for (PendingSim& sim : sims) StartSimulation(channel, std::move(sim));
-    }
-    return;
-  }
-
-  const peer::BlockValidationResult result =
-      validator_.ValidateAndCommit(*block, &ch.db, &ch.ledger);
-
-  if (net_->IsObserver(*this)) {
-    // Host wall-clock of the two validation stages — kept outside the
-    // deterministic RunReport (it varies with validator_workers).
-    net_->metrics().NoteValidationWallClock(result.verify_wall_ns,
-                                            result.commit_wall_ns);
-    const sim::SimTime now = net_->env().Now();
-    for (uint32_t i = 0; i < block->transactions.size(); ++i) {
-      const proto::Transaction& tx = block->transactions[i];
-      const TxOutcome outcome = OutcomeFromValidationCode(result.codes[i]);
-      const std::string key = ProposalKey(tx.client, tx.proposal_id);
-      ClientNode* client = net_->FindClient(tx.client);
-      if (client != nullptr) {
-        // Client-fired work resolves at most once, even when a client-side
-        // timeout raced this commit.
-        net_->metrics().ResolveFired(key, outcome, now);
-      } else {
-        // Externally injected transactions have no NoteFired entry.
-        net_->metrics().Resolve(key, outcome, now);
-      }
-      // Commit-event notification to the submitting client (Fabric's event
-      // service); an aborted transaction triggers resubmission there.
-      if (client != nullptr) {
-        const bool success =
-            result.codes[i] == proto::TxValidationCode::kValid;
-        const uint64_t proposal_id = tx.proposal_id;
-        net_->network().Send(node_id_, net_->client_machine_node(),
-                             kMessageOverhead,
-                             [client, proposal_id, success]() {
-                               client->HandleOutcome(proposal_id, success);
-                             });
-      }
-    }
-    net_->metrics().NoteBlockCommitted(
-        static_cast<uint32_t>(block->transactions.size()), now);
-  }
-
-  ch.validating = false;
-  ch.commit_phase = false;
-  ch.commit_submitted = false;
-  // Vanilla: admit the queued simulations before the next block's commit
-  // takes the exclusive lock again (reader batch between writers).
-  if (net_->config().concurrency == ConcurrencyMode::kCoarseLock) {
-    std::deque<PendingSim> sims;
-    sims.swap(ch.pending_sims);
-    for (PendingSim& sim : sims) StartSimulation(channel, std::move(sim));
-  }
-  MaybeStartValidation(channel);
-}
-
-// ---------------------------------------------------------------------------
-// OrdererNode
-// ---------------------------------------------------------------------------
-
-OrdererNode::OrdererNode(FabricNetwork* net)
-    : net_(net),
-      node_id_(net->network().AddNode("orderer")),
-      cpu_(&net->env(), "orderer-cpu", net->config().orderer_cores) {
-  const crypto::Digest genesis_hash = ledger::Ledger().LastHash();
-  channels_.reserve(net->config().num_channels);
-  for (uint32_t c = 0; c < net->config().num_channels; ++c) {
-    channels_.emplace_back(net->config().block);
-    channels_.back().prev_hash = genesis_hash;
-  }
-  if (net->config().ordering_backend == OrderingBackend::kRaft) {
-    raft_ = std::make_unique<raft::RaftCluster>(
-        &net->env(), net->config().raft_cluster_size, net->config().seed,
-        net->config().raft_params);
-    // Register each replica with the message fabric's fault injector, so a
-    // chaos plan's loss/partitions/crashes hit consensus traffic too.
-    std::vector<sim::NodeId> raft_ids;
-    raft_ids.reserve(net->config().raft_cluster_size);
-    for (uint32_t i = 0; i < net->config().raft_cluster_size; ++i) {
-      raft_ids.push_back(net->network().AddNode(StrFormat("raft-%u", i)));
-    }
-    raft_->SetFaultInjector(net->network().fault_injector(),
-                            std::move(raft_ids));
-    raft_->Start();
-    // Dispatch each block exactly once, at the earliest replica apply
-    // (monotonic index guard; replicas apply in log order). The entry's
-    // payload identifies the block — the log index cannot, because a lost
-    // entry's index gets reused by a different block after a leader crash.
-    raft_->SetCommitCallbackOnAll([this](uint64_t index,
-                                         const Bytes& payload) {
-      if (index <= raft_dispatched_) return;
-      raft_dispatched_ = index;
-      if (payload.size() < 8) return;
-      uint64_t key = 0;
-      for (int i = 0; i < 8; ++i) {
-        key |= static_cast<uint64_t>(payload[i]) << (8 * i);
-      }
-      const auto it = raft_pending_.find(key);
-      if (it == raft_pending_.end()) return;  // Re-proposal already won.
-      ConsensusPending pending = std::move(it->second);
-      raft_pending_.erase(it);
-      DispatchBlock(pending.channel, std::move(pending.block),
-                    pending.block_bytes);
-    });
-  }
-}
-
-void OrdererNode::SubmitToConsensus(uint32_t channel,
-                                    std::shared_ptr<proto::Block> block,
-                                    uint64_t block_bytes) {
-  if (raft_ == nullptr) {
-    DispatchBlock(channel, std::move(block), block_bytes);
-    return;
-  }
-  const uint64_t key = PendingKey(channel, block->header.number);
-  raft_pending_[key] = ConsensusPending{channel, std::move(block),
-                                        block_bytes};
-  ProposeToRaft(key, block_bytes);
-}
-
-void OrdererNode::ProposeToRaft(uint64_t key, uint64_t block_bytes) {
-  if (raft_pending_.find(key) == raft_pending_.end()) return;  // Committed.
-  // The consensus entry carries the block's identity in its first 8 bytes
-  // and is padded to the block's wire size (replication cost model); the
-  // content itself is tracked out-of-band in raft_pending_.
-  Bytes payload(std::max<uint64_t>(block_bytes, 8), 0);
-  for (int i = 0; i < 8; ++i) {
-    payload[i] = static_cast<uint8_t>(key >> (8 * i));
-  }
-  const auto index = raft_->Propose(std::move(payload));
-  // Either no leader exists (election in progress: retry soon) or the
-  // proposal was accepted — in which case it can still be lost if the
-  // leader crashes before replicating it, so check back and re-propose
-  // until the commit callback clears the pending entry.
-  const sim::SimTime retry = index.has_value() ? 500 * sim::kMillisecond
-                                               : 20 * sim::kMillisecond;
-  net_->env().Schedule(retry, [this, key, block_bytes]() {
-    ProposeToRaft(key, block_bytes);
-  });
-}
-
-void OrdererNode::DispatchBlock(uint32_t channel,
-                                std::shared_ptr<proto::Block> block,
-                                uint64_t block_bytes) {
-  // Keep the block servable: peers that miss this delivery (loss, crash,
-  // partition) fetch it later via HandleBlockRequest.
-  channels_[channel].dispatched[block->header.number] = block;
-  // Distribute to every peer (paper §2.2.2 / Appendix A.2 steps 8-9).
-  if (!net_->config().gossip_blocks) {
-    for (uint32_t p = 0; p < net_->num_peers(); ++p) {
-      PeerNode* peer = &net_->peer(p);
-      net_->network().Send(node_id_, peer->node_id(), block_bytes,
-                           [peer, channel, block]() {
-                             peer->HandleBlock(channel, block);
-                           });
-    }
-    return;
-  }
-  // Gossip: one copy to each org's leader peer (its first), which forwards
-  // to the org's remaining members — "partially from ordering service to
-  // peers directly ... and partially between the peers using a gossip
-  // protocol" (Appendix A.2 step 9).
-  const uint32_t peers_per_org = net_->config().peers_per_org;
-  for (uint32_t org = 0; org < net_->config().num_orgs; ++org) {
-    PeerNode* leader = &net_->peer(org * peers_per_org);
-    FabricNetwork* net = net_;
-    net_->network().Send(
-        node_id_, leader->node_id(), block_bytes,
-        [net, leader, org, peers_per_org, channel, block, block_bytes]() {
-          leader->HandleBlock(channel, block);
-          for (uint32_t m = 1; m < peers_per_org; ++m) {
-            PeerNode* member = &net->peer(org * peers_per_org + m);
-            net->network().Send(leader->node_id(), member->node_id(),
-                                block_bytes, [member, channel, block]() {
-                                  member->HandleBlock(channel, block);
-                                });
-          }
-        });
-  }
-}
-
-void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
-                                     uint64_t from_number) {
-  ChannelState& ch = channels_[channel];
-  PeerNode* peer = &net_->peer(peer_index);
-  // Bounded batch per request: the peer re-requests from its new frontier
-  // until it reports parity (HandleChainInfo), so a long outage drains in
-  // successive rounds instead of one giant burst.
-  constexpr uint32_t kMaxBlocksPerFetch = 16;
-  uint32_t sent = 0;
-  for (auto it = ch.dispatched.lower_bound(from_number);
-       it != ch.dispatched.end() && sent < kMaxBlocksPerFetch; ++it, ++sent) {
-    std::shared_ptr<proto::Block> block = it->second;
-    const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
-    net_->network().Send(node_id_, peer->node_id(), block_bytes,
-                         [peer, channel, block]() {
-                           peer->HandleBlock(channel, block);
-                         });
-  }
-  const uint64_t highest =
-      ch.dispatched.empty() ? 0 : ch.dispatched.rbegin()->first;
-  net_->network().Send(node_id_, peer->node_id(), kMessageOverhead,
-                       [peer, channel, highest]() {
-                         peer->HandleChainInfo(channel, highest);
-                       });
-}
-
-void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
-  const CostModel& cost = net_->config().cost;
-  // The ordering service authenticates the submitting client before
-  // enqueueing (one signature verification per transaction).
-  cpu_.Submit(cost.verify + cost.order_per_tx,
-              [this, channel, tx = std::move(tx)]() mutable {
-                Enqueue(channel, std::move(tx));
-              });
-}
-
-void OrdererNode::NotifyEarlyAbort(const proto::Transaction& tx) {
-  // Early abort notification to the client (paper §5.2: aborted
-  // transactions leave the pipeline immediately and the client learns of it
-  // without waiting for validation).
-  ClientNode* client = net_->FindClient(tx.client);
-  if (client == nullptr) return;
-  const uint64_t proposal_id = tx.proposal_id;
-  net_->network().Send(node_id_, net_->client_machine_node(),
-                       kMessageOverhead, [client, proposal_id]() {
-                         client->HandleOutcome(proposal_id, false);
-                       });
-}
-
-void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
-  ChannelState& ch = channels_[channel];
-  const bool was_empty = ch.cutter.pending_transactions() == 0;
-  std::optional<ordering::Batch> batch = ch.cutter.Add(std::move(tx));
-  if (batch.has_value()) {
-    ++ch.timer_generation;  // Cancel the pending timeout.
-    ch.batch_queue.push_back({std::move(*batch), net_->env().Now()});
-    MaybeProcessNextBatch(channel);
-  } else if (was_empty) {
-    ArmTimer(channel);
-  }
-}
-
-void OrdererNode::MaybeProcessNextBatch(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  const uint32_t depth = net_->config().ordering_pipeline_depth;
-  while (!ch.batch_queue.empty() && ch.stage_inflight < depth) {
-    PendingBatch pending = std::move(ch.batch_queue.front());
-    ch.batch_queue.pop_front();
-    const sim::SimTime now = net_->env().Now();
-    if (now > pending.enqueued_at) {
-      // The batch was cut while the reorder stage was at capacity — the
-      // pipeline stall the ordering_pipeline_depth knob exists to hide.
-      net_->metrics().NoteOrderingStall(now - pending.enqueued_at, now);
-    }
-    ProcessBatch(channel, std::move(pending.batch));
-  }
-}
-
-void OrdererNode::ArmTimer(uint32_t channel) {
-  ChannelState& ch = channels_[channel];
-  const uint64_t generation = ch.timer_generation;
-  net_->env().Schedule(
-      net_->config().block.batch_timeout, [this, channel, generation]() {
-        ChannelState& state = channels_[channel];
-        if (state.timer_generation != generation) return;  // Was cut already.
-        ++state.timer_generation;
-        std::optional<ordering::Batch> batch =
-            state.cutter.Flush(ordering::CutReason::kTimeout);
-        if (batch.has_value()) {
-          state.batch_queue.push_back({std::move(*batch), net_->env().Now()});
-          MaybeProcessNextBatch(channel);
-        }
-      });
-}
-
-void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
-  const FabricConfig& config = net_->config();
-  const CostModel& cost = net_->config().cost;
-  const sim::SimTime now = net_->env().Now();
-  sim::SimTime service = cost.block_fixed_order;
-
-  std::vector<proto::Transaction>& txs = batch.transactions;
-  std::vector<bool> dropped(txs.size(), false);
-
-  // Fabric++ early abort in the ordering phase (paper §5.2.2): transactions
-  // whose reads are version-skewed against a sibling in the same batch can
-  // never commit; drop them before reordering and distribution.
-  if (config.enable_early_abort_ordering) {
-    std::vector<const proto::ReadWriteSet*> rwsets;
-    rwsets.reserve(txs.size());
-    for (const proto::Transaction& tx : txs) rwsets.push_back(&tx.rwset);
-    for (const uint32_t victim : ordering::FindVersionSkewAborts(rwsets)) {
-      dropped[victim] = true;
-      net_->metrics().Resolve(
-          ProposalKey(txs[victim].client, txs[victim].proposal_id),
-          TxOutcome::kAbortVersionSkew, now);
-      NotifyEarlyAbort(txs[victim]);
-    }
-    service += cost.order_per_tx * txs.size();  // The skew scan.
-  }
-
-  std::vector<uint32_t> survivors;
-  survivors.reserve(txs.size());
-  for (uint32_t i = 0; i < txs.size(); ++i) {
-    if (!dropped[i]) survivors.push_back(i);
-  }
-
-  // Fabric++ transaction reordering (paper §5.1): replace the arrival order
-  // by a serializable schedule, aborting cycle participants.
-  std::vector<uint32_t> final_order = survivors;
-  if (config.enable_reordering && !survivors.empty()) {
-    std::vector<const proto::ReadWriteSet*> rwsets;
-    rwsets.reserve(survivors.size());
-    for (const uint32_t i : survivors) rwsets.push_back(&txs[i].rwset);
-    ordering::ReorderResult reorder = ordering::ReorderTransactions(
-        rwsets, config.reorder, net_->reorder_pool());
-    last_reorder_stats_ = reorder.stats;
-    // Wall-clock of the pass goes to the measurement side of Metrics, never
-    // into the deterministic stats/report (same rule as validation timings).
-    net_->metrics().NoteReorderWallClock(
-        reorder.elapsed_wall_us, reorder.stage_wall.build_us,
-        reorder.stage_wall.enumerate_us, reorder.stage_wall.break_us,
-        reorder.stage_wall.schedule_us);
-    for (const uint32_t victim : reorder.aborted) {
-      const proto::Transaction& tx = txs[survivors[victim]];
-      net_->metrics().Resolve(ProposalKey(tx.client, tx.proposal_id),
-                              TxOutcome::kAbortReorderer, now);
-      NotifyEarlyAbort(tx);
-    }
-    final_order.clear();
-    for (const uint32_t pos : reorder.order) {
-      final_order.push_back(survivors[pos]);
-    }
-    service += cost.reorder_per_tx * reorder.stats.num_transactions +
-               cost.reorder_per_cycle * reorder.stats.num_cycles_found;
-  }
-
-  if (final_order.empty()) {
-    // Nothing survived; no block to distribute and no pipeline slot taken —
-    // the admission loop in MaybeProcessNextBatch continues to the next
-    // queued batch.
-    return;
-  }
-
-  auto block = std::make_shared<proto::Block>();
-  block->transactions.reserve(final_order.size());
-  for (const uint32_t i : final_order) {
-    block->transactions.push_back(std::move(txs[i]));
-  }
-
-  // Seal at admission: batches are admitted in cut order, so numbering and
-  // hash-chaining here keeps the chain identical for any pipeline depth
-  // even though a deeper pipeline lets several blocks' ordering costs
-  // overlap below.
-  ChannelState& ch = channels_[channel];
-  block->header.number = ch.next_block_number++;
-  block->header.previous_hash = ch.prev_hash;
-  block->SealDataHash();
-  ch.prev_hash = block->header.Hash();
-  ++blocks_cut_;
-
-  const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
-  service += cost.hash_per_kb * (block_bytes / 1024 + 1);
-
-  const uint64_t seq = ch.next_stage_seq++;
-  ++ch.stage_inflight;
-  cpu_.Submit(service, [this, channel, seq, block, block_bytes]() {
-    FinishBatchStage(channel, seq, StagedBlock{block, block_bytes});
-  });
-}
-
-void OrdererNode::FinishBatchStage(uint32_t channel, uint64_t seq,
-                                   StagedBlock done) {
-  ChannelState& ch = channels_[channel];
-  --ch.stage_inflight;
-  ch.staged.emplace(seq, std::move(done));
-  // Blocks enter consensus strictly in chain order even when a later,
-  // lighter block pays off its ordering cost before a heavy predecessor.
-  while (true) {
-    const auto it = ch.staged.find(ch.next_submit_seq);
-    if (it == ch.staged.end()) break;
-    StagedBlock ready = std::move(it->second);
-    ch.staged.erase(it);
-    ++ch.next_submit_seq;
-    SubmitToConsensus(channel, std::move(ready.block), ready.block_bytes);
-  }
-  MaybeProcessNextBatch(channel);
-}
-
-// ---------------------------------------------------------------------------
-// ClientNode
-// ---------------------------------------------------------------------------
-
-ClientNode::ClientNode(FabricNetwork* net, uint32_t index, uint32_t channel,
-                       std::string name, uint64_t rng_seed)
-    : net_(net),
-      index_(index),
-      channel_(channel),
-      name_(std::move(name)),
-      rng_(rng_seed) {}
-
-void ClientNode::StartFiring(sim::SimTime deadline) {
-  fire_deadline_ = deadline;
-  const double interval_us = 1e6 / net_->config().client_fire_rate_tps;
-  // Stagger clients across one interval so firing is uniform in aggregate.
-  next_fire_us_ = interval_us * static_cast<double>(index_) /
-                  static_cast<double>(net_->num_clients());
-  net_->env().ScheduleAt(static_cast<sim::SimTime>(next_fire_us_),
-                         [this]() { FireFromWorkload(); });
-}
-
-void ClientNode::FireFromWorkload() {
-  if (net_->env().Now() >= fire_deadline_) return;
-  const uint32_t max_inflight = net_->config().client_max_inflight;
-  if (max_inflight == 0 || inflight_.size() < max_inflight) {
-    FireProposal(net_->workload()->NextArgs(rng_));
-  }
-  const double interval_us = 1e6 / net_->config().client_fire_rate_tps;
-  next_fire_us_ += interval_us;
-  net_->env().ScheduleAt(static_cast<sim::SimTime>(next_fire_us_),
-                         [this]() { FireFromWorkload(); });
-}
-
-void ClientNode::FireProposal(std::vector<std::string> args) {
-  FireWithRetries(std::move(args), 0);
-}
-
-void ClientNode::FireWithRetries(std::vector<std::string> args,
-                                 uint32_t retries_used) {
-  proto::Proposal proposal;
-  proposal.proposal_id = next_proposal_id_++;
-  proposal.client = name_;
-  proposal.channel = StrFormat("ch%u", channel_);
-  proposal.chaincode = net_->workload()->chaincode();
-  proposal.args = args;
-  proposal.nonce = rng_.Next();
-  inflight_[proposal.proposal_id] =
-      InflightProposal{std::move(args), retries_used};
-  net_->metrics().NoteFired(ProposalKey(name_, proposal.proposal_id),
-                            net_->env().Now());
-  Submit(std::move(proposal));
-}
-
-sim::SimTime ClientNode::BackoffDelay(uint32_t retries_used) {
-  const FabricConfig& config = net_->config();
-  sim::SimTime delay = config.client_retry_backoff_base;
-  for (uint32_t i = 0;
-       i < retries_used && delay < config.client_retry_backoff_max; ++i) {
-    delay *= 2;
-  }
-  delay = std::min(delay, config.client_retry_backoff_max);
-  if (config.client_retry_jitter > 0.0) {
-    // Uniform multiplier in [1 - j, 1 + j]: desynchronizes clients whose
-    // proposals aborted off the same event (block commit, fault window).
-    const double factor = 1.0 - config.client_retry_jitter +
-                          2.0 * config.client_retry_jitter * rng_.NextDouble();
-    delay = static_cast<sim::SimTime>(static_cast<double>(delay) * factor);
-  }
-  return std::max<sim::SimTime>(delay, 1);
-}
-
-void ClientNode::MaybeResubmit(uint64_t proposal_id) {
-  const auto it = inflight_.find(proposal_id);
-  if (it == inflight_.end()) return;
-  InflightProposal inflight = std::move(it->second);
-  inflight_.erase(it);
-  const FabricConfig& config = net_->config();
-  if (!config.client_resubmit) return;
-  if (inflight.retries_used >= config.client_max_retries) return;
-  // fire_deadline_ == 0 means manual driving (no firing window).
-  if (fire_deadline_ != 0 && net_->env().Now() >= fire_deadline_) return;
-  // Resubmit the same logical work as a fresh proposal after a backoff:
-  // new simulation, new read versions (paper §4.1 / §5.2.1). Instant
-  // refiring would hammer a still-faulty pipeline with retry storms.
-  const uint32_t next_retries = inflight.retries_used + 1;
-  net_->env().Schedule(
-      BackoffDelay(inflight.retries_used),
-      [this, args = std::move(inflight.args), next_retries]() mutable {
-        if (fire_deadline_ != 0 && net_->env().Now() >= fire_deadline_) return;
-        FireWithRetries(std::move(args), next_retries);
-      });
-}
-
-void ClientNode::ArmEndorsementTimeout(uint64_t proposal_id) {
-  net_->env().Schedule(
-      net_->config().client_endorsement_timeout, [this, proposal_id]() {
-        const auto it = pending_.find(proposal_id);
-        if (it == pending_.end()) return;  // Completed or aborted already.
-        pending_.erase(it);
-        if (net_->metrics().ResolveFired(ProposalKey(name_, proposal_id),
-                                         TxOutcome::kAbortEndorsementTimeout,
-                                         net_->env().Now())) {
-          MaybeResubmit(proposal_id);
-        }
-      });
-}
-
-void ClientNode::ArmCommitTimeout(uint64_t proposal_id) {
-  net_->env().Schedule(
-      net_->config().client_commit_timeout, [this, proposal_id]() {
-        if (inflight_.find(proposal_id) == inflight_.end()) return;
-        // ResolveFired fails when the transaction already resolved (its
-        // commit event is merely in flight) — then do NOT resubmit, or
-        // committed work would be applied twice.
-        if (net_->metrics().ResolveFired(ProposalKey(name_, proposal_id),
-                                         TxOutcome::kAbortCommitTimeout,
-                                         net_->env().Now())) {
-          MaybeResubmit(proposal_id);
-        }
-      });
-}
-
-void ClientNode::HandleOutcome(uint64_t proposal_id, bool success) {
-  if (success) {
-    inflight_.erase(proposal_id);
-    return;
-  }
-  MaybeResubmit(proposal_id);
-}
-
-void ClientNode::Submit(proto::Proposal proposal) {
-  // Client CPU: sign the proposal, then ship it to one endorser per org.
-  const CostModel& cost = net_->config().cost;
-  net_->client_cpu().Submit(
-      cost.sign, [this, proposal = std::move(proposal)]() mutable {
-        const uint64_t size = proposal.ByteSize() + kMessageOverhead;
-        std::vector<PeerNode*> endorsers =
-            net_->EndorsersFor(proposal.proposal_id + index_);
-        PendingProposal pending;
-        pending.proposal = proposal;
-        pending.expected = static_cast<uint32_t>(endorsers.size());
-        pending_.emplace(proposal.proposal_id, std::move(pending));
-        for (PeerNode* peer : endorsers) {
-          net_->network().Send(
-              net_->client_machine_node(), peer->node_id(), size,
-              [peer, channel = channel_, proposal, index = index_]() mutable {
-                peer->HandleProposal(channel, std::move(proposal), index);
-              });
-        }
-        ArmEndorsementTimeout(proposal.proposal_id);
-      });
-}
-
-void ClientNode::HandleEndorsement(uint64_t proposal_id,
-                                   Result<peer::EndorsementResponse> response) {
-  const auto it = pending_.find(proposal_id);
-  if (it == pending_.end()) return;
-  PendingProposal& pending = it->second;
-
-  if (!response.ok()) {
-    // A failed simulation aborts the proposal immediately — the client does
-    // not wait for the remaining endorsers (paper §5.2.1: "we directly
-    // notify the corresponding client about the abort"). Late replies find
-    // no pending entry and are dropped.
-    const TxOutcome outcome =
-        response.status().code() == StatusCode::kStaleRead
-            ? TxOutcome::kAbortStaleSimulation
-            : TxOutcome::kAbortChaincodeError;
-    pending_.erase(it);
-    net_->metrics().Resolve(ProposalKey(name_, proposal_id), outcome,
-                            net_->env().Now());
-    MaybeResubmit(proposal_id);
-    return;
-  }
-
-  // A duplicated reply from the same endorser must not count twice — the
-  // transaction would then carry two copies of one org's endorsement and
-  // miss another org's, failing the policy at validation.
-  for (const peer::EndorsementResponse& r : pending.responses) {
-    if (r.endorsement.peer == response->endorsement.peer) return;
-  }
-  pending.responses.push_back(std::move(response).value());
-  if (pending.responses.size() < pending.expected) return;
-
-  PendingProposal done = std::move(pending);
-  pending_.erase(it);
-
-  // All read/write sets must match (paper §2.2.1); otherwise the proposal
-  // cannot become a transaction.
-  for (size_t i = 1; i < done.responses.size(); ++i) {
-    if (!(done.responses[i].rwset == done.responses[0].rwset)) {
-      net_->metrics().Resolve(ProposalKey(name_, proposal_id),
-                              TxOutcome::kAbortRwsetMismatch,
-                              net_->env().Now());
-      MaybeResubmit(proposal_id);
-      return;
-    }
-  }
-  Assemble(std::move(done));
-}
-
-void ClientNode::Assemble(PendingProposal pending) {
-  const CostModel& cost = net_->config().cost;
-  net_->client_cpu().Submit(
-      cost.client_assemble + cost.sign,
-      [this, pending = std::move(pending)]() mutable {
-        proto::Transaction tx;
-        tx.proposal_id = pending.proposal.proposal_id;
-        tx.client = name_;
-        tx.channel = pending.proposal.channel;
-        tx.chaincode = pending.proposal.chaincode;
-        tx.policy_id = net_->default_policy_id();
-        tx.rwset = pending.responses[0].rwset;
-        for (const peer::EndorsementResponse& r : pending.responses) {
-          tx.endorsements.push_back(r.endorsement);
-        }
-        tx.ComputeTxId(pending.proposal);
-        const uint64_t proposal_id = tx.proposal_id;
-        const uint64_t size = tx.ByteSize() + kMessageOverhead;
-        OrdererNode* orderer = &net_->orderer();
-        net_->network().Send(
-            net_->client_machine_node(), orderer->node_id(), size,
-            [orderer, channel = channel_, tx = std::move(tx)]() mutable {
-              orderer->HandleTransaction(channel, std::move(tx));
-            });
-        ArmCommitTimeout(proposal_id);
-      });
-}
-
-// ---------------------------------------------------------------------------
-// FabricNetwork
-// ---------------------------------------------------------------------------
-
 FabricNetwork::FabricNetwork(FabricConfig config,
                              const workload::Workload* workload)
-    : config_(config),
-      workload_(workload),
-      env_(),
-      injector_(&env_, config.seed),
-      net_(&env_, config.network),
-      registry_(chaincode::ChaincodeRegistry::WithBuiltins()),
-      client_cpu_(&env_, "client-cpu", config.client_machine_cores),
-      client_machine_node_(net_.AddNode("clients")) {
+    : config_(std::move(config)), workload_(workload) {
   const Status valid = config_.Validate();
   if (!valid.ok()) {
     FABRICPP_LOG(Error) << "invalid FabricConfig: " << valid;
     std::abort();
   }
-  // Every message flows through the injector; with no fault plan configured
-  // it is pass-through and draws no randomness, so fault-free runs stay
-  // bit-identical to a network without it.
-  net_.set_fault_injector(&injector_);
 
-  // Validator worker pool, shared by every peer's verify stage (the
-  // committing thread participates, so N workers = N - 1 extra threads).
-  // Must exist before the peers: their validators borrow it.
-  if (config_.validator_workers > 1) {
-    validator_pool_ =
-        std::make_unique<ThreadPool>(config_.validator_workers - 1);
+  // 1. The execution substrate. Sim: one deterministic event loop, every
+  // message routed through the fault injector (pass-through and drawing no
+  // randomness without a fault plan, so fault-free runs stay bit-identical
+  // to a network without it). Thread: one mailbox thread per endpoint.
+  const runtime::RuntimeMode mode = config_.RuntimeModeOrDefault();
+  if (mode == runtime::RuntimeMode::kSim) {
+    runtime::SimRuntime::Options options;
+    options.seed = config_.seed;
+    options.network = config_.network;
+    auto sim = std::make_unique<runtime::SimRuntime>(options);
+    sim_ = sim.get();
+    runtime_ = std::move(sim);
+  } else {
+    runtime::ThreadRuntime::Options options;
+    options.mailbox_capacity = config_.mailbox_capacity;
+    auto thread = std::make_unique<runtime::ThreadRuntime>(options);
+    thread_ = thread.get();
+    runtime_ = std::move(thread);
   }
 
-  // Reorder worker pool for the orderer's graph build + cycle enumeration
-  // (the calling thread participates, so N workers = N - 1 extra threads).
-  // Deliberately distinct from validator_pool_: ParallelFor is not
-  // reentrant across users on the same call stack.
-  if (config_.reorder_workers > 1) {
-    reorder_pool_ = std::make_unique<ThreadPool>(config_.reorder_workers - 1);
+  registry_ = chaincode::ChaincodeRegistry::WithBuiltins();
+
+  // 2. The shared client machine (paper §6.1: one server fires all
+  // proposals). Its endpoint is created before any peer so the historical
+  // node-id order ("clients" first) is preserved. Under the thread runtime
+  // the client population can be sharded across several endpoint threads;
+  // node-to-client traffic still addresses each client's own home shard.
+  const uint32_t shards = mode == runtime::RuntimeMode::kThread
+                              ? config_.thread_client_shards
+                              : 1;
+  for (uint32_t s = 0; s < shards; ++s) {
+    runtime::Endpoint& home = runtime_->AddEndpoint(
+        s == 0 ? "clients" : StrFormat("clients-%u", s));
+    client_endpoints_.push_back(&home);
+    client_cpus_.push_back(&runtime_->AddExecutor(
+        home, s == 0 ? "client-cpu" : StrFormat("client-cpu-%u", s),
+        config_.client_machine_cores));
   }
 
-  // Endorsement policy: one peer of every org (paper §2.2.1).
+  // 3. Worker pools for the real (wall-clock) crypto and reordering work.
+  // Under sim these are the process-wide shared pools the peers and the
+  // orderer will also be handed (created here, before the nodes, matching
+  // the pre-runtime construction order); under the thread runtime each
+  // node requests its own pool and these stay null.
+  if (sim_ != nullptr) {
+    validator_pool_ = runtime_->RequestPool(runtime::PoolKind::kValidator,
+                                            config_.validator_workers);
+    reorder_pool_ = runtime_->RequestPool(runtime::PoolKind::kReorder,
+                                          config_.reorder_workers);
+  }
+
+  // 4. Endorsement policy: one peer of every org (paper §2.2.1).
   peer::EndorsementPolicy policy;
   policy.id = "AND(all-orgs)";
   for (uint32_t o = 0; o < config_.num_orgs; ++o) {
@@ -1017,13 +78,19 @@ FabricNetwork::FabricNetwork(FabricConfig config,
   default_policy_id_ = policy.id;
   (void)policies_.Register(std::move(policy));
 
+  // 5. The nodes, built against the narrow context only — no node sees
+  // FabricNetwork itself, just the directory + runtime interfaces.
+  const node::NodeContext ctx{&config_,         &metrics_, workload_,
+                              registry_.get(),  &policies_, runtime_.get(),
+                              this};
+
   // Peers, org-major: A1 A2 ... B1 B2 ...
   for (uint32_t o = 0; o < config_.num_orgs; ++o) {
     const std::string org(1, static_cast<char>('A' + o));
     for (uint32_t p = 0; p < config_.peers_per_org; ++p) {
       const uint32_t index = o * config_.peers_per_org + p;
-      peers_.push_back(std::make_unique<PeerNode>(
-          this, index, StrFormat("%s%u", org.c_str(), p + 1), org));
+      peers_.push_back(std::make_unique<node::PeerNode>(
+          ctx, index, StrFormat("%s%u", org.c_str(), p + 1), org));
     }
   }
 
@@ -1036,106 +103,202 @@ FabricNetwork::FabricNetwork(FabricConfig config,
     std::vector<std::string> peer_names;
     peer_names.reserve(peers_.size());
     for (const auto& peer : peers_) peer_names.push_back(peer->name());
-    for (auto& peer : peers_) {
-      peer->validator_.PrewarmIdentities(peer_names);
-    }
+    for (auto& peer : peers_) peer->PrewarmIdentities(peer_names);
   }
 
-  orderer_ = std::make_unique<OrdererNode>(this);
+  orderer_ = std::make_unique<node::OrdererNode>(ctx);
 
-  // Seed every (peer, channel) state database identically.
+  // 6. Consensus backend. Raft is simulation-only (Validate() enforces it)
+  // and registers its replicas with the injector for chaos coverage.
+  if (config_.ordering_backend == OrderingBackend::kRaft) {
+    raft_consensus_ = std::make_unique<RaftConsensus>(
+        &sim_->env(), &sim_->network(), config_);
+    orderer_->SetConsensus(raft_consensus_.get());
+  } else {
+    orderer_->SetConsensus(&solo_consensus_);
+  }
+
+  // 7. Seed every (peer, channel) state database identically.
   for (auto& peer : peers_) {
     for (uint32_t c = 0; c < config_.num_channels; ++c) {
       workload_->SeedState(peer->mutable_state_db(c));
     }
   }
 
-  // Clients, channel-major.
+  // 8. Clients, channel-major, round-robin across the client machine's
+  // endpoint shards (one shard under sim: all on "clients").
   for (uint32_t c = 0; c < config_.num_channels; ++c) {
     for (uint32_t i = 0; i < config_.clients_per_channel; ++i) {
-      const uint32_t index =
-          c * config_.clients_per_channel + i;
-      clients_.push_back(std::make_unique<ClientNode>(
-          this, index, c, StrFormat("client_c%u_%u", c, i),
-          config_.seed * 0x9e3779b97f4a7c15ULL + index + 1));
+      const uint32_t index = c * config_.clients_per_channel + i;
+      clients_.push_back(std::make_unique<node::ClientNode>(
+          ctx, index, c, StrFormat("client_c%u_%u", c, i),
+          config_.seed * 0x9e3779b97f4a7c15ULL + index + 1,
+          client_endpoints_[index % shards], client_cpus_[index % shards]));
       clients_by_name_[clients_.back()->name()] = clients_.back().get();
     }
   }
 }
 
-ClientNode* FabricNetwork::FindClient(const std::string& name) {
+FabricNetwork::~FabricNetwork() {
+  // Stop all endpoint threads before any node state they touch is torn
+  // down. No-op after RunFor (which shuts down to end the measurement) and
+  // under sim.
+  if (thread_ != nullptr) thread_->Shutdown();
+}
+
+runtime::SimRuntime& FabricNetwork::RequireSim(const char* what) const {
+  if (sim_ == nullptr) {
+    FABRICPP_LOG(Error) << what
+                        << " requires runtime_mode=\"sim\" (the thread "
+                           "runtime has no deterministic fault plan)";
+    std::abort();
+  }
+  return *sim_;
+}
+
+sim::Environment& FabricNetwork::env() { return RequireSim("env()").env(); }
+
+sim::Network& FabricNetwork::network() {
+  return RequireSim("network()").network();
+}
+
+sim::FaultInjector& FabricNetwork::fault_injector() {
+  return RequireSim("fault_injector()").injector();
+}
+
+node::ClientNode* FabricNetwork::FindClient(const std::string& name) {
   const auto it = clients_by_name_.find(name);
   return it == clients_by_name_.end() ? nullptr : it->second;
 }
 
-std::vector<PeerNode*> FabricNetwork::EndorsersFor(uint64_t proposal_id) {
-  std::vector<PeerNode*> endorsers;
+std::vector<node::PeerNode*> FabricNetwork::EndorsersFor(
+    uint64_t proposal_id) {
+  std::vector<node::PeerNode*> endorsers;
   endorsers.reserve(config_.num_orgs);
   for (uint32_t o = 0; o < config_.num_orgs; ++o) {
-    const uint32_t p = static_cast<uint32_t>(proposal_id % config_.peers_per_org);
+    const uint32_t p =
+        static_cast<uint32_t>(proposal_id % config_.peers_per_org);
     endorsers.push_back(peers_[o * config_.peers_per_org + p].get());
   }
   return endorsers;
 }
 
 RunReport FabricNetwork::RunFor(sim::SimTime duration, sim::SimTime warmup) {
+  if (sim_ != nullptr) {
+    metrics_.SetWindow(warmup, duration);
+    for (auto& client : clients_) client->StartFiring(duration);
+    sim_->env().RunUntil(duration);
+    metrics_.SetNetworkFaultTotals(sim_->injector().stats().TotalDropped(),
+                                   sim_->injector().stats().duplicated);
+    return metrics_.Report();
+  }
+
+  // Thread runtime: `duration` is wall-clock. The run ends with a drain
+  // (so in-flight blocks land) and a full shutdown — client timeout timers
+  // are armed tens of (real) seconds out, and the only way to guarantee
+  // none of them races the report below is to stop the machinery. One
+  // measured run per network, by design.
+  if (ran_) {
+    FABRICPP_LOG(Error) << "RunFor can only be called once under the "
+                           "thread runtime";
+    std::abort();
+  }
+  ran_ = true;
+  thread_->ResetEpoch();
   metrics_.SetWindow(warmup, duration);
-  for (auto& client : clients_) client->StartFiring(duration);
-  env_.RunUntil(duration);
-  metrics_.SetNetworkFaultTotals(injector_.stats().TotalDropped(),
-                                 injector_.stats().duplicated);
+  for (auto& client : clients_) {
+    node::ClientNode* c = client.get();
+    c->home().Post([c, duration]() { c->StartFiring(duration); });
+  }
+  thread_->SleepUntil(duration);
+  // Let the pipeline drain: a batch timeout may still have to fire and a
+  // peer may still be re-fetching a lost-in-shutdown block.
+  const runtime::TimeMicros horizon =
+      std::max<runtime::TimeMicros>(config_.block.batch_timeout,
+                                    config_.peer_fetch_retry_interval) +
+      250 * sim::kMillisecond;
+  thread_->Quiesce(horizon);
+  thread_->Shutdown();
   return metrics_.Report();
 }
 
 void FabricNetwork::SchedulePeerCrash(uint32_t peer_index, sim::SimTime start,
                                       sim::SimTime end) {
-  PeerNode* peer = peers_[peer_index].get();
-  injector_.CrashNode(peer->node_id(), start, end);
-  env_.ScheduleAt(start, [peer]() { peer->Crash(); });
-  env_.ScheduleAt(end, [peer]() { peer->Restart(); });
+  runtime::SimRuntime& sim = RequireSim("SchedulePeerCrash");
+  node::PeerNode* peer = peers_[peer_index].get();
+  sim.injector().CrashNode(peer->node_id(), start, end);
+  sim.env().ScheduleAt(start, [peer]() { peer->Crash(); });
+  sim.env().ScheduleAt(end, [peer]() { peer->Restart(); });
 }
 
 void FabricNetwork::ScheduleRaftLeaderCrash(sim::SimTime at,
                                             sim::SimTime duration) {
-  env_.ScheduleAt(at, [this, duration]() {
-    raft::RaftCluster* raft = orderer_->raft();
-    if (raft == nullptr) return;  // Solo backend: nothing to crash.
+  runtime::SimRuntime& sim = RequireSim("ScheduleRaftLeaderCrash");
+  sim.env().ScheduleAt(at, [this, duration]() {
+    if (raft_consensus_ == nullptr) return;  // Solo backend: nothing to crash.
+    raft::RaftCluster* raft = &raft_consensus_->cluster();
     // Whoever leads right now is the victim; with an election in progress,
     // take replica 0 so the fault still lands deterministically.
     const uint32_t victim = raft->FindLeader().value_or(0);
     FABRICPP_LOG(Info) << "crashing raft leader " << victim << " at "
-                       << env_.Now() / 1000 << "ms";
+                       << sim_->env().Now() / 1000 << "ms";
     raft->node(victim).Crash();
-    env_.Schedule(duration, [raft, victim]() {
+    sim_->env().Schedule(duration, [raft, victim]() {
       raft->node(victim).Resume();
     });
   });
 }
 
 void FabricNetwork::SyncPeers() {
-  env_.Schedule(0, [this]() {
-    for (auto& peer : peers_) {
-      if (peer->crashed()) continue;
-      for (uint32_t c = 0; c < config_.num_channels; ++c) {
-        peer->RequestMissingBlocks(c);
+  if (sim_ != nullptr) {
+    sim_->env().Schedule(0, [this]() {
+      for (auto& peer : peers_) {
+        if (peer->crashed()) continue;
+        for (uint32_t c = 0; c < config_.num_channels; ++c) {
+          peer->RequestMissingBlocks(c);
+        }
       }
-    }
-  });
+    });
+    return;
+  }
+  // Thread runtime: each peer pulls on its own context.
+  for (auto& peer : peers_) {
+    node::PeerNode* p = peer.get();
+    p->endpoint().Post([this, p]() {
+      if (p->crashed()) return;
+      for (uint32_t c = 0; c < config_.num_channels; ++c) {
+        p->RequestMissingBlocks(c);
+      }
+    });
+  }
+}
+
+void FabricNetwork::RunUntilIdle() {
+  if (sim_ != nullptr) {
+    sim_->env().Run();
+    return;
+  }
+  thread_->Quiesce(
+      std::max<runtime::TimeMicros>(config_.block.batch_timeout,
+                                    config_.peer_fetch_retry_interval) +
+      250 * sim::kMillisecond);
 }
 
 void FabricNetwork::SubmitProposal(uint32_t channel, uint32_t client_index,
                                    std::vector<std::string> args) {
-  ClientNode& client = *clients_[channel * config_.clients_per_channel +
-                                 client_index];
-  env_.Schedule(0, [&client, args = std::move(args)]() mutable {
+  node::ClientNode& client =
+      *clients_[channel * config_.clients_per_channel + client_index];
+  // Under sim, Post is Schedule(0) on the shared loop — identical to the
+  // pre-runtime behavior; under threads it hops onto the client's context.
+  client.home().Post([&client, args = std::move(args)]() mutable {
     client.FireProposal(std::move(args));
   });
 }
 
 void FabricNetwork::SubmitExternalTransaction(uint32_t channel,
                                               proto::Transaction tx) {
-  OrdererNode* orderer = orderer_.get();
-  env_.Schedule(0, [orderer, channel, tx = std::move(tx)]() mutable {
+  node::OrdererNode* orderer = orderer_.get();
+  orderer->endpoint().Post([orderer, channel, tx = std::move(tx)]() mutable {
     orderer->HandleTransaction(channel, std::move(tx));
   });
 }

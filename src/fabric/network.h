@@ -1,8 +1,6 @@
 #ifndef FABRICPP_FABRIC_NETWORK_H_
 #define FABRICPP_FABRIC_NETWORK_H_
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -10,349 +8,65 @@
 
 #include "chaincode/chaincode.h"
 #include "common/thread_pool.h"
-#include "crypto/sha256.h"
 #include "fabric/config.h"
 #include "fabric/metrics.h"
-#include "ledger/ledger.h"
-#include "ordering/batch_cutter.h"
-#include "peer/endorser.h"
+#include "fabric/raft_consensus.h"
+#include "node/client_node.h"
+#include "node/consensus.h"
+#include "node/node_context.h"
+#include "node/orderer_node.h"
+#include "node/peer_node.h"
 #include "peer/policy.h"
-#include "peer/validator.h"
-#include "proto/block.h"
 #include "proto/transaction.h"
-#include "raft/raft_node.h"
+#include "runtime/runtime.h"
+#include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
 #include "sim/environment.h"
+#include "sim/fault_injector.h"
 #include "sim/network.h"
-#include "sim/resource.h"
-#include "statedb/state_db.h"
 #include "workload/workload.h"
 
 namespace fabricpp::fabric {
 
-class FabricNetwork;
+/// The node state machines live in src/node/, decoupled from this
+/// composition root; their historical names in this namespace stay valid.
+using PeerNode = node::PeerNode;
+using OrdererNode = node::OrdererNode;
+using ClientNode = node::ClientNode;
 
-/// One peer of the network inside the simulation: endorsement (simulation
-/// phase) and validation + commit, per channel, on a shared CPU.
-class PeerNode {
- public:
-  PeerNode(FabricNetwork* net, uint32_t index, std::string name,
-           std::string org);
-
-  const std::string& name() const { return name_; }
-  const std::string& org() const { return org_; }
-  uint32_t index() const { return index_; }
-  sim::NodeId node_id() const { return node_id_; }
-
-  /// Delivery of a proposal from a client (simulation phase entry).
-  void HandleProposal(uint32_t channel, proto::Proposal proposal,
-                      uint32_t client_index);
-
-  /// Delivery of a block from the ordering service (validation entry).
-  /// Blocks are admitted strictly in chain order: duplicates are discarded,
-  /// out-of-order arrivals are buffered, tampered payloads are rejected, and
-  /// a detected gap triggers a re-fetch from the orderer.
-  void HandleBlock(uint32_t channel, std::shared_ptr<proto::Block> block);
-
-  /// Orderer's reply to a block-fetch request: the highest block number it
-  /// has dispatched so far on `channel`.
-  void HandleChainInfo(uint32_t channel, uint64_t orderer_height);
-
-  /// Crash simulation. Crash() drops everything in flight (running
-  /// simulations, queued blocks, the validation pipeline) but keeps the
-  /// durable state — ledger and state database — like a process kill on a
-  /// machine with an intact disk. Restart() rejoins and catches up on
-  /// missed blocks by fetching them from the orderer.
-  void Crash();
-  void Restart();
-  bool crashed() const { return crashed_; }
-
-  const ledger::Ledger& ledger(uint32_t channel) const {
-    return channels_[channel].ledger;
-  }
-  const statedb::StateDb& state_db(uint32_t channel) const {
-    return channels_[channel].db;
-  }
-  statedb::StateDb* mutable_state_db(uint32_t channel) {
-    return &channels_[channel].db;
-  }
-
-  sim::Resource& cpu() { return cpu_; }
-
- private:
-  friend class FabricNetwork;
-
-  struct PendingSim {
-    proto::Proposal proposal;
-    uint32_t client_index;
-  };
-
-  /// Per-channel peer state, including the vanilla coarse-lock bookkeeping
-  /// (paper §4.2.1): simulations hold the shared side of the state lock;
-  /// the block's *commit stage* (MVCC check + state update) needs the
-  /// exclusive side. Endorsement-policy verification does not touch the
-  /// state and runs outside the lock, as in Fabric 1.2.
-  struct ChannelState {
-    statedb::StateDb db;
-    ledger::Ledger ledger;
-    uint32_t active_sims = 0;
-    /// A block is in the validation pipeline (serializes blocks).
-    bool validating = false;
-    /// The block finished policy checks and is waiting for / holding the
-    /// exclusive lock; simulations queue while set (coarse mode).
-    bool commit_phase = false;
-    bool commit_submitted = false;
-    std::shared_ptr<proto::Block> current_block;
-    std::deque<PendingSim> pending_sims;
-    std::deque<std::shared_ptr<proto::Block>> pending_blocks;
-    /// Next block number this peer will admit into its pipeline. Blocks
-    /// below it are duplicates; blocks above it wait in reorder_buffer.
-    uint64_t next_accept = 1;
-    /// Out-of-order arrivals, keyed by block number.
-    std::map<uint64_t, std::shared_ptr<proto::Block>> reorder_buffer;
-    bool fetch_timer_armed = false;
-    /// Crash-recovery bookkeeping: set between Restart() and chain parity.
-    bool recovering = false;
-    sim::SimTime restart_time = 0;
-  };
-
-  void StartSimulation(uint32_t channel, PendingSim sim);
-  void FinishSimulation(uint32_t channel, uint32_t client_index,
-                        uint64_t proposal_id,
-                        Result<peer::EndorsementResponse> response);
-  void MaybeStartValidation(uint32_t channel);
-  void TryStartCommit(uint32_t channel);
-  void FinishCommit(uint32_t channel);
-  /// Moves contiguous buffered blocks into the validation queue.
-  void DrainReorderBuffer(uint32_t channel);
-  /// Asks the orderer to re-send blocks from next_accept on.
-  void RequestMissingBlocks(uint32_t channel);
-  /// Arms a one-shot retry timer that re-fetches while a gap persists.
-  void ArmFetchTimer(uint32_t channel);
-  /// Resets the channel's block pipeline after a rejected (corrupted)
-  /// block, so a clean copy can be re-fetched and admitted.
-  void ResyncChannel(uint32_t channel);
-
-  FabricNetwork* net_;
-  uint32_t index_;
-  std::string name_;
-  std::string org_;
-  sim::NodeId node_id_;
-  sim::Resource cpu_;
-  peer::Endorser endorser_;
-  peer::Validator validator_;
-  std::vector<ChannelState> channels_;
-  bool crashed_ = false;
-  /// Bumped on every crash; CPU-job callbacks from before the crash carry
-  /// the old epoch and turn into no-ops (the work died with the process).
-  uint64_t crash_epoch_ = 0;
-};
-
-/// The (trusted) ordering service: receives endorsed transactions, cuts
-/// batches, optionally early-aborts and reorders (Fabric++), seals blocks,
-/// and distributes them to every peer.
-class OrdererNode {
- public:
-  explicit OrdererNode(FabricNetwork* net);
-
-  sim::NodeId node_id() const { return node_id_; }
-
-  /// Delivery of a transaction from a client.
-  void HandleTransaction(uint32_t channel, proto::Transaction tx);
-
-  /// A peer's catch-up request: re-send dispatched blocks of `channel`
-  /// numbered >= `from_number` (bounded per request), then report the
-  /// highest dispatched number so the peer knows whether it is caught up.
-  void HandleBlockRequest(uint32_t channel, uint32_t peer_index,
-                          uint64_t from_number);
-
-  /// Consensus backend (null for kSolo).
-  raft::RaftCluster* raft() { return raft_.get(); }
-
-  uint64_t blocks_cut() const { return blocks_cut_; }
-  const ordering::ReorderStats& last_reorder_stats() const {
-    return last_reorder_stats_;
-  }
-
- private:
-  friend class FabricNetwork;
-
-  /// A cut batch waiting for the reorder stage, stamped with its cut time
-  /// so the pipeline-stall metric can measure how long it sat.
-  struct PendingBatch {
-    ordering::Batch batch;
-    sim::SimTime enqueued_at;
-  };
-
-  /// A block whose reorder stage finished, awaiting its turn at consensus.
-  struct StagedBlock {
-    std::shared_ptr<proto::Block> block;
-    uint64_t block_bytes;
-  };
-
-  struct ChannelState {
-    explicit ChannelState(ordering::BatchCutConfig config)
-        : cutter(config) {}
-    ordering::BatchCutter cutter;
-    uint64_t next_block_number = 1;
-    crypto::Digest prev_hash{};
-    uint64_t timer_generation = 0;
-    /// Single-producer queue between the batch cutter and the reorder
-    /// stage. Admission is bounded by ordering_pipeline_depth: with depth
-    /// 1 this is the seed's strictly serial behavior, with depth d the
-    /// reorder+hash of up to d consecutive blocks overlaps on the
-    /// orderer's cores while block N+d's batch accumulates.
-    std::deque<PendingBatch> batch_queue;
-    /// Batches currently inside the reorder stage (their virtual CPU cost
-    /// has been submitted but not completed).
-    uint32_t stage_inflight = 0;
-    /// Stage sequence numbers, assigned at admission in cut order. Blocks
-    /// are sealed (numbered + hash-chained) at admission, but a deeper
-    /// pipeline can finish a light block's stage before a heavy
-    /// predecessor's — the staged map + next_submit_seq drain re-imposes
-    /// chain order on consensus submission.
-    uint64_t next_stage_seq = 0;
-    uint64_t next_submit_seq = 0;
-    std::map<uint64_t, StagedBlock> staged;
-    /// Every dispatched block, keyed by number — the delivery service peers
-    /// fetch from when they detect a gap or recover from a crash.
-    std::map<uint64_t, std::shared_ptr<proto::Block>> dispatched;
-  };
-
-  void Enqueue(uint32_t channel, proto::Transaction tx);
-  void NotifyEarlyAbort(const proto::Transaction& tx);
-  void ArmTimer(uint32_t channel);
-  /// Admits queued batches into the reorder stage while the pipeline has
-  /// capacity, recording a stall for each batch that had to wait.
-  void MaybeProcessNextBatch(uint32_t channel);
-  /// Runs the Fabric++ ordering-phase logic on a cut batch (early abort +
-  /// reordering), seals the block, and charges its virtual cost; the block
-  /// proceeds to consensus via FinishBatchStage when the cost is paid.
-  void ProcessBatch(uint32_t channel, ordering::Batch batch);
-  /// Stage-completion: queues the block for in-order consensus submission,
-  /// drains every consecutively finished block, and refills the stage.
-  void FinishBatchStage(uint32_t channel, uint64_t seq, StagedBlock done);
-  /// Hands a sealed block to the configured consensus backend; distribution
-  /// happens on consensus commit (immediately for kSolo).
-  void SubmitToConsensus(uint32_t channel,
-                         std::shared_ptr<proto::Block> block,
-                         uint64_t block_bytes);
-  /// Proposes the pending block identified by `key` to the Raft cluster,
-  /// re-proposing until it commits — a leader crash can lose an accepted
-  /// entry before replication, and the block must not be lost with it.
-  void ProposeToRaft(uint64_t key, uint64_t block_bytes);
-  /// Ships a consensus-committed block to every peer.
-  void DispatchBlock(uint32_t channel, std::shared_ptr<proto::Block> block,
-                     uint64_t block_bytes);
-
-  struct ConsensusPending {
-    uint32_t channel;
-    std::shared_ptr<proto::Block> block;
-    uint64_t block_bytes;
-  };
-
-  /// Identity of a block in consensus: (channel, block number). Stable
-  /// across re-proposals, unlike the Raft log index.
-  static uint64_t PendingKey(uint32_t channel, uint64_t number) {
-    return (static_cast<uint64_t>(channel) << 48) | number;
-  }
-
-  FabricNetwork* net_;
-  sim::NodeId node_id_;
-  sim::Resource cpu_;
-  std::vector<ChannelState> channels_;
-  uint64_t blocks_cut_ = 0;
-  ordering::ReorderStats last_reorder_stats_;
-  /// Raft backend state (null for kSolo).
-  std::unique_ptr<raft::RaftCluster> raft_;
-  /// Blocks awaiting consensus commit, keyed by PendingKey.
-  std::unordered_map<uint64_t, ConsensusPending> raft_pending_;
-  uint64_t raft_dispatched_ = 0;
-};
-
-/// One client: fires proposals at the configured rate, collects
-/// endorsements, assembles transactions, submits them for ordering. All
-/// clients share one simulated client machine (paper §6.1: one server fires
-/// all proposals).
-class ClientNode {
- public:
-  ClientNode(FabricNetwork* net, uint32_t index, uint32_t channel,
-             std::string name, uint64_t rng_seed);
-
-  const std::string& name() const { return name_; }
-  uint32_t channel() const { return channel_; }
-
-  /// Arms periodic firing until `deadline` (virtual time).
-  void StartFiring(sim::SimTime deadline);
-
-  /// Fires a single proposal with explicit args (examples/tests).
-  void FireProposal(std::vector<std::string> args);
-
-  /// Endorsement reply delivery.
-  void HandleEndorsement(uint64_t proposal_id,
-                         Result<peer::EndorsementResponse> response);
-
-  /// Final outcome notification (from the orderer's early aborts or the
-  /// observer peer's commit events). An aborted proposal is resubmitted
-  /// with the same arguments while the firing window is open and retries
-  /// remain — the paper's client resubmission loop.
-  void HandleOutcome(uint64_t proposal_id, bool success);
-
- private:
-  friend class FabricNetwork;
-
-  struct PendingProposal {
-    proto::Proposal proposal;
-    uint32_t expected = 0;
-    std::vector<peer::EndorsementResponse> responses;
-  };
-
-  /// Retry bookkeeping for every in-flight proposal.
-  struct InflightProposal {
-    std::vector<std::string> args;
-    uint32_t retries_used = 0;
-  };
-
-  void FireFromWorkload();
-  void FireWithRetries(std::vector<std::string> args, uint32_t retries_used);
-  void Submit(proto::Proposal proposal);
-  void Assemble(PendingProposal pending);
-  /// Resubmits an aborted proposal after an exponential-backoff delay with
-  /// jitter, while the retry budget and firing window allow it.
-  void MaybeResubmit(uint64_t proposal_id);
-  sim::SimTime BackoffDelay(uint32_t retries_used);
-  /// Aborts the proposal if its endorsements have not all arrived when the
-  /// endorsement timeout expires (covers lost proposals/replies).
-  void ArmEndorsementTimeout(uint64_t proposal_id);
-  /// Abandons the transaction if no outcome arrived within the commit
-  /// timeout of its submission to ordering.
-  void ArmCommitTimeout(uint64_t proposal_id);
-
-  FabricNetwork* net_;
-  uint32_t index_;
-  uint32_t channel_;
-  std::string name_;
-  Rng rng_;
-  uint64_t next_proposal_id_ = 1;
-  double next_fire_us_ = 0;
-  sim::SimTime fire_deadline_ = 0;
-  std::unordered_map<uint64_t, PendingProposal> pending_;
-  std::unordered_map<uint64_t, InflightProposal> inflight_;
-};
-
-/// The whole simulated Fabric network: topology, pipeline wiring, and the
-/// experiment driver. This is the main entry point of the library — see
-/// examples/quickstart.cpp.
-class FabricNetwork {
+/// The whole Fabric network: topology and pipeline wiring, the runtime the
+/// nodes execute on, and the experiment driver. This is the main entry
+/// point of the library — see examples/quickstart.cpp.
+///
+/// The execution substrate is chosen by `FabricConfig::runtime_mode`:
+///
+///  - "sim" (default): every node shares one discrete-event loop on a
+///    virtual clock. Deterministic — runs are byte-for-byte reproducible —
+///    and the full fault plan (injector, crashes, Raft) is available.
+///  - "thread": every node runs on its own OS thread with a bounded
+///    mailbox, timers fire off a steady_clock, and messages hand off
+///    directly between threads. Real concurrency (races surface under
+///    TSan), but timings are nondeterministic, the sim-only facilities
+///    (env(), network(), fault_injector(), crash scheduling, Raft) abort,
+///    and RunFor() can be called at most once — it shuts the runtime down
+///    to guarantee no node activity outlives the measurement.
+///
+/// FabricNetwork implements node::NodeDirectory — the only view the nodes
+/// have of it.
+class FabricNetwork : public node::NodeDirectory {
  public:
   /// Builds the network. `workload` seeds each channel's initial state and
   /// generates proposal arguments; it must outlive the network.
   FabricNetwork(FabricConfig config, const workload::Workload* workload);
+  ~FabricNetwork() override;
 
   FabricNetwork(const FabricNetwork&) = delete;
   FabricNetwork& operator=(const FabricNetwork&) = delete;
 
   /// Runs the standard experiment: clients fire for `duration`, outcomes
   /// are measured in [warmup, duration), and the report is returned.
+  /// Under the thread runtime `duration` is wall-clock microseconds, the
+  /// run ends with a quiesce + shutdown, and only one call is allowed.
   RunReport RunFor(sim::SimTime duration, sim::SimTime warmup = 0);
 
   /// Manual driving (examples): submit one proposal through a client, then
@@ -362,16 +76,17 @@ class FabricNetwork {
   /// Injects a fully-formed transaction directly into the ordering service
   /// (used to demonstrate tamper detection, Appendix A.3.1).
   void SubmitExternalTransaction(uint32_t channel, proto::Transaction tx);
-  /// Drains the event queue. Only valid with the solo ordering backend —
-  /// a Raft cluster's heartbeat timers keep the queue alive forever; use
-  /// env().RunUntil(...) there.
-  void RunUntilIdle() { env_.Run(); }
+  /// Drains outstanding work. Sim: runs the event queue dry — only valid
+  /// with the solo ordering backend (a Raft cluster's heartbeat timers keep
+  /// the queue alive forever; use env().RunUntil(...) there). Thread: waits
+  /// until the mailboxes are empty and no timer is due soon.
+  void RunUntilIdle();
 
-  // --- Fault plan (tentpole of the robustness work) ---
+  // --- Fault plan (simulation runtime only) ---
 
   /// The injector every message of this network flows through. Configure
   /// loss/duplication/delay/partitions on it before (or during) a run.
-  sim::FaultInjector& fault_injector() { return injector_; }
+  sim::FaultInjector& fault_injector();
 
   /// Crashes peer `peer_index` over [start, end): the injector blackholes
   /// its traffic, the peer drops its in-flight pipeline at `start`, and at
@@ -392,72 +107,83 @@ class FabricNetwork {
   void SyncPeers();
 
   // --- Component access ---
-  sim::Environment& env() { return env_; }
-  sim::Network& network() { return net_; }
+  /// The execution substrate the nodes run on.
+  runtime::Runtime& runtime() { return *runtime_; }
+  /// Simulation-only components; abort under the thread runtime.
+  sim::Environment& env();
+  sim::Network& network();
+
   Metrics& metrics() { return metrics_; }
   const FabricConfig& config() const { return config_; }
   const workload::Workload* workload() const { return workload_; }
   const chaincode::ChaincodeRegistry& registry() const { return *registry_; }
   const peer::PolicyRegistry& policies() const { return policies_; }
-  sim::Resource& client_cpu() { return client_cpu_; }
-  sim::NodeId client_machine_node() const { return client_machine_node_; }
+  /// The shared client machine's CPU (first shard under the thread
+  /// runtime's client sharding).
+  runtime::Executor& client_cpu() { return *client_cpus_[0]; }
+  runtime::NodeId client_machine_node() const {
+    return client_endpoints_[0]->id();
+  }
 
   /// Shared pool running the validators' real signature-verification work
-  /// (null when validator_workers == 1: fully serial). Workers accelerate
+  /// (null when validator_workers == 1, and under the thread runtime,
+  /// where each peer's validator owns a pool instead). Workers accelerate
   /// wall-clock crypto only — never virtual time or validation outcomes.
-  ThreadPool* validator_pool() { return validator_pool_.get(); }
+  ThreadPool* validator_pool() { return validator_pool_; }
 
   /// Pool running the orderer's real reordering work (null when
   /// reorder_workers == 1). Separate from validator_pool: ParallelFor is
   /// not reentrant, and the validator may be mid-fan-out on the same host
   /// thread's call stack when a reorder pass runs. Same determinism
   /// contract: wall-clock acceleration only.
-  ThreadPool* reorder_pool() { return reorder_pool_.get(); }
+  ThreadPool* reorder_pool() { return reorder_pool_; }
 
-  size_t num_peers() const { return peers_.size(); }
-  PeerNode& peer(uint32_t i) { return *peers_[i]; }
+  // --- node::NodeDirectory ---
+  size_t num_peers() const override { return peers_.size(); }
+  PeerNode& peer(uint32_t i) override { return *peers_[i]; }
   const PeerNode& peer(uint32_t i) const { return *peers_[i]; }
-  OrdererNode& orderer() { return *orderer_; }
-  size_t num_clients() const { return clients_.size(); }
-  ClientNode& client(uint32_t i) { return *clients_[i]; }
-  /// Client lookup by name; nullptr for unknown submitters (e.g. externally
-  /// injected transactions).
-  ClientNode* FindClient(const std::string& name);
-
-  /// The peers a proposal with the given id is endorsed by: one peer per
-  /// org, rotated by proposal id for load balance.
-  std::vector<PeerNode*> EndorsersFor(uint64_t proposal_id);
-
-  /// Endorsement policy id used by all transactions.
-  const std::string& default_policy_id() const { return default_policy_id_; }
-
-  /// Observer peer whose commits feed the metrics (peer 0).
-  bool IsObserver(const PeerNode& peer) const { return peer.index() == 0; }
+  OrdererNode& orderer() override { return *orderer_; }
+  size_t num_clients() const override { return clients_.size(); }
+  ClientNode& client(uint32_t i) override { return *clients_[i]; }
+  ClientNode* FindClient(const std::string& name) override;
+  std::vector<PeerNode*> EndorsersFor(uint64_t proposal_id) override;
+  const std::string& default_policy_id() const override {
+    return default_policy_id_;
+  }
+  bool IsObserver(const PeerNode& peer) const override {
+    return peer.index() == 0;
+  }
 
  private:
-  friend class PeerNode;
-  friend class OrdererNode;
-  friend class ClientNode;
+  /// Guards the sim-only surface: aborts (with `what` in the log) when the
+  /// network runs on the thread runtime.
+  runtime::SimRuntime& RequireSim(const char* what) const;
 
   FabricConfig config_;
   const workload::Workload* workload_;
-  sim::Environment env_;
-  sim::FaultInjector injector_;
-  sim::Network net_;
+  /// Owns the execution substrate; nodes are destroyed before it.
+  std::unique_ptr<runtime::Runtime> runtime_;
+  /// Mode discriminators into runtime_ (exactly one is non-null).
+  runtime::SimRuntime* sim_ = nullptr;
+  runtime::ThreadRuntime* thread_ = nullptr;
   Metrics metrics_;
   std::unique_ptr<chaincode::ChaincodeRegistry> registry_;
   peer::PolicyRegistry policies_;
   std::string default_policy_id_;
-  sim::Resource client_cpu_;
-  sim::NodeId client_machine_node_;
-  /// Built before peers_ (their validators borrow it); destroyed after.
-  std::unique_ptr<ThreadPool> validator_pool_;
-  /// Built before orderer_ (its reorder stage borrows it); destroyed after.
-  std::unique_ptr<ThreadPool> reorder_pool_;
-  std::vector<std::unique_ptr<PeerNode>> peers_;
-  std::unique_ptr<OrdererNode> orderer_;
-  std::vector<std::unique_ptr<ClientNode>> clients_;
-  std::unordered_map<std::string, ClientNode*> clients_by_name_;
+  /// The client machine's endpoint(s). One under sim; thread_client_shards
+  /// of them under the thread runtime, clients assigned round-robin.
+  std::vector<runtime::Endpoint*> client_endpoints_;
+  std::vector<runtime::Executor*> client_cpus_;
+  /// Borrowed from runtime_ (sim mode only, where the pools are shared).
+  ThreadPool* validator_pool_ = nullptr;
+  ThreadPool* reorder_pool_ = nullptr;
+  std::vector<std::unique_ptr<node::PeerNode>> peers_;
+  std::unique_ptr<node::OrdererNode> orderer_;
+  node::SoloConsensus solo_consensus_;
+  std::unique_ptr<RaftConsensus> raft_consensus_;
+  std::vector<std::unique_ptr<node::ClientNode>> clients_;
+  std::unordered_map<std::string, node::ClientNode*> clients_by_name_;
+  bool ran_ = false;
 };
 
 }  // namespace fabricpp::fabric

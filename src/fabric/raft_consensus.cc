@@ -1,0 +1,74 @@
+#include "fabric/raft_consensus.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace fabricpp::fabric {
+
+RaftConsensus::RaftConsensus(sim::Environment* env, sim::Network* net,
+                             const FabricConfig& config)
+    : env_(env) {
+  raft_ = std::make_unique<raft::RaftCluster>(
+      env, config.raft_cluster_size, config.seed, config.raft_params);
+  // Register each replica with the message fabric's fault injector, so a
+  // chaos plan's loss/partitions/crashes hit consensus traffic too.
+  std::vector<sim::NodeId> raft_ids;
+  raft_ids.reserve(config.raft_cluster_size);
+  for (uint32_t i = 0; i < config.raft_cluster_size; ++i) {
+    raft_ids.push_back(net->AddNode(StrFormat("raft-%u", i)));
+  }
+  raft_->SetFaultInjector(net->fault_injector(), std::move(raft_ids));
+  raft_->Start();
+  // Deliver each block exactly once, at the earliest replica apply
+  // (monotonic index guard; replicas apply in log order). The entry's
+  // payload identifies the block — the log index cannot, because a lost
+  // entry's index gets reused by a different block after a leader crash.
+  raft_->SetCommitCallbackOnAll([this](uint64_t index, const Bytes& payload) {
+    if (index <= dispatched_) return;
+    dispatched_ = index;
+    if (payload.size() < 8) return;
+    uint64_t key = 0;
+    for (int i = 0; i < 8; ++i) {
+      key |= static_cast<uint64_t>(payload[i]) << (8 * i);
+    }
+    const auto it = pending_.find(key);
+    if (it == pending_.end()) return;  // Re-proposal already won.
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    deliver_(pending.channel, std::move(pending.block), pending.block_bytes);
+  });
+}
+
+void RaftConsensus::Submit(uint32_t channel,
+                           std::shared_ptr<proto::Block> block,
+                           uint64_t block_bytes) {
+  const uint64_t key = PendingKey(channel, block->header.number);
+  pending_[key] = Pending{channel, std::move(block), block_bytes};
+  ProposeToRaft(key, block_bytes);
+}
+
+void RaftConsensus::ProposeToRaft(uint64_t key, uint64_t block_bytes) {
+  if (pending_.find(key) == pending_.end()) return;  // Committed.
+  // The consensus entry carries the block's identity in its first 8 bytes
+  // and is padded to the block's wire size (replication cost model); the
+  // content itself is tracked out-of-band in pending_.
+  Bytes payload(std::max<uint64_t>(block_bytes, 8), 0);
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<uint8_t>(key >> (8 * i));
+  }
+  const auto index = raft_->Propose(std::move(payload));
+  // Either no leader exists (election in progress: retry soon) or the
+  // proposal was accepted — in which case it can still be lost if the
+  // leader crashes before replicating it, so check back and re-propose
+  // until the commit callback clears the pending entry.
+  const sim::SimTime retry = index.has_value() ? 500 * sim::kMillisecond
+                                               : 20 * sim::kMillisecond;
+  env_->Schedule(retry, [this, key, block_bytes]() {
+    ProposeToRaft(key, block_bytes);
+  });
+}
+
+}  // namespace fabricpp::fabric

@@ -1,0 +1,62 @@
+#ifndef FABRICPP_FABRIC_RAFT_CONSENSUS_H_
+#define FABRICPP_FABRIC_RAFT_CONSENSUS_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "fabric/config.h"
+#include "node/consensus.h"
+#include "raft/raft_node.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+
+namespace fabricpp::fabric {
+
+/// The crash-fault-tolerant consensus backend (Fabric >= 1.4's etcdraft
+/// profile): blocks are delivered only after the Raft log commits them,
+/// adding replication latency. Simulation-only — the Raft cluster runs on
+/// sim primitives (Validate() rejects kRaft under the thread runtime).
+///
+/// A submitted block is re-proposed until its commit callback fires: a
+/// leader crash can lose an accepted entry before replication, and the
+/// block must not be lost with it.
+class RaftConsensus final : public node::ConsensusService {
+ public:
+  /// Builds and starts the cluster. Registers each replica with `net`'s
+  /// fault injector so a chaos plan's loss/partitions/crashes hit consensus
+  /// traffic too.
+  RaftConsensus(sim::Environment* env, sim::Network* net,
+                const FabricConfig& config);
+
+  void Submit(uint32_t channel, std::shared_ptr<proto::Block> block,
+              uint64_t block_bytes) override;
+
+  raft::RaftCluster& cluster() { return *raft_; }
+
+ private:
+  struct Pending {
+    uint32_t channel;
+    std::shared_ptr<proto::Block> block;
+    uint64_t block_bytes;
+  };
+
+  /// Identity of a block in consensus: (channel, block number). Stable
+  /// across re-proposals, unlike the Raft log index.
+  static uint64_t PendingKey(uint32_t channel, uint64_t number) {
+    return (static_cast<uint64_t>(channel) << 48) | number;
+  }
+
+  /// Proposes the pending block identified by `key`, re-proposing until it
+  /// commits.
+  void ProposeToRaft(uint64_t key, uint64_t block_bytes);
+
+  sim::Environment* env_;
+  std::unique_ptr<raft::RaftCluster> raft_;
+  /// Blocks awaiting consensus commit, keyed by PendingKey.
+  std::unordered_map<uint64_t, Pending> pending_;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace fabricpp::fabric
+
+#endif  // FABRICPP_FABRIC_RAFT_CONSENSUS_H_

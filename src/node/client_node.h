@@ -1,0 +1,100 @@
+#ifndef FABRICPP_NODE_CLIENT_NODE_H_
+#define FABRICPP_NODE_CLIENT_NODE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "node/node_context.h"
+#include "peer/endorser.h"
+#include "proto/transaction.h"
+#include "runtime/runtime.h"
+
+namespace fabricpp::node {
+
+/// One client: fires proposals at the configured rate, collects
+/// endorsements, assembles transactions, submits them for ordering.
+/// Clients do not get their own endpoint — they live on a shared client
+/// machine (paper §6.1: one server fires all proposals), whose endpoint and
+/// CPU are injected as `home`/`cpu`. All of a client's callbacks run on its
+/// home context.
+class ClientNode {
+ public:
+  ClientNode(const NodeContext& ctx, uint32_t index, uint32_t channel,
+             std::string name, uint64_t rng_seed, runtime::Endpoint* home,
+             runtime::Executor* cpu);
+
+  const std::string& name() const { return name_; }
+  uint32_t channel() const { return channel_; }
+
+  /// The client machine endpoint this client lives on; replies and
+  /// notifications addressed to this client are sent here.
+  runtime::Endpoint& home() { return *home_; }
+
+  /// Arms periodic firing until `deadline`.
+  void StartFiring(runtime::TimeMicros deadline);
+
+  /// Fires a single proposal with explicit args (examples/tests).
+  void FireProposal(std::vector<std::string> args);
+
+  /// Endorsement reply delivery.
+  void HandleEndorsement(uint64_t proposal_id,
+                         Result<peer::EndorsementResponse> response);
+
+  /// Final outcome notification (from the orderer's early aborts or the
+  /// observer peer's commit events). An aborted proposal is resubmitted
+  /// with the same arguments while the firing window is open and retries
+  /// remain — the paper's client resubmission loop.
+  void HandleOutcome(uint64_t proposal_id, bool success);
+
+ private:
+  struct PendingProposal {
+    proto::Proposal proposal;
+    uint32_t expected = 0;
+    std::vector<peer::EndorsementResponse> responses;
+  };
+
+  /// Retry bookkeeping for every in-flight proposal.
+  struct InflightProposal {
+    std::vector<std::string> args;
+    uint32_t retries_used = 0;
+  };
+
+  void FireFromWorkload();
+  void FireWithRetries(std::vector<std::string> args, uint32_t retries_used);
+  void Submit(proto::Proposal proposal);
+  void Assemble(PendingProposal pending);
+  /// Resubmits an aborted proposal after an exponential-backoff delay with
+  /// jitter, while the retry budget and firing window allow it.
+  void MaybeResubmit(uint64_t proposal_id);
+  runtime::TimeMicros BackoffDelay(uint32_t retries_used);
+  /// Aborts the proposal if its endorsements have not all arrived when the
+  /// endorsement timeout expires (covers lost proposals/replies).
+  void ArmEndorsementTimeout(uint64_t proposal_id);
+  /// Abandons the transaction if no outcome arrived within the commit
+  /// timeout of its submission to ordering.
+  void ArmCommitTimeout(uint64_t proposal_id);
+
+  const fabric::FabricConfig& config() const { return *ctx_.config; }
+  fabric::Metrics& metrics() { return *ctx_.metrics; }
+  runtime::Clock& clock() { return home_->clock(); }
+  runtime::Transport& transport() { return ctx_.runtime->transport(); }
+
+  NodeContext ctx_;
+  uint32_t index_;
+  uint32_t channel_;
+  std::string name_;
+  runtime::Endpoint* home_;
+  runtime::Executor* cpu_;
+  Rng rng_;
+  uint64_t next_proposal_id_ = 1;
+  double next_fire_us_ = 0;
+  runtime::TimeMicros fire_deadline_ = 0;
+  std::unordered_map<uint64_t, PendingProposal> pending_;
+  std::unordered_map<uint64_t, InflightProposal> inflight_;
+};
+
+}  // namespace fabricpp::node
+
+#endif  // FABRICPP_NODE_CLIENT_NODE_H_

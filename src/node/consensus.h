@@ -1,0 +1,52 @@
+#ifndef FABRICPP_NODE_CONSENSUS_H_
+#define FABRICPP_NODE_CONSENSUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "proto/block.h"
+
+namespace fabricpp::node {
+
+/// How the ordering service reaches agreement on the block sequence.
+///
+/// The orderer hands every sealed block to Submit, in chain order; the
+/// service invokes the deliver callback exactly once per block when
+/// consensus commits it — possibly immediately (solo), possibly much later
+/// and from a consensus-internal event (Raft), but always on the orderer's
+/// execution context, and never out of chain order for a channel.
+class ConsensusService {
+ public:
+  using DeliverFn = std::function<void(
+      uint32_t channel, std::shared_ptr<proto::Block> block,
+      uint64_t block_bytes)>;
+
+  virtual ~ConsensusService() = default;
+
+  /// Must be set (by the composition root) before the first Submit.
+  void SetDeliverCallback(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  virtual void Submit(uint32_t channel, std::shared_ptr<proto::Block> block,
+                      uint64_t block_bytes) = 0;
+
+ protected:
+  DeliverFn deliver_;
+};
+
+/// The single-trusted-orderer backend (Fabric's "solo" profile — what the
+/// paper's cluster ran): a block is committed the moment it is submitted,
+/// synchronously, so solo timing is exactly the pre-consensus-split
+/// behavior.
+class SoloConsensus final : public ConsensusService {
+ public:
+  void Submit(uint32_t channel, std::shared_ptr<proto::Block> block,
+              uint64_t block_bytes) override {
+    deliver_(channel, std::move(block), block_bytes);
+  }
+};
+
+}  // namespace fabricpp::node
+
+#endif  // FABRICPP_NODE_CONSENSUS_H_

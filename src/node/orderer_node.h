@@ -1,0 +1,136 @@
+#ifndef FABRICPP_NODE_ORDERER_NODE_H_
+#define FABRICPP_NODE_ORDERER_NODE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "crypto/sha256.h"
+#include "node/consensus.h"
+#include "node/node_context.h"
+#include "ordering/batch_cutter.h"
+#include "ordering/reorderer.h"
+#include "proto/block.h"
+#include "proto/transaction.h"
+#include "runtime/runtime.h"
+
+namespace fabricpp::node {
+
+/// The (trusted) ordering service: receives endorsed transactions, cuts
+/// batches, optionally early-aborts and reorders (Fabric++), seals blocks,
+/// hands them to the consensus backend, and distributes committed blocks to
+/// every peer. All handlers run on the orderer's endpoint context.
+class OrdererNode {
+ public:
+  explicit OrdererNode(const NodeContext& ctx);
+
+  /// Wires the consensus backend (composition root, before any traffic).
+  /// The service's deliver callback is pointed at DispatchBlock.
+  void SetConsensus(ConsensusService* consensus);
+
+  runtime::Endpoint& endpoint() { return *endpoint_; }
+  runtime::NodeId node_id() const { return endpoint_->id(); }
+
+  /// Delivery of a transaction from a client.
+  void HandleTransaction(uint32_t channel, proto::Transaction tx);
+
+  /// A peer's catch-up request: re-send dispatched blocks of `channel`
+  /// numbered >= `from_number` (bounded per request), then report the
+  /// highest dispatched number so the peer knows whether it is caught up.
+  void HandleBlockRequest(uint32_t channel, uint32_t peer_index,
+                          uint64_t from_number);
+
+  /// Ships a consensus-committed block to every peer. Public because it is
+  /// the consensus backend's delivery entry; runs on the orderer's context.
+  void DispatchBlock(uint32_t channel, std::shared_ptr<proto::Block> block,
+                     uint64_t block_bytes);
+
+  uint64_t blocks_cut() const { return blocks_cut_; }
+  const ordering::ReorderStats& last_reorder_stats() const {
+    return last_reorder_stats_;
+  }
+
+ private:
+  /// A cut batch waiting for the reorder stage, stamped with its cut time
+  /// so the pipeline-stall metric can measure how long it sat.
+  struct PendingBatch {
+    ordering::Batch batch;
+    runtime::TimeMicros enqueued_at;
+  };
+
+  /// A block whose reorder stage finished, awaiting its turn at consensus.
+  struct StagedBlock {
+    std::shared_ptr<proto::Block> block;
+    uint64_t block_bytes;
+  };
+
+  struct ChannelState {
+    explicit ChannelState(ordering::BatchCutConfig config)
+        : cutter(config) {}
+    ordering::BatchCutter cutter;
+    uint64_t next_block_number = 1;
+    crypto::Digest prev_hash{};
+    uint64_t timer_generation = 0;
+    /// Single-producer queue between the batch cutter and the reorder
+    /// stage. Admission is bounded by ordering_pipeline_depth: with depth
+    /// 1 this is the seed's strictly serial behavior, with depth d the
+    /// reorder+hash of up to d consecutive blocks overlaps on the
+    /// orderer's cores while block N+d's batch accumulates.
+    std::deque<PendingBatch> batch_queue;
+    /// Batches currently inside the reorder stage (their virtual CPU cost
+    /// has been submitted but not completed).
+    uint32_t stage_inflight = 0;
+    /// Stage sequence numbers, assigned at admission in cut order. Blocks
+    /// are sealed (numbered + hash-chained) at admission, but a deeper
+    /// pipeline can finish a light block's stage before a heavy
+    /// predecessor's — the staged map + next_submit_seq drain re-imposes
+    /// chain order on consensus submission.
+    uint64_t next_stage_seq = 0;
+    uint64_t next_submit_seq = 0;
+    std::map<uint64_t, StagedBlock> staged;
+    /// Every dispatched block, keyed by number — the delivery service peers
+    /// fetch from when they detect a gap or recover from a crash.
+    std::map<uint64_t, std::shared_ptr<proto::Block>> dispatched;
+  };
+
+  void Enqueue(uint32_t channel, proto::Transaction tx);
+  void NotifyEarlyAbort(const proto::Transaction& tx);
+  void ArmTimer(uint32_t channel);
+  /// Admits queued batches into the reorder stage while the pipeline has
+  /// capacity, recording a stall for each batch that had to wait.
+  void MaybeProcessNextBatch(uint32_t channel);
+  /// Runs the Fabric++ ordering-phase logic on a cut batch (early abort +
+  /// reordering), seals the block, and charges its virtual cost; the block
+  /// proceeds to consensus via FinishBatchStage when the cost is paid.
+  void ProcessBatch(uint32_t channel, ordering::Batch batch);
+  /// Stage-completion: queues the block for in-order consensus submission,
+  /// drains every consecutively finished block, and refills the stage.
+  void FinishBatchStage(uint32_t channel, uint64_t seq, StagedBlock done);
+  /// Hands a sealed block to the configured consensus backend; distribution
+  /// happens on consensus commit (immediately for solo).
+  void SubmitToConsensus(uint32_t channel,
+                         std::shared_ptr<proto::Block> block,
+                         uint64_t block_bytes);
+
+  const fabric::FabricConfig& config() const { return *ctx_.config; }
+  fabric::Metrics& metrics() { return *ctx_.metrics; }
+  runtime::Clock& clock() { return endpoint_->clock(); }
+  runtime::Transport& transport() { return ctx_.runtime->transport(); }
+
+  NodeContext ctx_;
+  runtime::Endpoint* endpoint_;
+  runtime::Executor* cpu_;
+  /// Pool running the real reordering work (null when reorder_workers == 1).
+  ThreadPool* reorder_pool_;
+  ConsensusService* consensus_ = nullptr;
+  std::vector<ChannelState> channels_;
+  uint64_t blocks_cut_ = 0;
+  ordering::ReorderStats last_reorder_stats_;
+};
+
+}  // namespace fabricpp::node
+
+#endif  // FABRICPP_NODE_ORDERER_NODE_H_

@@ -1,0 +1,13 @@
+#ifndef FABRICPP_NODE_WIRE_H_
+#define FABRICPP_NODE_WIRE_H_
+
+#include <cstdint>
+
+namespace fabricpp::node {
+
+/// Fixed per-message envelope overhead (headers, signatures) in bytes.
+inline constexpr uint64_t kMessageOverhead = 300;
+
+}  // namespace fabricpp::node
+
+#endif  // FABRICPP_NODE_WIRE_H_

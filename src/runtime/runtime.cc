@@ -1,0 +1,22 @@
+#include "runtime/runtime.h"
+
+namespace fabricpp::runtime {
+
+Result<RuntimeMode> ParseRuntimeMode(const std::string& mode) {
+  if (mode == "sim") return RuntimeMode::kSim;
+  if (mode == "thread") return RuntimeMode::kThread;
+  return Status::InvalidArgument("unknown runtime mode \"" + mode +
+                                 "\" (expected \"sim\" or \"thread\")");
+}
+
+std::string_view RuntimeModeToString(RuntimeMode mode) {
+  switch (mode) {
+    case RuntimeMode::kSim:
+      return "sim";
+    case RuntimeMode::kThread:
+      return "thread";
+  }
+  return "unknown";
+}
+
+}  // namespace fabricpp::runtime

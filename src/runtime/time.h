@@ -1,0 +1,26 @@
+#ifndef FABRICPP_RUNTIME_TIME_H_
+#define FABRICPP_RUNTIME_TIME_H_
+
+#include <cstdint>
+
+namespace fabricpp::runtime {
+
+/// Time in microseconds, as observed through a runtime's Clock.
+///
+/// Under the deterministic simulation runtime this is virtual time advanced
+/// event by event (identical to sim::SimTime); under the thread runtime it
+/// is real elapsed time measured from a std::chrono::steady_clock epoch.
+/// Node state machines are written against this one type and never know
+/// which clock is ticking underneath them.
+using TimeMicros = uint64_t;
+
+constexpr TimeMicros kMicrosecond = 1;
+constexpr TimeMicros kMillisecond = 1000;
+constexpr TimeMicros kSecond = 1000 * 1000;
+
+/// Converts to floating-point seconds (for reporting).
+inline double ToSeconds(TimeMicros t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace fabricpp::runtime
+
+#endif  // FABRICPP_RUNTIME_TIME_H_

@@ -1,0 +1,209 @@
+// Negative-test sweep over FabricConfig::Validate: every knob with a
+// documented legal range gets its boundary values probed — one mutation per
+// check, always starting from a known-valid base, so a failure pinpoints
+// the knob and not an interaction.
+#include <gtest/gtest.h>
+
+#include "fabric/config.h"
+
+namespace fabricpp::fabric {
+namespace {
+
+FabricConfig Base() { return FabricConfig(); }
+
+void ExpectInvalid(FabricConfig config, const char* what) {
+  const Status status = config.Validate();
+  EXPECT_FALSE(status.ok()) << "expected rejection: " << what;
+}
+
+TEST(ConfigValidationTest, PresetsAreValid) {
+  EXPECT_TRUE(FabricConfig().Validate().ok());
+  EXPECT_TRUE(FabricConfig::Vanilla().Validate().ok());
+  EXPECT_TRUE(FabricConfig::FabricPlusPlus().Validate().ok());
+}
+
+TEST(ConfigValidationTest, TopologyKnobs) {
+  auto config = Base();
+  config.num_orgs = 0;
+  ExpectInvalid(config, "num_orgs = 0");
+
+  config = Base();
+  config.peers_per_org = 0;
+  ExpectInvalid(config, "peers_per_org = 0");
+
+  config = Base();
+  config.num_channels = 0;
+  ExpectInvalid(config, "num_channels = 0");
+
+  config = Base();
+  config.clients_per_channel = 0;
+  ExpectInvalid(config, "clients_per_channel = 0");
+
+  config = Base();
+  config.client_fire_rate_tps = 0.0;
+  ExpectInvalid(config, "client_fire_rate_tps = 0");
+  config.client_fire_rate_tps = -1.0;
+  ExpectInvalid(config, "client_fire_rate_tps < 0");
+}
+
+TEST(ConfigValidationTest, HardwareKnobs) {
+  auto config = Base();
+  config.peer_cores = 0;
+  ExpectInvalid(config, "peer_cores = 0");
+
+  config = Base();
+  config.orderer_cores = 0;
+  ExpectInvalid(config, "orderer_cores = 0");
+
+  config = Base();
+  config.client_machine_cores = 0;
+  ExpectInvalid(config, "client_machine_cores = 0");
+}
+
+TEST(ConfigValidationTest, WorkerPoolKnobs) {
+  auto config = Base();
+  config.validator_workers = 0;
+  ExpectInvalid(config, "validator_workers = 0");
+  config.validator_workers = 257;
+  ExpectInvalid(config, "validator_workers = 257");
+  config.validator_workers = 256;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config = Base();
+  config.reorder_workers = 0;
+  ExpectInvalid(config, "reorder_workers = 0");
+  config.reorder_workers = 257;
+  ExpectInvalid(config, "reorder_workers = 257");
+  config.reorder_workers = 256;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, OrderingPipelineDepth) {
+  auto config = Base();
+  config.ordering_pipeline_depth = 0;
+  ExpectInvalid(config, "ordering_pipeline_depth = 0");
+  config.ordering_pipeline_depth = 65;
+  ExpectInvalid(config, "ordering_pipeline_depth = 65");
+  config.ordering_pipeline_depth = 64;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, ClientRetryKnobs) {
+  auto config = Base();
+  config.client_resubmit = true;
+  config.client_max_retries = 0;
+  ExpectInvalid(config, "max_retries = 0 with resubmit on");
+  config.client_resubmit = false;
+  EXPECT_TRUE(config.Validate().ok()) << "off switch makes 0 legal";
+
+  config = Base();
+  config.client_max_retries = 65;
+  ExpectInvalid(config, "max_retries = 65");
+
+  config = Base();
+  config.client_retry_backoff_base = 0;
+  ExpectInvalid(config, "backoff_base = 0");
+
+  config = Base();
+  config.client_retry_backoff_max = config.client_retry_backoff_base - 1;
+  ExpectInvalid(config, "backoff_max < backoff_base");
+
+  config = Base();
+  config.client_retry_jitter = -0.01;
+  ExpectInvalid(config, "jitter < 0");
+  config.client_retry_jitter = 1.01;
+  ExpectInvalid(config, "jitter > 1");
+  config.client_retry_jitter = 1.0;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // The retry-shape knobs are only checked while resubmission is on.
+  config = Base();
+  config.client_resubmit = false;
+  config.client_retry_jitter = 5.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, TimeoutKnobs) {
+  auto config = Base();
+  config.client_endorsement_timeout = 0;
+  ExpectInvalid(config, "endorsement_timeout = 0");
+
+  config = Base();
+  config.client_commit_timeout = 0;
+  ExpectInvalid(config, "commit_timeout = 0");
+
+  config = Base();
+  config.peer_fetch_retry_interval = 0;
+  ExpectInvalid(config, "peer_fetch_retry_interval = 0");
+}
+
+TEST(ConfigValidationTest, ConsensusKnobs) {
+  auto config = Base();
+  config.ordering_backend = OrderingBackend::kRaft;
+  config.raft_cluster_size = 0;
+  ExpectInvalid(config, "raft_cluster_size = 0");
+  config.raft_cluster_size = 3;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, StorageSyncMode) {
+  auto config = Base();
+  for (const char* mode : {"none", "block", "every_write"}) {
+    config.storage_sync_mode = mode;
+    EXPECT_TRUE(config.Validate().ok()) << mode;
+  }
+  config.storage_sync_mode = "fsync_sometimes";
+  ExpectInvalid(config, "unknown storage_sync_mode");
+  config.storage_sync_mode = "";
+  ExpectInvalid(config, "empty storage_sync_mode");
+}
+
+TEST(ConfigValidationTest, RuntimeMode) {
+  auto config = Base();
+  config.runtime_mode = "sim";
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.RuntimeModeOrDefault(), runtime::RuntimeMode::kSim);
+
+  config.runtime_mode = "thread";
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.RuntimeModeOrDefault(), runtime::RuntimeMode::kThread);
+
+  config.runtime_mode = "threads";
+  ExpectInvalid(config, "unknown runtime_mode");
+  config.runtime_mode = "";
+  ExpectInvalid(config, "empty runtime_mode");
+}
+
+TEST(ConfigValidationTest, RaftIsSimulationOnly) {
+  auto config = Base();
+  config.runtime_mode = "thread";
+  config.ordering_backend = OrderingBackend::kRaft;
+  ExpectInvalid(config, "raft under the thread runtime");
+  config.runtime_mode = "sim";
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, MailboxCapacity) {
+  auto config = Base();
+  config.mailbox_capacity = 15;
+  ExpectInvalid(config, "mailbox_capacity = 15");
+  config.mailbox_capacity = 16;
+  EXPECT_TRUE(config.Validate().ok());
+  config.mailbox_capacity = 1048576;
+  EXPECT_TRUE(config.Validate().ok());
+  config.mailbox_capacity = 1048577;
+  ExpectInvalid(config, "mailbox_capacity = 1048577");
+}
+
+TEST(ConfigValidationTest, ThreadClientShards) {
+  auto config = Base();
+  config.thread_client_shards = 0;
+  ExpectInvalid(config, "thread_client_shards = 0");
+  config.thread_client_shards = 257;
+  ExpectInvalid(config, "thread_client_shards = 257");
+  config.thread_client_shards = 256;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace fabricpp::fabric

@@ -78,19 +78,53 @@ Status FabricConfig::Validate() const {
           "client_max_retries > 64: the exponential backoff shift would "
           "overflow; cap the retry budget");
     }
-    if (client_retry_backoff_base == 0) {
-      return Status::InvalidArgument(
-          "client_retry_backoff_base must be > 0 (instant resubmission "
-          "causes retry storms under faults)");
-    }
-    if (client_retry_backoff_max < client_retry_backoff_base) {
-      return Status::InvalidArgument(
-          "client_retry_backoff_max must be >= client_retry_backoff_base");
-    }
-    if (client_retry_jitter < 0.0 || client_retry_jitter > 1.0) {
-      return Status::InvalidArgument(
-          "client_retry_jitter must be in [0, 1]");
-    }
+  }
+  // The backoff shape is validated unconditionally: BUSY-retry delays use
+  // it even when client_resubmit is off, and a zero/inverted range would
+  // silently degenerate exponential backoff into constant instant retry.
+  if (client_retry_backoff_base == 0) {
+    return Status::InvalidArgument(
+        "client_retry_backoff_base must be > 0 (instant resubmission "
+        "causes retry storms under faults and overload)");
+  }
+  if (client_retry_backoff_max == 0 ||
+      client_retry_backoff_max < client_retry_backoff_base) {
+    return Status::InvalidArgument(
+        "client_retry_backoff_max must be >= client_retry_backoff_base > 0 "
+        "(a zero or inverted cap degenerates backoff to constant retry)");
+  }
+  if (client_retry_jitter < 0.0 || client_retry_jitter > 1.0) {
+    return Status::InvalidArgument("client_retry_jitter must be in [0, 1]");
+  }
+  if (admission_queue_depth > 1048576) {
+    return Status::InvalidArgument(
+        "admission_queue_depth must be in [0, 1048576] (0 disables "
+        "admission control)");
+  }
+  if (admission_queue_depth > 0 && busy_retry_hint == 0) {
+    return Status::InvalidArgument(
+        "busy_retry_hint must be > 0 when admission control is on: a zero "
+        "hint makes every BUSY an instant-retry storm");
+  }
+  if (fair_sched_quantum > 4096) {
+    return Status::InvalidArgument(
+        "fair_sched_quantum must be in [0, 4096] (0 disables the fair "
+        "scheduler)");
+  }
+  if (fair_sched_quantum > 0 && admission_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "fair_sched_quantum requires admission_queue_depth > 0: the fair "
+        "scheduler is the drain policy of the orderer's bounded admission "
+        "queues");
+  }
+  if (fair_conflict_penalty > 1024) {
+    return Status::InvalidArgument(
+        "fair_conflict_penalty must be in [0, 1024]");
+  }
+  if (fair_conflict_penalty > 0 && fair_sched_quantum == 0) {
+    return Status::InvalidArgument(
+        "fair_conflict_penalty requires fair_sched_quantum > 0: the "
+        "surcharge is paid in deficit units of the fair scheduler");
   }
   if (client_endorsement_timeout == 0 || client_commit_timeout == 0) {
     return Status::InvalidArgument(

@@ -123,6 +123,32 @@ struct FabricConfig {
   /// queues without bound. 0 = unbounded.
   uint32_t client_max_inflight = 512;
 
+  // --- Overload survival: admission control + fair scheduling ---
+  /// Bounded admission at the servers. 0 = off (legacy unbounded queues).
+  /// At an endorsing peer it bounds the simulations concurrently admitted
+  /// per channel; at the orderer it bounds the transactions one client may
+  /// have queued ahead of the batch cutter per channel. A proposal or
+  /// transaction arriving over the bound is answered with an explicit BUSY
+  /// (retry-after) wire response instead of queueing without bound or being
+  /// dropped silently. Must be in [0, 1048576].
+  uint32_t admission_queue_depth = 0;
+  /// Server-suggested minimum delay carried in BUSY responses. The client
+  /// waits at least this long (its own exponential backoff still applies on
+  /// top) before resubmitting, so load sheds back to the edge. Must be > 0
+  /// whenever admission_queue_depth > 0.
+  sim::SimTime busy_retry_hint = 20 * sim::kMillisecond;
+  /// Deficit-round-robin quantum (in transaction cost units) of the fair
+  /// scheduler in front of the orderer's batch cutter. 0 = FIFO admission
+  /// (arrival order, still bounded per client); > 0 = each client queue
+  /// earns `quantum` units per scheduler round, so a hot client's backlog
+  /// cannot starve the others. Must be in [0, 4096].
+  uint32_t fair_sched_quantum = 0;
+  /// Conflict-aware surcharge (arXiv 2407.19732): extra deficit units a
+  /// transaction pays per currently-hot key it touches, making hot-key
+  /// spammers consume their fair share faster. 0 = off. Requires
+  /// fair_sched_quantum > 0. Must be in [0, 1024].
+  uint32_t fair_conflict_penalty = 0;
+
   // --- Hardware model ---
   uint32_t peer_cores = 8;  ///< 2x quad-core per server.
   uint32_t orderer_cores = 8;

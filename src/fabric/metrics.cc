@@ -28,6 +28,8 @@ std::string_view TxOutcomeToString(TxOutcome outcome) {
       return "ABORT_COMMIT_TIMEOUT";
     case TxOutcome::kAbortDuplicateTxId:
       return "ABORT_DUPLICATE_TXID";
+    case TxOutcome::kAbortBusy:
+      return "ABORT_BUSY";
   }
   return "UNKNOWN";
 }
@@ -63,9 +65,15 @@ std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
                    static_cast<unsigned long long>(proposal_id));
 }
 
+std::string Metrics::ClientOfKey(const std::string& key) {
+  const size_t slash = key.rfind('/');
+  return slash == std::string::npos ? key : key.substr(0, slash);
+}
+
 void Metrics::NoteFired(const std::string& key, sim::SimTime fired_at) {
   const std::lock_guard<std::mutex> lock(mu_);
   fired_at_[key] = fired_at;
+  if (InWindow(fired_at)) ++per_client_fired_[ClientOfKey(key)];
 }
 
 void Metrics::Resolve(const std::string& key, TxOutcome outcome,
@@ -79,6 +87,7 @@ void Metrics::Resolve(const std::string& key, TxOutcome outcome,
   if (!InWindow(now)) return;
   if (outcome == TxOutcome::kSuccess) {
     ++successful_;
+    ++per_client_successful_[ClientOfKey(key)];
     latency_us_.Add(now - fired);
   } else {
     ++failed_;
@@ -96,6 +105,7 @@ bool Metrics::ResolveFired(const std::string& key, TxOutcome outcome,
   if (!InWindow(now)) return true;
   if (outcome == TxOutcome::kSuccess) {
     ++successful_;
+    ++per_client_successful_[ClientOfKey(key)];
     latency_us_.Add(now - fired);
   } else {
     ++failed_;
@@ -149,6 +159,27 @@ RunReport Metrics::Report() const {
   }
   report.ordering_stalls = ordering_stalls_;
   report.ordering_stall_ms = static_cast<double>(ordering_stall_us_) / 1000.0;
+  report.endorser_admitted = endorser_admitted_;
+  report.endorser_busy = endorser_busy_;
+  report.orderer_admitted = orderer_admitted_;
+  report.orderer_busy = orderer_busy_;
+  report.mailbox_shed_total = mailbox_shed_total_;
+  // Jain index over every client that fired in the window: a starved client
+  // contributes x=0 and drags the index toward 1/n, which is the point.
+  double sum = 0, sum_sq = 0;
+  size_t n = 0;
+  for (const auto& [client, fired] : per_client_fired_) {
+    const auto it = per_client_successful_.find(client);
+    const double x =
+        it == per_client_successful_.end() ? 0.0 : static_cast<double>(
+                                                       it->second);
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (sum_sq > 0) report.jain_fairness = (sum * sum) / (n * sum_sq);
+  report.per_client_successful.assign(per_client_successful_.begin(),
+                                      per_client_successful_.end());
   report.net_messages_dropped = net_dropped_;
   report.net_messages_duplicated = net_duplicated_;
   report.blocks_corrupted = blocks_corrupted_;
@@ -187,6 +218,17 @@ std::string RunReport::ToString() const {
         "p95=%.1fms",
         static_cast<unsigned long long>(ordering_stalls), ordering_stall_ms,
         block_gap_avg_ms, block_gap_p95_ms);
+  }
+  if (endorser_admitted != 0 || endorser_busy != 0 || orderer_admitted != 0 ||
+      orderer_busy != 0 || mailbox_shed_total != 0) {
+    out += StrFormat(
+        "\n  admission: endorser=%llu/%llu orderer=%llu/%llu "
+        "(admitted/busy) mailbox_shed=%llu jain=%.3f",
+        static_cast<unsigned long long>(endorser_admitted),
+        static_cast<unsigned long long>(endorser_busy),
+        static_cast<unsigned long long>(orderer_admitted),
+        static_cast<unsigned long long>(orderer_busy),
+        static_cast<unsigned long long>(mailbox_shed_total), jain_fairness);
   }
   if (net_messages_dropped != 0 || net_messages_duplicated != 0 ||
       blocks_corrupted != 0 || blocks_deduplicated != 0 ||

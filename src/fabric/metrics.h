@@ -2,9 +2,12 @@
 #define FABRICPP_FABRIC_METRICS_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/histogram.h"
 #include "proto/transaction.h"
@@ -37,10 +40,13 @@ enum class TxOutcome : uint8_t {
   /// Validator replay protection: the transaction id had already committed
   /// (a duplicated submission or block delivery).
   kAbortDuplicateTxId,
+  /// An overloaded endorser or orderer refused admission with an explicit
+  /// BUSY (retry-after) response; the client backs off and resubmits.
+  kAbortBusy,
 };
 
 /// Number of TxOutcome values (array-sizing constant).
-inline constexpr size_t kNumTxOutcomes = 11;
+inline constexpr size_t kNumTxOutcomes = 12;
 
 std::string_view TxOutcomeToString(TxOutcome outcome);
 
@@ -74,6 +80,24 @@ struct RunReport {
   /// previous block counts).
   uint64_t ordering_stalls = 0;
   double ordering_stall_ms = 0;  ///< Total virtual time those batches waited.
+
+  // --- Admission / overload telemetry (zero with admission control off) ---
+  /// Whole-run totals (not window-gated): admission accounting must balance
+  /// even for work admitted during warm-up or the drain.
+  uint64_t endorser_admitted = 0;  ///< Proposals admitted by endorsers.
+  uint64_t endorser_busy = 0;      ///< Proposals refused with BUSY.
+  uint64_t orderer_admitted = 0;   ///< Transactions admitted by the orderer.
+  uint64_t orderer_busy = 0;       ///< Transactions refused with BUSY.
+  /// Thread-runtime mailbox deliveries shed at a full bounded mailbox
+  /// (always 0 under the simulation runtime, whose transport never sheds).
+  uint64_t mailbox_shed_total = 0;
+  /// Jain fairness index (sum x)^2 / (n * sum x^2) of per-client goodput,
+  /// over every client that fired inside the window; 1.0 = perfectly even,
+  /// 1/n = one client took everything. 0 when nothing committed.
+  double jain_fairness = 0;
+  /// Per-client committed transactions inside the window, sorted by client
+  /// name (deterministic under sim).
+  std::vector<std::pair<std::string, uint64_t>> per_client_successful;
 
   // --- Fault / recovery telemetry (zero in fault-free runs) ---
   uint64_t net_messages_dropped = 0;     ///< Injector drops, all causes.
@@ -213,6 +237,45 @@ class Metrics {
     ordering_stall_us_ += waited;
   }
 
+  /// An endorsing peer's admission decision on a delivered proposal:
+  /// admitted into the simulation stage, or refused with BUSY. Whole-run
+  /// totals (no window gating): the zero-silent-drops accounting must
+  /// balance across warm-up and drain too.
+  void NoteEndorserAdmission(bool admitted) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (admitted) {
+      ++endorser_admitted_;
+    } else {
+      ++endorser_busy_;
+    }
+  }
+
+  /// The orderer's admission decision on a delivered transaction.
+  void NoteOrdererAdmission(bool admitted) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (admitted) {
+      ++orderer_admitted_;
+    } else {
+      ++orderer_busy_;
+    }
+  }
+
+  /// Thread-runtime mailbox deliveries shed at full bounded mailboxes,
+  /// folded in by the composition root after the run (like the injector
+  /// totals). Always 0 under the simulation runtime.
+  void SetMailboxShedTotal(uint64_t shed) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    mailbox_shed_total_ = shed;
+  }
+
+  /// Proposals fired but not yet resolved (committed, aborted or timed
+  /// out). After a full drain this must be zero: anything else would be a
+  /// silently dropped transaction.
+  uint64_t unresolved_fired() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return fired_at_.size();
+  }
+
   /// Injector totals, folded into the report by the harness after the run.
   void SetNetworkFaultTotals(uint64_t dropped, uint64_t duplicated) {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -240,6 +303,9 @@ class Metrics {
     return t >= window_start_ && t < window_end_;
   }
 
+  /// The client part of a ProposalKey ("client/proposal_id").
+  static std::string ClientOfKey(const std::string& key);
+
   mutable std::mutex mu_;
   sim::SimTime window_start_ = 0;
   sim::SimTime window_end_ = ~0ULL;
@@ -254,6 +320,15 @@ class Metrics {
   Histogram block_gap_us_;
   uint64_t ordering_stalls_ = 0;
   uint64_t ordering_stall_us_ = 0;
+  uint64_t endorser_admitted_ = 0;
+  uint64_t endorser_busy_ = 0;
+  uint64_t orderer_admitted_ = 0;
+  uint64_t orderer_busy_ = 0;
+  uint64_t mailbox_shed_total_ = 0;
+  /// Per-client in-window counters (std::map: deterministic iteration for
+  /// the report's sorted per-client goodput).
+  std::map<std::string, uint64_t> per_client_successful_;
+  std::map<std::string, uint64_t> per_client_fired_;
   uint64_t blocks_corrupted_ = 0;
   uint64_t blocks_deduplicated_ = 0;
   Histogram recovery_us_;

@@ -219,6 +219,7 @@ RunReport FabricNetwork::RunFor(sim::SimTime duration, sim::SimTime warmup) {
       250 * sim::kMillisecond;
   thread_->Quiesce(horizon);
   thread_->Shutdown();
+  metrics_.SetMailboxShedTotal(thread_->mailbox_shed_total());
   return metrics_.Report();
 }
 

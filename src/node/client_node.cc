@@ -23,7 +23,8 @@ ClientNode::ClientNode(const NodeContext& ctx, uint32_t index,
 
 void ClientNode::StartFiring(runtime::TimeMicros deadline) {
   fire_deadline_ = deadline;
-  const double interval_us = 1e6 / config().client_fire_rate_tps;
+  const double interval_us =
+      1e6 / (config().client_fire_rate_tps * fire_rate_multiplier_);
   // Stagger clients across one interval so firing is uniform in aggregate.
   next_fire_us_ = interval_us * static_cast<double>(index_) /
                   static_cast<double>(ctx_.directory->num_clients());
@@ -37,7 +38,8 @@ void ClientNode::FireFromWorkload() {
   if (max_inflight == 0 || inflight_.size() < max_inflight) {
     FireProposal(ctx_.workload->NextArgs(rng_));
   }
-  const double interval_us = 1e6 / config().client_fire_rate_tps;
+  const double interval_us =
+      1e6 / (config().client_fire_rate_tps * fire_rate_multiplier_);
   next_fire_us_ += interval_us;
   clock().ScheduleAt(static_cast<runtime::TimeMicros>(next_fire_us_),
                      [this]() { FireFromWorkload(); });
@@ -82,7 +84,8 @@ runtime::TimeMicros ClientNode::BackoffDelay(uint32_t retries_used) {
   return std::max<runtime::TimeMicros>(delay, 1);
 }
 
-void ClientNode::MaybeResubmit(uint64_t proposal_id) {
+void ClientNode::MaybeResubmit(uint64_t proposal_id,
+                               runtime::TimeMicros min_delay) {
   const auto it = inflight_.find(proposal_id);
   if (it == inflight_.end()) return;
   InflightProposal inflight = std::move(it->second);
@@ -94,14 +97,29 @@ void ClientNode::MaybeResubmit(uint64_t proposal_id) {
   if (fire_deadline_ != 0 && clock().Now() >= fire_deadline_) return;
   // Resubmit the same logical work as a fresh proposal after a backoff:
   // new simulation, new read versions (paper §4.1 / §5.2.1). Instant
-  // refiring would hammer a still-faulty pipeline with retry storms.
+  // refiring would hammer a still-faulty pipeline with retry storms. A
+  // BUSY's retry-after hint floors the delay: the server knows better than
+  // the client's first-retry backoff how long its queues need to drain.
   const uint32_t next_retries = inflight.retries_used + 1;
   clock().Schedule(
-      BackoffDelay(inflight.retries_used),
+      std::max(BackoffDelay(inflight.retries_used), min_delay),
       [this, args = std::move(inflight.args), next_retries]() mutable {
         if (fire_deadline_ != 0 && clock().Now() >= fire_deadline_) return;
         FireWithRetries(std::move(args), next_retries);
       });
+}
+
+void ClientNode::HandleBusy(const BusyResponse& busy) {
+  // The refusal may come from one endorser while others still reply, or
+  // from the orderer after assembly: drop any endorsement collection state
+  // and resolve the proposal as BUSY exactly once — ResolveFired consumes
+  // the fired entry, so a second refusal (or a racing timeout) is a no-op
+  // and can never double-resubmit.
+  pending_.erase(busy.proposal_id);
+  if (metrics().ResolveFired(fabric::ProposalKey(name_, busy.proposal_id),
+                             fabric::TxOutcome::kAbortBusy, clock().Now())) {
+    MaybeResubmit(busy.proposal_id, busy.retry_after_us);
+  }
 }
 
 void ClientNode::ArmEndorsementTimeout(uint64_t proposal_id) {

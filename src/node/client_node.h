@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "node/node_context.h"
+#include "node/wire.h"
 #include "peer/endorser.h"
 #include "proto/transaction.h"
 #include "runtime/runtime.h"
@@ -48,6 +49,20 @@ class ClientNode {
   /// remain — the paper's client resubmission loop.
   void HandleOutcome(uint64_t proposal_id, bool success);
 
+  /// An endorser or the orderer refused the proposal for overload. The
+  /// proposal resolves as kAbortBusy (at most once, even when several
+  /// endorsers refuse it) and is resubmitted no earlier than the server's
+  /// retry-after hint — end-to-end backpressure honoring the server's
+  /// suggestion on top of the client's own exponential backoff.
+  void HandleBusy(const BusyResponse& busy);
+
+  /// Scales this client's firing rate relative to client_fire_rate_tps.
+  /// Set before StartFiring; lets tests/benches model one misbehaving
+  /// spammer among polite clients without per-client config plumbing.
+  void set_fire_rate_multiplier(double multiplier) {
+    fire_rate_multiplier_ = multiplier;
+  }
+
  private:
   struct PendingProposal {
     proto::Proposal proposal;
@@ -66,8 +81,9 @@ class ClientNode {
   void Submit(proto::Proposal proposal);
   void Assemble(PendingProposal pending);
   /// Resubmits an aborted proposal after an exponential-backoff delay with
-  /// jitter, while the retry budget and firing window allow it.
-  void MaybeResubmit(uint64_t proposal_id);
+  /// jitter, while the retry budget and firing window allow it. The delay
+  /// never undercuts `min_delay` (a server's BUSY retry-after hint).
+  void MaybeResubmit(uint64_t proposal_id, runtime::TimeMicros min_delay = 0);
   runtime::TimeMicros BackoffDelay(uint32_t retries_used);
   /// Aborts the proposal if its endorsements have not all arrived when the
   /// endorsement timeout expires (covers lost proposals/replies).
@@ -89,6 +105,7 @@ class ClientNode {
   runtime::Executor* cpu_;
   Rng rng_;
   uint64_t next_proposal_id_ = 1;
+  double fire_rate_multiplier_ = 1.0;
   double next_fire_us_ = 0;
   runtime::TimeMicros fire_deadline_ = 0;
   std::unordered_map<uint64_t, PendingProposal> pending_;

@@ -1,0 +1,115 @@
+#include "node/fair_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fabricpp::node {
+
+namespace {
+/// Sealed batches the hot-key window spans.
+constexpr size_t kHotKeyWindow = 4;
+/// Writes within the window that make a key hot.
+constexpr uint32_t kHotThreshold = 8;
+/// Cap on the conflict surcharge, so one pathological transaction cannot
+/// starve its own client behind an astronomically priced head-of-line.
+constexpr uint64_t kMaxSurcharge = 63;
+}  // namespace
+
+bool FairScheduler::Offer(proto::Transaction& tx) {
+  const uint32_t depth = options_.per_client_depth;
+  if (options_.quantum == 0) {
+    uint32_t& count = fifo_counts_[tx.client];
+    if (count >= depth) return false;
+    ++count;
+    fifo_.push_back(std::move(tx));
+    ++total_;
+    return true;
+  }
+  ClientQueue& q = queues_[tx.client];
+  if (q.txs.size() >= depth) return false;
+  q.txs.push_back(std::move(tx));
+  ++total_;
+  return true;
+}
+
+std::optional<proto::Transaction> FairScheduler::PollNext() {
+  if (total_ == 0) return std::nullopt;
+  if (options_.quantum == 0) {
+    proto::Transaction tx = std::move(fifo_.front());
+    fifo_.pop_front();
+    --total_;
+    --fifo_counts_[tx.client];
+    return tx;
+  }
+  // DRR: visit clients in lexicographic round-robin order from the cursor.
+  // Each visit grants the client `quantum` deficit units exactly once (the
+  // `granted` flag spans the successive PollNext calls that make up one
+  // visit); the client then serves transactions while its deficit covers
+  // their cost and the round moves on when it runs short. Deficits only
+  // grow while a queue is nonempty, so with total_ > 0 some head becomes
+  // affordable and the loop terminates.
+  while (true) {
+    auto it = queues_.lower_bound(cursor_);
+    if (it == queues_.end()) it = queues_.begin();
+    ClientQueue& q = it->second;
+    const auto advance = [this, it, &q]() {
+      q.granted = false;  // The next visit gets a fresh grant.
+      const auto next = std::next(it);
+      cursor_ = next == queues_.end() ? std::string() : next->first;
+    };
+    if (q.txs.empty()) {
+      q.deficit = 0;  // Idleness banks no credit.
+      advance();
+      continue;
+    }
+    if (!q.granted) {
+      q.deficit += options_.quantum;
+      q.granted = true;
+    }
+    const uint64_t cost = CostOf(q.txs.front());
+    if (q.deficit < cost) {
+      advance();  // Out of budget: save the deficit for the next round.
+      continue;
+    }
+    q.deficit -= cost;
+    proto::Transaction tx = std::move(q.txs.front());
+    q.txs.pop_front();
+    --total_;
+    if (q.txs.empty()) {
+      q.deficit = 0;
+      advance();
+    }
+    return tx;
+  }
+}
+
+uint64_t FairScheduler::CostOf(const proto::Transaction& tx) const {
+  if (options_.conflict_penalty == 0) return 1;
+  uint64_t hot_touches = 0;
+  for (const proto::WriteItem& w : tx.rwset.writes) {
+    if (IsHot(w.key)) ++hot_touches;
+  }
+  const uint64_t surcharge =
+      std::min(static_cast<uint64_t>(options_.conflict_penalty) * hot_touches,
+               kMaxSurcharge);
+  return 1 + surcharge;
+}
+
+bool FairScheduler::IsHot(const std::string& key) const {
+  const auto it = hot_counts_.find(key);
+  return it != hot_counts_.end() && it->second >= kHotThreshold;
+}
+
+void FairScheduler::NoteSealedBatch(
+    const std::vector<std::string>& write_keys) {
+  for (const std::string& key : write_keys) ++hot_counts_[key];
+  hot_window_.push_back(write_keys);
+  if (hot_window_.size() <= kHotKeyWindow) return;
+  for (const std::string& key : hot_window_.front()) {
+    const auto it = hot_counts_.find(key);
+    if (it != hot_counts_.end() && --it->second == 0) hot_counts_.erase(it);
+  }
+  hot_window_.pop_front();
+}
+
+}  // namespace fabricpp::node

@@ -1,0 +1,106 @@
+#ifndef FABRICPP_NODE_FAIR_SCHEDULER_H_
+#define FABRICPP_NODE_FAIR_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/transaction.h"
+
+namespace fabricpp::node {
+
+/// Bounded per-client admission queues in front of the orderer, drained by
+/// deficit round robin so one spamming client cannot starve the others.
+///
+/// Two modes, both bounding every client to `per_client_depth` queued
+/// transactions (Offer refuses beyond that — the caller replies BUSY):
+///   - `quantum == 0`: a single global FIFO. Bounded, but a spammer still
+///     owns the queue in proportion to its rate.
+///   - `quantum > 0`: classic DRR over per-client queues. Each round-robin
+///     visit grants the client `quantum` deficit units; serving a
+///     transaction costs at least 1 unit, so relative goodput across
+///     backlogged clients converges to the cost-weighted fair share.
+///
+/// The optional conflict-aware surcharge (`conflict_penalty`, after arXiv
+/// 2407.19732) makes transactions writing currently-hot keys cost extra
+/// deficit: a tenant hammering one key pays more per transaction and is
+/// throttled harder than one spreading load. Hot keys are tracked over a
+/// sliding window of recently sealed batches.
+///
+/// Determinism: all state lives on the orderer's endpoint context and every
+/// decision depends only on arrival order and `std::map` (lexicographic)
+/// client iteration — never on worker-pool sizes or wall clock — so
+/// simulation fingerprints stay byte-identical across worker counts.
+class FairScheduler {
+ public:
+  struct Options {
+    /// Queued transactions allowed per client; Offer refuses beyond it.
+    uint32_t per_client_depth = 0;
+    /// DRR deficit units granted per round-robin visit; 0 = global FIFO.
+    uint32_t quantum = 0;
+    /// Extra deficit units per hot key a transaction writes; 0 = off.
+    uint32_t conflict_penalty = 0;
+  };
+
+  explicit FairScheduler(const Options& options) : options_(options) {}
+
+  /// Queues `tx` behind its client's earlier transactions. Returns false —
+  /// leaving `tx` untouched — when the client is at its depth bound; the
+  /// caller must reply BUSY (never silently drop).
+  bool Offer(proto::Transaction& tx);
+
+  /// The next transaction to admit into ordering, or nullopt when empty.
+  std::optional<proto::Transaction> PollNext();
+
+  /// Feeds the hot-key tracker the write keys of a just-sealed block.
+  void NoteSealedBatch(const std::vector<std::string>& write_keys);
+
+  /// Total queued transactions across all clients.
+  size_t pending() const { return total_; }
+
+  /// Whether `key` is currently hot (written often in the sliding window).
+  bool IsHot(const std::string& key) const;
+
+ private:
+  struct ClientQueue {
+    std::deque<proto::Transaction> txs;
+    uint64_t deficit = 0;
+    /// Quantum was already granted on the current round-robin visit —
+    /// successive PollNext calls landing on the same cursor are one visit,
+    /// so the grant happens once per visit, not once per poll.
+    bool granted = false;
+  };
+
+  /// Deficit units serving `tx` costs: 1 + conflict surcharge (capped).
+  uint64_t CostOf(const proto::Transaction& tx) const;
+
+  Options options_;
+  size_t total_ = 0;
+
+  // FIFO mode (quantum == 0): one global queue, per-client counts for the
+  // depth bound only.
+  std::deque<proto::Transaction> fifo_;
+  std::unordered_map<std::string, uint32_t> fifo_counts_;
+
+  // DRR mode. std::map: client visit order is lexicographic and iterators
+  // stay valid as clients appear — entries are never erased, an idle
+  // client's empty queue just gets skipped (and its deficit cleared, so
+  // idleness banks no credit).
+  std::map<std::string, ClientQueue> queues_;
+  /// The client whose turn the next PollNext visit starts at ("" = begin).
+  std::string cursor_;
+
+  // Hot-key tracker: write keys of the last kHotKeyWindow sealed batches,
+  // with a count per key for O(1) lookup.
+  std::deque<std::vector<std::string>> hot_window_;
+  std::unordered_map<std::string, uint32_t> hot_counts_;
+};
+
+}  // namespace fabricpp::node
+
+#endif  // FABRICPP_NODE_FAIR_SCHEDULER_H_

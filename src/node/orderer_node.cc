@@ -21,9 +21,13 @@ OrdererNode::OrdererNode(const NodeContext& ctx)
       reorder_pool_(ctx.runtime->RequestPool(runtime::PoolKind::kReorder,
                                              ctx.config->reorder_workers)) {
   const crypto::Digest genesis_hash = ledger::Ledger().LastHash();
+  FairScheduler::Options admission;
+  admission.per_client_depth = ctx.config->admission_queue_depth;
+  admission.quantum = ctx.config->fair_sched_quantum;
+  admission.conflict_penalty = ctx.config->fair_conflict_penalty;
   channels_.reserve(ctx.config->num_channels);
   for (uint32_t c = 0; c < ctx.config->num_channels; ++c) {
-    channels_.emplace_back(ctx.config->block);
+    channels_.emplace_back(ctx.config->block, admission);
     channels_.back().prev_hash = genesis_hash;
   }
 }
@@ -113,12 +117,60 @@ void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
 
 void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
   const fabric::CostModel& cost = config().cost;
-  // The ordering service authenticates the submitting client before
-  // enqueueing (one signature verification per transaction).
-  cpu_->Submit(cost.verify + cost.order_per_tx,
-               [this, channel, tx = std::move(tx)]() mutable {
-                 Enqueue(channel, std::move(tx));
-               });
+  if (config().admission_queue_depth == 0) {
+    // Admission control off: the seed's unbounded path. The ordering
+    // service authenticates the submitting client before enqueueing (one
+    // signature verification per transaction).
+    cpu_->Submit(cost.verify + cost.order_per_tx,
+                 [this, channel, tx = std::move(tx)]() mutable {
+                   Enqueue(channel, std::move(tx));
+                 });
+    return;
+  }
+  ChannelState& ch = channels_[channel];
+  const std::string client = tx.client;
+  const uint64_t proposal_id = tx.proposal_id;
+  if (!ch.admission.Offer(tx)) {
+    // The client's admission queue is full: refuse explicitly with a
+    // retry-after hint instead of buffering without bound (or dropping
+    // silently). The refusal costs no CPU — shedding must stay cheap.
+    metrics().NoteOrdererAdmission(false);
+    NotifyBusy(client, proposal_id);
+    return;
+  }
+  metrics().NoteOrdererAdmission(true);
+  PumpAdmission(channel);
+}
+
+void OrdererNode::NotifyBusy(const std::string& client_name,
+                             uint64_t proposal_id) {
+  ClientNode* client = ctx_.directory->FindClient(client_name);
+  if (client == nullptr) return;
+  const BusyResponse busy{proposal_id, config().busy_retry_hint};
+  transport().Send(*endpoint_, client->home(), kMessageOverhead,
+                   [client, busy]() { client->HandleBusy(busy); });
+}
+
+void OrdererNode::PumpAdmission(uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  const fabric::CostModel& cost = config().cost;
+  // Enough verify jobs to keep the cores busy, few enough that the backlog
+  // waits in the fair scheduler (where DRR ordering applies) rather than in
+  // the executor's FIFO. The batch-queue bound stops admitting cut batches
+  // faster than the reorder stage drains them.
+  const uint32_t verify_window = 2 * config().orderer_cores;
+  while (ch.verify_inflight < verify_window &&
+         ch.batch_queue.size() <= config().ordering_pipeline_depth) {
+    std::optional<proto::Transaction> tx = ch.admission.PollNext();
+    if (!tx.has_value()) return;
+    ++ch.verify_inflight;
+    cpu_->Submit(cost.verify + cost.order_per_tx,
+                 [this, channel, tx = std::move(*tx)]() mutable {
+                   --channels_[channel].verify_inflight;
+                   Enqueue(channel, std::move(tx));
+                   PumpAdmission(channel);
+                 });
+  }
 }
 
 void OrdererNode::NotifyEarlyAbort(const proto::Transaction& tx) {
@@ -161,6 +213,8 @@ void OrdererNode::MaybeProcessNextBatch(uint32_t channel) {
     }
     ProcessBatch(channel, std::move(pending.batch));
   }
+  // Draining the batch queue may have re-opened the admission valve.
+  if (config().admission_queue_depth > 0) PumpAdmission(channel);
 }
 
 void OrdererNode::ArmTimer(uint32_t channel) {
@@ -265,6 +319,19 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
   block->SealDataHash();
   ch.prev_hash = block->header.Hash();
   ++blocks_cut_;
+
+  if (cfg.fair_conflict_penalty > 0) {
+    // Feed the conflict-aware scheduler the block's write keys: keys
+    // written often across recent blocks become "hot", and queued
+    // transactions touching them pay extra deficit.
+    std::vector<std::string> write_keys;
+    for (const proto::Transaction& tx : block->transactions) {
+      for (const proto::WriteItem& w : tx.rwset.writes) {
+        write_keys.push_back(w.key);
+      }
+    }
+    ch.admission.NoteSealedBatch(write_keys);
+  }
 
   const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
   service += cost.hash_per_kb * (block_bytes / 1024 + 1);

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "crypto/sha256.h"
 #include "node/consensus.h"
+#include "node/fair_scheduler.h"
 #include "node/node_context.h"
 #include "ordering/batch_cutter.h"
 #include "ordering/reorderer.h"
@@ -68,9 +69,18 @@ class OrdererNode {
   };
 
   struct ChannelState {
-    explicit ChannelState(ordering::BatchCutConfig config)
-        : cutter(config) {}
+    ChannelState(ordering::BatchCutConfig config,
+                 FairScheduler::Options admission_options)
+        : cutter(config), admission(admission_options) {}
     ordering::BatchCutter cutter;
+    /// Bounded per-client admission queues in front of the verify stage
+    /// (admission_queue_depth > 0; unused otherwise). Offer refusals turn
+    /// into BUSY replies, never silent drops.
+    FairScheduler admission;
+    /// Admitted transactions whose verify+order CPU cost is in flight.
+    /// PumpAdmission keeps this at most 2 * orderer_cores so the admission
+    /// queue — not the executor — holds the backlog.
+    uint32_t verify_inflight = 0;
     uint64_t next_block_number = 1;
     crypto::Digest prev_hash{};
     uint64_t timer_generation = 0;
@@ -98,6 +108,14 @@ class OrdererNode {
 
   void Enqueue(uint32_t channel, proto::Transaction tx);
   void NotifyEarlyAbort(const proto::Transaction& tx);
+  /// Tells `client_name` its transaction was refused for overload, with the
+  /// configured retry-after hint. External clients (not in the directory)
+  /// are only counted.
+  void NotifyBusy(const std::string& client_name, uint64_t proposal_id);
+  /// Drains the fair scheduler into the verify stage while the per-channel
+  /// verify window and the batch queue have room — the backpressure valve
+  /// that keeps the backlog in the bounded admission queues.
+  void PumpAdmission(uint32_t channel);
   void ArmTimer(uint32_t channel);
   /// Admits queued batches into the reorder stage while the pipeline has
   /// capacity, recording a stall for each batch that had to wait.

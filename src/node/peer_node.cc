@@ -48,6 +48,19 @@ void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
                               uint32_t client_index) {
   if (crashed_) return;
   ChannelState& ch = channels_[channel];
+  const uint32_t depth = config().admission_queue_depth;
+  if (depth != 0 && ch.active_sims + ch.pending_sims.size() >= depth) {
+    // Endorser admission control: the simulation stage is saturated, so
+    // refuse explicitly with a retry-after hint. The refusal costs no CPU
+    // (shedding must stay cheap) — the proposal never enters simulation.
+    metrics().NoteEndorserAdmission(false);
+    ClientNode* client = &ctx_.directory->client(client_index);
+    const BusyResponse busy{proposal.proposal_id, config().busy_retry_hint};
+    transport().Send(*endpoint_, client->home(), kMessageOverhead,
+                     [client, busy]() { client->HandleBusy(busy); });
+    return;
+  }
+  if (depth != 0) metrics().NoteEndorserAdmission(true);
   PendingSim sim{std::move(proposal), client_index};
   if (config().concurrency == fabric::ConcurrencyMode::kCoarseLock &&
       ch.commit_phase) {

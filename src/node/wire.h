@@ -8,6 +8,20 @@ namespace fabricpp::node {
 /// Fixed per-message envelope overhead (headers, signatures) in bytes.
 inline constexpr uint64_t kMessageOverhead = 300;
 
+/// Explicit overload refusal from an endorser or the orderer: the node's
+/// bounded admission queue is full, so instead of silently dropping the
+/// proposal/transaction it tells the client to come back after
+/// `retry_after_us`. The client treats this as an abort (kAbortBusy) and
+/// resubmits no earlier than the hint — end-to-end backpressure, shedding
+/// load back to the edge instead of collapsing the middle.
+struct BusyResponse {
+  uint64_t proposal_id = 0;
+  /// Server-suggested minimum backoff before the retry, microseconds
+  /// (config().busy_retry_hint). The client takes the max of this and its
+  /// own exponential-backoff delay.
+  uint64_t retry_after_us = 0;
+};
+
 }  // namespace fabricpp::node
 
 #endif  // FABRICPP_NODE_WIRE_H_

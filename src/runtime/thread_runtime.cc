@@ -7,35 +7,51 @@
 namespace fabricpp::runtime {
 
 namespace {
+/// How long a non-sheddable producer blocks at a full box before force-
+/// enqueueing (deadlock freedom beats strict boundedness for local work).
 constexpr auto kPushGracePeriod = std::chrono::milliseconds(100);
+/// How long a transport delivery blocks before being shed. Short: a
+/// saturated receiver should shed load quickly, not stall every sender.
+constexpr auto kShedGracePeriod = std::chrono::milliseconds(5);
 constexpr auto kQuiescePollInterval = std::chrono::microseconds(200);
 }  // namespace
 
 // --- Mailbox ---
 
-bool ThreadRuntime::Mailbox::Push(Task fn) {
+ThreadRuntime::PushOutcome ThreadRuntime::Mailbox::Push(Task fn,
+                                                        bool may_shed) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (closed_) return false;
+  if (closed_) return PushOutcome::kShedClosed;
+  bool forced = false;
   if (queue_.size() >= capacity_ &&
       std::this_thread::get_id() != consumer_) {
     // Backpressure: block briefly for a slot. The consumer never waits on
-    // its own box (self-deadlock), and after the grace period we overflow
-    // rather than risk a producer cycle deadlocking (A full waiting on B
-    // full waiting on A).
-    if (!not_full_.wait_for(lock, kPushGracePeriod, [this] {
+    // its own box (self-deadlock). Past the grace period, a sheddable task
+    // (transport delivery) is dropped and reported — the box stays
+    // bounded; a non-sheddable one (local post, timer, executor
+    // completion) is force-enqueued rather than risk a producer cycle
+    // deadlocking (A full waiting on B full waiting on A).
+    const auto grace = may_shed ? kShedGracePeriod : kPushGracePeriod;
+    if (!not_full_.wait_for(lock, grace, [this] {
           return queue_.size() < capacity_ || closed_;
         })) {
-      std::fprintf(stderr,
-                   "[thread_runtime] mailbox overflow (capacity %zu); "
-                   "forcing enqueue to avoid deadlock\n",
-                   capacity_);
+      if (may_shed) {
+        runtime_->mailbox_shed_total_.fetch_add(1,
+                                                std::memory_order_relaxed);
+        runtime_->LogOverflow("shedding delivery", capacity_);
+        return PushOutcome::kShedFull;
+      }
+      forced = true;
+      runtime_->mailbox_forced_total_.fetch_add(1,
+                                                std::memory_order_relaxed);
+      runtime_->LogOverflow("forcing enqueue to avoid deadlock", capacity_);
     }
-    if (closed_) return false;
+    if (closed_) return PushOutcome::kShedClosed;
   }
-  inflight_->fetch_add(1, std::memory_order_relaxed);
+  runtime_->inflight_.fetch_add(1, std::memory_order_relaxed);
   queue_.push_back(std::move(fn));
   not_empty_.notify_one();
-  return true;
+  return forced ? PushOutcome::kForced : PushOutcome::kOk;
 }
 
 bool ThreadRuntime::Mailbox::Pop(Task* out) {
@@ -78,10 +94,15 @@ ThreadRuntime::ThreadEndpoint::ThreadEndpoint(ThreadRuntime* runtime,
       id_(id),
       name_(std::move(name)),
       clock_(runtime, this),
-      mailbox_(runtime->options_.mailbox_capacity, &runtime->inflight_) {}
+      mailbox_(runtime->options_.mailbox_capacity, runtime) {}
 
 void ThreadRuntime::ThreadEndpoint::Post(Task fn) {
-  mailbox_.Push(std::move(fn));
+  mailbox_.Push(std::move(fn), /*may_shed=*/false);
+}
+
+ThreadRuntime::PushOutcome ThreadRuntime::ThreadEndpoint::PostDelivery(
+    Task fn) {
+  return mailbox_.Push(std::move(fn), /*may_shed=*/true);
 }
 
 void ThreadRuntime::ThreadEndpoint::StartThread() {
@@ -113,7 +134,10 @@ void ThreadRuntime::ThreadTransport::Send(Endpoint& from, Endpoint& to,
   (void)from;
   runtime_->messages_sent_.fetch_add(1, std::memory_order_relaxed);
   runtime_->bytes_sent_.fetch_add(size_bytes, std::memory_order_relaxed);
-  to.Post(std::move(on_deliver));
+  // Deliveries are sheddable: a saturated receiver drops the message (the
+  // shed is counted, never silent) and node-level timeouts / catch-up
+  // fetches recover — the same contract as the simulation's lossy network.
+  static_cast<ThreadEndpoint&>(to).PostDelivery(std::move(on_deliver));
 }
 
 // --- ThreadRuntime ---
@@ -178,6 +202,20 @@ std::chrono::steady_clock::time_point ThreadRuntime::TimePointFor(
 
 void ThreadRuntime::SleepUntil(TimeMicros until) {
   std::this_thread::sleep_until(TimePointFor(until));
+}
+
+void ThreadRuntime::LogOverflow(const char* what, size_t capacity) {
+  const int64_t now_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  int64_t last = last_overflow_log_ns_.load(std::memory_order_relaxed);
+  constexpr int64_t kLogIntervalNs = 1'000'000'000;
+  if (now_ns - last < kLogIntervalNs) return;
+  if (!last_overflow_log_ns_.compare_exchange_strong(
+          last, now_ns, std::memory_order_relaxed)) {
+    return;  // Another thread just logged.
+  }
+  std::fprintf(stderr, "[thread_runtime] mailbox overflow (capacity %zu): %s\n",
+               capacity, what);
 }
 
 void ThreadRuntime::ScheduleTimer(ThreadEndpoint* target, TimeMicros when,

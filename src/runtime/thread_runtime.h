@@ -42,6 +42,16 @@ class ThreadRuntime final : public Runtime {
     uint32_t mailbox_capacity = 8192;
   };
 
+  /// What happened to a pushed task — reported to the caller instead of
+  /// being swallowed (satellite fix for the former silent overflow).
+  enum class PushOutcome {
+    kOk,          ///< Enqueued within capacity.
+    kForced,      ///< Box full past the grace period; enqueued anyway
+                  ///< (non-sheddable tasks only — deadlock freedom).
+    kShedFull,    ///< Box full past the grace period; task dropped.
+    kShedClosed,  ///< Mailbox closed (shutdown); task dropped.
+  };
+
   explicit ThreadRuntime(const Options& options);
   ~ThreadRuntime() override;
 
@@ -79,6 +89,16 @@ class ThreadRuntime final : public Runtime {
 
   uint64_t messages_sent() const { return messages_sent_.load(); }
   uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  /// Transport deliveries dropped at a full mailbox after the shed grace
+  /// period. The composition root folds this into Metrics after a run —
+  /// nonzero means receivers were saturated and the lossless-transport
+  /// assumption did not hold (client timeouts / catch-up fetches recover).
+  uint64_t mailbox_shed_total() const { return mailbox_shed_total_.load(); }
+  /// Non-sheddable tasks (local posts, timers, executor completions)
+  /// force-enqueued past capacity to preserve deadlock freedom.
+  uint64_t mailbox_forced_total() const {
+    return mailbox_forced_total_.load();
+  }
 
  private:
   class ThreadEndpoint;
@@ -86,16 +106,20 @@ class ThreadRuntime final : public Runtime {
   /// Bounded multi-producer single-consumer task queue.
   class Mailbox {
    public:
-    Mailbox(size_t capacity, std::atomic<int64_t>* inflight)
-        : capacity_(capacity), inflight_(inflight) {}
+    Mailbox(size_t capacity, ThreadRuntime* runtime)
+        : capacity_(capacity), runtime_(runtime) {}
 
-    /// Enqueues `fn`; returns false (dropping it) when closed. A producer
-    /// that finds the box full waits for room — except the consumer thread
-    /// itself, which may always overflow: blocking it on its own full box
-    /// would deadlock. As a last resort any producer overflows after a
-    /// grace period, trading strict boundedness for deadlock freedom on
-    /// producer cycles.
-    bool Push(Task fn);
+    /// Enqueues `fn` and reports what happened. A producer that finds the
+    /// box full waits briefly for room — except the consumer thread
+    /// itself, which always overflows: blocking it on its own full box
+    /// would deadlock. Past the grace period the outcome splits on
+    /// `may_shed`: transport deliveries (may_shed) are *dropped* and
+    /// counted (kShedFull) — the box stays bounded and the loss is
+    /// reported, never silent; local posts, timers and executor
+    /// completions (!may_shed) are force-enqueued (kForced), trading
+    /// strict boundedness for deadlock freedom on producer cycles —
+    /// shedding those would wedge a node's own pipeline.
+    PushOutcome Push(Task fn, bool may_shed);
 
     /// Blocks for the next task; returns false when closed and drained.
     bool Pop(Task* out);
@@ -109,7 +133,7 @@ class ThreadRuntime final : public Runtime {
     std::condition_variable not_full_;
     std::deque<Task> queue_;
     size_t capacity_;
-    std::atomic<int64_t>* inflight_;
+    ThreadRuntime* runtime_;
     std::thread::id consumer_{};
     bool closed_ = false;
   };
@@ -135,6 +159,11 @@ class ThreadRuntime final : public Runtime {
     const std::string& name() const override { return name_; }
     Clock& clock() override { return clock_; }
     void Post(Task fn) override;
+
+    /// Transport-delivery entry: unlike Post, the task may be shed at a
+    /// full box (the network is allowed to lose a message; a node's own
+    /// pipeline is not).
+    PushOutcome PostDelivery(Task fn);
 
     void StartThread();
     void CloseAndJoin();
@@ -191,6 +220,8 @@ class ThreadRuntime final : public Runtime {
   };
 
   void ScheduleTimer(ThreadEndpoint* target, TimeMicros when, Task fn);
+  /// Rate-limited (1/s) stderr note about mailbox overflow events.
+  void LogOverflow(const char* what, size_t capacity);
   void TimerLoop();
   std::chrono::steady_clock::time_point TimePointFor(TimeMicros t) const;
   bool TimerBusyWithin(TimeMicros horizon);
@@ -202,6 +233,10 @@ class ThreadRuntime final : public Runtime {
   std::atomic<int64_t> inflight_{0};
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> mailbox_shed_total_{0};
+  std::atomic<uint64_t> mailbox_forced_total_{0};
+  /// steady_clock ns of the last overflow log line (rate limiting).
+  std::atomic<int64_t> last_overflow_log_ns_{0};
 
   ThreadTransport transport_;
   std::vector<std::unique_ptr<ThreadEndpoint>> endpoints_;

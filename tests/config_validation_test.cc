@@ -109,6 +109,10 @@ TEST(ConfigValidationTest, ClientRetryKnobs) {
   ExpectInvalid(config, "backoff_max < backoff_base");
 
   config = Base();
+  config.client_retry_backoff_max = 0;
+  ExpectInvalid(config, "backoff_max = 0");
+
+  config = Base();
   config.client_retry_jitter = -0.01;
   ExpectInvalid(config, "jitter < 0");
   config.client_retry_jitter = 1.01;
@@ -116,11 +120,67 @@ TEST(ConfigValidationTest, ClientRetryKnobs) {
   config.client_retry_jitter = 1.0;
   EXPECT_TRUE(config.Validate().ok());
 
-  // The retry-shape knobs are only checked while resubmission is on.
+  // The backoff-shape knobs are checked even with resubmission off: BUSY
+  // retries use them too, and a misconfigured shape used to silently
+  // degenerate into constant instant retry.
   config = Base();
   config.client_resubmit = false;
   config.client_retry_jitter = 5.0;
+  ExpectInvalid(config, "jitter > 1 with resubmit off");
+  config = Base();
+  config.client_resubmit = false;
+  config.client_retry_backoff_max = 0;
+  ExpectInvalid(config, "backoff_max = 0 with resubmit off");
+}
+
+TEST(ConfigValidationTest, AdmissionControlKnobs) {
+  auto config = Base();
+  config.admission_queue_depth = 1048577;
+  ExpectInvalid(config, "admission_queue_depth = 1048577");
+  config.admission_queue_depth = 1048576;
   EXPECT_TRUE(config.Validate().ok());
+
+  config = Base();
+  config.admission_queue_depth = 64;
+  config.busy_retry_hint = 0;
+  ExpectInvalid(config, "busy_retry_hint = 0 with admission on");
+  config.busy_retry_hint = 1;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // busy_retry_hint is unchecked while admission control is off.
+  config = Base();
+  config.busy_retry_hint = 0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, FairSchedulerKnobs) {
+  auto config = Base();
+  config.admission_queue_depth = 64;
+  config.fair_sched_quantum = 4097;
+  ExpectInvalid(config, "fair_sched_quantum = 4097");
+  config.fair_sched_quantum = 4096;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // The fair scheduler is the drain policy of the admission queues: it
+  // cannot be on while admission control is off.
+  config = Base();
+  config.fair_sched_quantum = 4;
+  ExpectInvalid(config, "quantum > 0 without admission_queue_depth");
+
+  config = Base();
+  config.admission_queue_depth = 64;
+  config.fair_sched_quantum = 4;
+  config.fair_conflict_penalty = 1025;
+  ExpectInvalid(config, "fair_conflict_penalty = 1025");
+  config.fair_conflict_penalty = 1024;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // The conflict surcharge is paid in deficit units — meaningless in FIFO
+  // mode.
+  config = Base();
+  config.admission_queue_depth = 64;
+  config.fair_conflict_penalty = 8;
+  ExpectInvalid(config, "penalty > 0 without fair_sched_quantum");
 }
 
 TEST(ConfigValidationTest, TimeoutKnobs) {

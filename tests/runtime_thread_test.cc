@@ -114,6 +114,38 @@ TEST(RuntimeThreadTest, CommittedStateIsIdenticalOnEveryPeer) {
   }
 }
 
+TEST(RuntimeThreadTest, OverloadWithAdmissionControlKeepsCommitting) {
+  // Saturate tiny mailboxes with a spamming client while admission control
+  // + BUSY backpressure are on: the run must complete (no wedge, no
+  // collapse), keep committing, and account every shed mailbox delivery —
+  // the former silent-overflow path now reports upward.
+  FabricConfig config = ThreadConfig();
+  config.mailbox_capacity = 64;  // Tiny: force overflow handling.
+  config.clients_per_channel = 4;
+  config.client_max_inflight = 256;
+  config.client_endorsement_timeout = 300 * sim::kMillisecond;
+  config.client_commit_timeout = 800 * sim::kMillisecond;
+  config.admission_queue_depth = 32;
+  config.fair_sched_quantum = 4;
+  config.busy_retry_hint = 10 * sim::kMillisecond;
+  workload::SmallbankConfig wl;
+  wl.num_users = 1000;
+  workload::SmallbankWorkload workload(wl);
+
+  FabricNetwork network(config, &workload);
+  network.client(0).set_fire_rate_multiplier(25.0);
+  const fabric::RunReport report = network.RunFor(1500 * sim::kMillisecond);
+
+  EXPECT_GT(report.successful, 0u) << "overload collapsed the pipeline";
+  EXPECT_GT(report.blocks_committed, 0u);
+  ExpectConvergedChains(network);
+
+  // Every mailbox shed was counted, never silent: the runtime's counter
+  // and the report's copy agree.
+  auto* rt = static_cast<runtime::ThreadRuntime*>(&network.runtime());
+  EXPECT_EQ(report.mailbox_shed_total, rt->mailbox_shed_total());
+}
+
 TEST(RuntimeThreadTest, ManualProposalDrainsViaRunUntilIdle) {
   FabricConfig config = ThreadConfig();
   config.block.max_transactions = 1;  // Cut immediately.

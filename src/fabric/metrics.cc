@@ -36,14 +36,20 @@ std::string_view TxOutcomeToString(TxOutcome outcome) {
 
 std::string ValidationWallClock::ToString() const {
   const double blocks_d = blocks == 0 ? 1.0 : static_cast<double>(blocks);
+  const double waves_d =
+      commit_waves == 0 ? 1.0 : static_cast<double>(commit_waves);
   return StrFormat(
       "blocks=%llu verify_total=%.2fms commit_total=%.2fms "
-      "verify_avg=%.1fus commit_avg=%.1fus",
+      "verify_avg=%.1fus commit_avg=%.1fus waves=%llu wave_avg=%.1fus "
+      "wave_max=%.1fus",
       static_cast<unsigned long long>(blocks),
       static_cast<double>(verify_ns) / 1e6,
       static_cast<double>(commit_ns) / 1e6,
       static_cast<double>(verify_ns) / 1e3 / blocks_d,
-      static_cast<double>(commit_ns) / 1e3 / blocks_d);
+      static_cast<double>(commit_ns) / 1e3 / blocks_d,
+      static_cast<unsigned long long>(commit_waves),
+      static_cast<double>(commit_wave_ns) / 1e3 / waves_d,
+      static_cast<double>(commit_wave_max_ns) / 1e3);
 }
 
 std::string ReorderWallClock::ToString() const {
@@ -177,7 +183,18 @@ RunReport Metrics::Report() const {
     sum_sq += x * x;
     ++n;
   }
-  if (sum_sq > 0) report.jain_fairness = (sum * sum) / (n * sum_sq);
+  if (n <= 1) {
+    // No client fired in the window (or only one did): there is no
+    // allocation to be unfair about. Defined as perfectly fair — an idle
+    // run must not report the worst-possible index.
+    report.jain_fairness = 1.0;
+  } else if (sum_sq > 0) {
+    report.jain_fairness = (sum * sum) / (n * sum_sq);
+  } else {
+    // Several clients fired, none succeeded: equal (zero) shares. The
+    // formula's 0/0 limit is taken as fair rather than starved.
+    report.jain_fairness = 1.0;
+  }
   report.per_client_successful.assign(per_client_successful_.begin(),
                                       per_client_successful_.end());
   report.net_messages_dropped = net_dropped_;

@@ -1,6 +1,7 @@
 #ifndef FABRICPP_FABRIC_METRICS_H_
 #define FABRICPP_FABRIC_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -121,7 +122,14 @@ struct RunReport {
 struct ValidationWallClock {
   uint64_t blocks = 0;
   uint64_t verify_ns = 0;  ///< Parallel endorsement/signature stage.
-  uint64_t commit_ns = 0;  ///< Sequential MVCC/write/append stage.
+  uint64_t commit_ns = 0;  ///< MVCC/write/append stage (either path).
+  /// Dependency-aware commit breakdown (commit_workers > 1, DESIGN.md §13):
+  /// waves executed across all blocks, host nanoseconds inside the wave
+  /// loop (fan-out + barrier), and the single slowest wave seen. Zero on
+  /// the sequential path.
+  uint64_t commit_waves = 0;
+  uint64_t commit_wave_ns = 0;
+  uint64_t commit_wave_max_ns = 0;
 
   std::string ToString() const;
 };
@@ -201,11 +209,18 @@ class Metrics {
 
   /// Host wall-clock of one block's verify/commit stages (observer peer).
   /// Accumulated outside the deterministic report — see ValidationWallClock.
-  void NoteValidationWallClock(uint64_t verify_ns, uint64_t commit_ns) {
+  void NoteValidationWallClock(uint64_t verify_ns, uint64_t commit_ns,
+                               uint32_t commit_waves = 0,
+                               uint64_t commit_wave_ns = 0,
+                               uint64_t commit_wave_max_ns = 0) {
     const std::lock_guard<std::mutex> lock(mu_);
     ++validation_wall_.blocks;
     validation_wall_.verify_ns += verify_ns;
     validation_wall_.commit_ns += commit_ns;
+    validation_wall_.commit_waves += commit_waves;
+    validation_wall_.commit_wave_ns += commit_wave_ns;
+    validation_wall_.commit_wave_max_ns =
+        std::max(validation_wall_.commit_wave_max_ns, commit_wave_max_ns);
   }
   const ValidationWallClock& validation_wall_clock() const {
     return validation_wall_;

@@ -67,6 +67,8 @@ FabricNetwork::FabricNetwork(FabricConfig config,
                                             config_.validator_workers);
     reorder_pool_ = runtime_->RequestPool(runtime::PoolKind::kReorder,
                                           config_.reorder_workers);
+    commit_pool_ = runtime_->RequestPool(runtime::PoolKind::kCommit,
+                                         config_.commit_workers);
   }
 
   // 4. Endorsement policy: one peer of every org (paper §2.2.1).

@@ -138,6 +138,13 @@ class FabricNetwork : public node::NodeDirectory {
   /// contract: wall-clock acceleration only.
   ThreadPool* reorder_pool() { return reorder_pool_; }
 
+  /// Pool running the peers' real commit-stage wave fan-out (null when
+  /// commit_workers == 1). Its own kind for the same reason as
+  /// reorder_pool: the verify stage's fan-out has finished by the time the
+  /// commit stage runs, but keeping the users on distinct pools makes the
+  /// single-user ParallelFor contract hold by construction.
+  ThreadPool* commit_pool() { return commit_pool_; }
+
   // --- node::NodeDirectory ---
   size_t num_peers() const override { return peers_.size(); }
   PeerNode& peer(uint32_t i) override { return *peers_[i]; }
@@ -177,6 +184,7 @@ class FabricNetwork : public node::NodeDirectory {
   /// Borrowed from runtime_ (sim mode only, where the pools are shared).
   ThreadPool* validator_pool_ = nullptr;
   ThreadPool* reorder_pool_ = nullptr;
+  ThreadPool* commit_pool_ = nullptr;
   std::vector<std::unique_ptr<node::PeerNode>> peers_;
   std::unique_ptr<node::OrdererNode> orderer_;
   node::SoloConsensus solo_consensus_;

@@ -65,14 +65,30 @@ void ClientNode::FireWithRetries(std::vector<std::string> args,
   Submit(std::move(proposal));
 }
 
-runtime::TimeMicros ClientNode::BackoffDelay(uint32_t retries_used) {
-  const fabric::FabricConfig& cfg = config();
-  runtime::TimeMicros delay = cfg.client_retry_backoff_base;
-  for (uint32_t i = 0;
-       i < retries_used && delay < cfg.client_retry_backoff_max; ++i) {
+runtime::TimeMicros SaturatingBackoff(runtime::TimeMicros base,
+                                      runtime::TimeMicros max,
+                                      uint32_t retries_used) {
+  runtime::TimeMicros delay = std::min(base, max);
+  for (uint32_t i = 0; i < retries_used && delay < max; ++i) {
+    // `delay < max` (loop guard) keeps the subtraction safe; the comparison
+    // is `2 * delay >= max` written without the doubling, so the doubling
+    // itself can never overflow — the old `delay *= 2` before the clamp
+    // wrapped around for bases near the top of the TimeMicros range,
+    // turning a huge configured backoff into a near-zero one.
+    if (delay >= max - delay) {
+      delay = max;
+      break;
+    }
     delay *= 2;
   }
-  delay = std::min(delay, cfg.client_retry_backoff_max);
+  return delay;
+}
+
+runtime::TimeMicros ClientNode::BackoffDelay(uint32_t retries_used) {
+  const fabric::FabricConfig& cfg = config();
+  runtime::TimeMicros delay =
+      SaturatingBackoff(cfg.client_retry_backoff_base,
+                        cfg.client_retry_backoff_max, retries_used);
   if (cfg.client_retry_jitter > 0.0) {
     // Uniform multiplier in [1 - j, 1 + j]: desynchronizes clients whose
     // proposals aborted off the same event (block commit, fault window).

@@ -14,6 +14,14 @@
 
 namespace fabricpp::node {
 
+/// Saturating exponential backoff: base doubled `retries_used` times,
+/// clamped to `max` — with the doubling itself saturating, so a base (or
+/// max) near the top of the TimeMicros range cannot overflow to a tiny
+/// delay mid-loop. Pure; the client applies jitter on top.
+runtime::TimeMicros SaturatingBackoff(runtime::TimeMicros base,
+                                      runtime::TimeMicros max,
+                                      uint32_t retries_used);
+
 /// One client: fires proposals at the configured rate, collects
 /// endorsements, assembles transactions, submits them for ordering.
 /// Clients do not get their own endpoint — they live on a shared client

@@ -9,6 +9,7 @@
 #include "node/client_node.h"
 #include "node/peer_node.h"
 #include "node/wire.h"
+#include "ordering/commit_schedule.h"
 #include "ordering/early_abort.h"
 
 namespace fabricpp::node {
@@ -319,6 +320,23 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
   block->SealDataHash();
   ch.prev_hash = block->header.Hash();
   ++blocks_cut_;
+
+  if (cfg.ship_commit_schedule) {
+    // Attach the commit-stage wave schedule (DESIGN.md §13, carried inside
+    // the block — see src/node/wire.h). Sealed *after* the data hash on
+    // purpose: the schedule is advisory (peers validate or recompute), so
+    // it stays outside the integrity envelope and the chain hashes are
+    // unchanged by shipping it. Its wire bytes do enlarge block_bytes
+    // below, deterministically feeding the network/append cost model.
+    std::vector<const proto::ReadWriteSet*> schedule_rwsets;
+    schedule_rwsets.reserve(block->transactions.size());
+    for (const proto::Transaction& tx : block->transactions) {
+      schedule_rwsets.push_back(&tx.rwset);
+    }
+    block->commit_waves = ordering::ComputeCommitWaves(schedule_rwsets);
+    // One linear pass over the rwsets, folded into the per-tx order cost.
+    service += cost.order_per_tx * block->transactions.size();
+  }
 
   if (cfg.fair_conflict_penalty > 0) {
     // Feed the conflict-aware scheduler the block's write keys: keys

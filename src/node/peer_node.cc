@@ -42,7 +42,14 @@ PeerNode::PeerNode(const NodeContext& ctx, uint32_t index, std::string name,
       validator_(ctx.config->seed, ctx.policies,
                  ctx.runtime->RequestPool(runtime::PoolKind::kValidator,
                                           ctx.config->validator_workers)),
-      channels_(ctx.config->num_channels) {}
+      channels_(ctx.config->num_channels) {
+  // Commit-stage wave fan-out (DESIGN.md §13): its own pool kind — the
+  // verify fan-out has joined before the commit stage starts, but
+  // ParallelFor is single-user and the two must never share a pool.
+  validator_.set_commit_pool(ctx.runtime->RequestPool(
+      runtime::PoolKind::kCommit, ctx.config->commit_workers));
+  validator_.set_verify_shipped_schedule(ctx.config->verify_commit_schedule);
+}
 
 void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
                               uint32_t client_index) {
@@ -364,10 +371,14 @@ void PeerNode::FinishCommit(uint32_t channel) {
       validator_.ValidateAndCommit(*block, &ch.db, &ch.ledger);
 
   if (ctx_.directory->IsObserver(*this)) {
-    // Host wall-clock of the two validation stages — kept outside the
-    // deterministic RunReport (it varies with validator_workers).
+    // Host wall-clock of the two validation stages (plus the commit path's
+    // wave breakdown) — kept outside the deterministic RunReport (it varies
+    // with validator_workers / commit_workers).
     metrics().NoteValidationWallClock(result.verify_wall_ns,
-                                      result.commit_wall_ns);
+                                      result.commit_wall_ns,
+                                      result.commit_waves,
+                                      result.commit_wave_wall_ns,
+                                      result.commit_wave_max_ns);
     const runtime::TimeMicros now = clock().Now();
     for (uint32_t i = 0; i < block->transactions.size(); ++i) {
       const proto::Transaction& tx = block->transactions[i];

@@ -3,10 +3,29 @@
 
 #include <cstdint>
 
+#include "proto/block.h"
+
 namespace fabricpp::node {
 
 /// Fixed per-message envelope overhead (headers, signatures) in bytes.
 inline constexpr uint64_t kMessageOverhead = 300;
+
+/// Commit-schedule carriage (DESIGN.md §13). When
+/// FabricConfig::ship_commit_schedule is on, the orderer attaches the
+/// commit-stage wave partition to every block it cuts as the tagged
+/// trailing section of the block encoding (proto::Block::commit_waves) —
+/// *inside* the block rather than as a sibling message, so every path a
+/// block travels (direct dispatch, gossip forwarding, refetch after loss,
+/// peer reorder buffers, the ledger's block store) replicates the schedule
+/// with it for free. The section is excluded from the sealed data hash:
+/// peers treat it as an untrusted hint, validate it against the rwsets in
+/// O(total-rwset), and recompute on any mismatch
+/// (ordering::ValidateCommitWaves), so tampering with it in flight can at
+/// worst cost the receiving peer that recompute. Schedule bytes do count
+/// toward Block::ByteSize and therefore toward the modeled network and
+/// ledger-append costs — which is why the knob defaults off and runs
+/// without it stay byte-identical to pre-schedule builds.
+inline constexpr uint8_t kCommitScheduleTag = proto::kCommitScheduleTag;
 
 /// Explicit overload refusal from an endorser or the orderer: the node's
 /// bounded admission queue is full, so instead of silently dropping the

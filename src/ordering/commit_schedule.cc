@@ -1,0 +1,96 @@
+#include "ordering/commit_schedule.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+
+namespace fabricpp::ordering {
+
+namespace {
+
+/// Last-seen wave of the writers / readers of one key, while scanning the
+/// block in order. Waves are monotone per key (a later toucher is never
+/// forced *below* an earlier one), so maxima are enough.
+struct KeyWaves {
+  int64_t max_writer_wave = -1;
+  int64_t max_reader_wave = -1;
+};
+
+/// The earliest wave rwsets[i] may occupy given the keys touched so far.
+/// Keys are viewed, not copied — the map borrows the rwsets' storage.
+int64_t EarliestWave(
+    const proto::ReadWriteSet& set,
+    const std::unordered_map<std::string_view, KeyWaves>& key_waves) {
+  int64_t wave = 0;
+  for (const proto::ReadItem& r : set.reads) {
+    const auto it = key_waves.find(std::string_view(r.key));
+    if (it != key_waves.end()) {
+      // True dependency: an earlier writer's barrier must precede this
+      // transaction's snapshot.
+      wave = std::max(wave, it->second.max_writer_wave + 1);
+    }
+  }
+  for (const proto::WriteItem& w : set.writes) {
+    const auto it = key_waves.find(std::string_view(w.key));
+    if (it != key_waves.end()) {
+      // Output dependency: never overtake an earlier writer's barrier.
+      // Anti dependency: never bump a version an earlier reader's wave has
+      // not checked yet. Both allow sharing the wave (>=, not >).
+      wave = std::max(wave, it->second.max_writer_wave);
+      wave = std::max(wave, it->second.max_reader_wave);
+    }
+  }
+  return wave;
+}
+
+void RecordWave(const proto::ReadWriteSet& set, int64_t wave,
+                std::unordered_map<std::string_view, KeyWaves>* key_waves) {
+  for (const proto::ReadItem& r : set.reads) {
+    KeyWaves& kw = (*key_waves)[std::string_view(r.key)];
+    kw.max_reader_wave = std::max(kw.max_reader_wave, wave);
+  }
+  for (const proto::WriteItem& w : set.writes) {
+    KeyWaves& kw = (*key_waves)[std::string_view(w.key)];
+    kw.max_writer_wave = std::max(kw.max_writer_wave, wave);
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> ComputeCommitWaves(
+    const std::vector<const proto::ReadWriteSet*>& rwsets) {
+  std::vector<uint32_t> waves(rwsets.size(), 0);
+  std::unordered_map<std::string_view, KeyWaves> key_waves;
+  key_waves.reserve(rwsets.size());
+  for (size_t i = 0; i < rwsets.size(); ++i) {
+    const int64_t wave = EarliestWave(*rwsets[i], key_waves);
+    waves[i] = static_cast<uint32_t>(wave);
+    RecordWave(*rwsets[i], wave, &key_waves);
+  }
+  return waves;
+}
+
+bool ValidateCommitWaves(
+    const std::vector<const proto::ReadWriteSet*>& rwsets,
+    const std::vector<uint32_t>& waves) {
+  if (waves.size() != rwsets.size()) return false;
+  std::unordered_map<std::string_view, KeyWaves> key_waves;
+  key_waves.reserve(rwsets.size());
+  for (size_t i = 0; i < rwsets.size(); ++i) {
+    const int64_t wave = static_cast<int64_t>(waves[i]);
+    // A valid partition never needs more waves than transactions; anything
+    // above is either garbage or an attempt to stall the commit stage.
+    if (waves[i] >= rwsets.size()) return false;
+    if (wave < EarliestWave(*rwsets[i], key_waves)) return false;
+    RecordWave(*rwsets[i], wave, &key_waves);
+  }
+  return true;
+}
+
+uint32_t NumCommitWaves(const std::vector<uint32_t>& waves) {
+  uint32_t num = 0;
+  for (const uint32_t w : waves) num = std::max(num, w + 1);
+  return num;
+}
+
+}  // namespace fabricpp::ordering

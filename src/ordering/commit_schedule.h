@@ -1,0 +1,60 @@
+#ifndef FABRICPP_ORDERING_COMMIT_SCHEDULE_H_
+#define FABRICPP_ORDERING_COMMIT_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/rwset.h"
+
+namespace fabricpp::ordering {
+
+/// Dependency-aware commit scheduling (DESIGN.md §13): a wave / level
+/// partition of a block's residual read-write conflict graph. Transactions
+/// in the same wave can have their MVCC checks evaluated concurrently
+/// against a snapshot of the versions visible at the wave boundary; valid
+/// writes are then applied sequentially, in block order, at the barrier
+/// between waves. Grounded in "Dependency-Aware Execution Mechanism in
+/// Hyperledger Fabric" (arXiv 2509.07425) and OXII's lockless isolation
+/// (arXiv 1911.12711).
+///
+/// Wave invariants, for block positions i < j (earlier tx first):
+///  - writes(i) ∩ reads(j) ≠ ∅  =>  wave[j] >  wave[i]   (true dependency:
+///    j's MVCC check must see i's version bump, which lands at i's barrier)
+///  - reads(i) ∩ writes(j) ≠ ∅  =>  wave[j] >= wave[i]   (anti dependency:
+///    i must not see j's bump — same wave is fine, checks read a snapshot)
+///  - writes(i) ∩ writes(j) ≠ ∅ =>  wave[j] >= wave[i]   (output dependency:
+///    the barrier applies same-wave writes in block order, so j still wins)
+///
+/// Any wave assignment satisfying these yields verdicts and final state
+/// identical to the sequential commit loop — which is why a schedule shipped
+/// by an untrusted orderer only needs to be *validated* (one O(total-rwset)
+/// pass), never trusted: a bogus schedule is discarded and recomputed, and
+/// the worst a malicious orderer can do is serialize the commit stage.
+///
+/// Duplicate-txid verdicts are intentionally not modeled here: they are a
+/// pure function of the ledger and the block order (schedule-independent),
+/// so the validator resolves them in a sequential pre-pass.
+
+/// Computes the canonical (greedy, earliest-possible) wave for every
+/// transaction: waves[i] is the 0-based wave of rwsets[i]. Single pass,
+/// O(total rwset size) expected. A conflict-free block collapses to one
+/// wave; a single-hot-key write workload degenerates to waves[i] == i
+/// (sequential). Deterministic in the rwsets alone.
+std::vector<uint32_t> ComputeCommitWaves(
+    const std::vector<const proto::ReadWriteSet*>& rwsets);
+
+/// Checks a (possibly orderer-shipped) wave assignment against the three
+/// invariants above. Same single pass as ComputeCommitWaves; accepts any
+/// valid partition, not just the canonical one, but rejects waves beyond
+/// rwsets.size() (a valid schedule never needs more waves than
+/// transactions). Returns false on size mismatch.
+bool ValidateCommitWaves(
+    const std::vector<const proto::ReadWriteSet*>& rwsets,
+    const std::vector<uint32_t>& waves);
+
+/// Number of waves in an assignment (max + 1; 0 for an empty block).
+uint32_t NumCommitWaves(const std::vector<uint32_t>& waves);
+
+}  // namespace fabricpp::ordering
+
+#endif  // FABRICPP_ORDERING_COMMIT_SCHEDULE_H_

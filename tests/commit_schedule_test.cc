@@ -1,0 +1,187 @@
+// Tests for the commit-stage dependency schedule (DESIGN.md §13): the wave
+// partition's constraint system, validation of shipped (possibly hostile)
+// schedules, and the block wire carriage — including that a schedule-less
+// block encodes to exactly the legacy bytes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ordering/commit_schedule.h"
+#include "proto/block.h"
+
+namespace fabricpp {
+namespace {
+
+using ordering::ComputeCommitWaves;
+using ordering::NumCommitWaves;
+using ordering::ValidateCommitWaves;
+
+/// Shorthand rwset: reads and writes by key name (versions don't matter for
+/// scheduling — the waves depend on key overlap only).
+proto::ReadWriteSet RW(std::vector<std::string> reads,
+                       std::vector<std::string> writes) {
+  proto::ReadWriteSet set;
+  for (std::string& key : reads) {
+    set.reads.push_back({std::move(key), proto::kNilVersion});
+  }
+  for (std::string& key : writes) {
+    set.writes.push_back({std::move(key), "v", false});
+  }
+  return set;
+}
+
+std::vector<const proto::ReadWriteSet*> Ptrs(
+    const std::vector<proto::ReadWriteSet>& sets) {
+  std::vector<const proto::ReadWriteSet*> ptrs;
+  for (const proto::ReadWriteSet& s : sets) ptrs.push_back(&s);
+  return ptrs;
+}
+
+TEST(CommitScheduleTest, ConflictFreeBlockIsOneWave) {
+  std::vector<proto::ReadWriteSet> sets;
+  for (int i = 0; i < 16; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    sets.push_back(RW({key}, {key}));
+  }
+  const std::vector<uint32_t> waves = ComputeCommitWaves(Ptrs(sets));
+  EXPECT_EQ(NumCommitWaves(waves), 1u);
+  for (const uint32_t w : waves) EXPECT_EQ(w, 0u);
+  EXPECT_TRUE(ValidateCommitWaves(Ptrs(sets), waves));
+}
+
+TEST(CommitScheduleTest, HotKeyReadWriteChainIsFullySequential) {
+  std::vector<proto::ReadWriteSet> sets;
+  for (int i = 0; i < 8; ++i) sets.push_back(RW({"hot"}, {"hot"}));
+  const std::vector<uint32_t> waves = ComputeCommitWaves(Ptrs(sets));
+  for (size_t i = 0; i < waves.size(); ++i) {
+    EXPECT_EQ(waves[i], i) << "hot-key schedule must degenerate to serial";
+  }
+}
+
+TEST(CommitScheduleTest, WriteToReadIsStrictlyOrdered) {
+  std::vector<proto::ReadWriteSet> sets;
+  sets.push_back(RW({}, {"x"}));
+  sets.push_back(RW({"x"}, {"y"}));  // Must see the writer's barrier.
+  sets.push_back(RW({"y"}, {}));
+  const std::vector<uint32_t> waves = ComputeCommitWaves(Ptrs(sets));
+  EXPECT_EQ(waves, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(CommitScheduleTest, AntiAndOutputDependenciesShareAWave) {
+  std::vector<proto::ReadWriteSet> sets;
+  sets.push_back(RW({"x"}, {}));     // Reader first...
+  sets.push_back(RW({}, {"x"}));     // ...later writer may share its wave
+  sets.push_back(RW({}, {"x"}));     // (checks snapshot; barrier applies in
+  const std::vector<uint32_t> waves = ComputeCommitWaves(Ptrs(sets));
+  EXPECT_EQ(waves, (std::vector<uint32_t>{0, 0, 0}));  // block order).
+  EXPECT_TRUE(ValidateCommitWaves(Ptrs(sets), waves));
+}
+
+TEST(CommitScheduleTest, PureReadersNeverConstrainEachOther) {
+  std::vector<proto::ReadWriteSet> sets;
+  for (int i = 0; i < 4; ++i) sets.push_back(RW({"shared"}, {}));
+  const std::vector<uint32_t> waves = ComputeCommitWaves(Ptrs(sets));
+  EXPECT_EQ(NumCommitWaves(waves), 1u);
+}
+
+TEST(CommitScheduleTest, ValidatorAcceptsAnyValidPartitionNotJustCanonical) {
+  std::vector<proto::ReadWriteSet> sets;
+  sets.push_back(RW({}, {"x"}));
+  sets.push_back(RW({"x"}, {}));
+  sets.push_back(RW({}, {"z"}));
+  // Canonical is {0, 1, 0}; a lazier (but valid) partition also passes.
+  EXPECT_TRUE(ValidateCommitWaves(Ptrs(sets), {0, 1, 0}));
+  EXPECT_TRUE(ValidateCommitWaves(Ptrs(sets), {0, 2, 1}));
+  EXPECT_TRUE(ValidateCommitWaves(Ptrs(sets), {0, 1, 2}));
+}
+
+TEST(CommitScheduleTest, ValidatorRejectsConstraintViolations) {
+  std::vector<proto::ReadWriteSet> sets;
+  sets.push_back(RW({"a"}, {"x"}));
+  sets.push_back(RW({"x"}, {"a"}));
+  // Canonical: reader of x must follow its writer strictly.
+  EXPECT_EQ(ComputeCommitWaves(Ptrs(sets)), (std::vector<uint32_t>{0, 1}));
+  // Same wave: violates write->read. Reversed: violates monotonicity too.
+  EXPECT_FALSE(ValidateCommitWaves(Ptrs(sets), {0, 0}));
+  EXPECT_FALSE(ValidateCommitWaves(Ptrs(sets), {1, 0}));
+  // Size mismatch and out-of-range waves are rejected outright.
+  EXPECT_FALSE(ValidateCommitWaves(Ptrs(sets), {0}));
+  EXPECT_FALSE(ValidateCommitWaves(Ptrs(sets), {0, 7}));
+}
+
+TEST(CommitScheduleTest, EmptyBlock) {
+  std::vector<proto::ReadWriteSet> sets;
+  EXPECT_TRUE(ComputeCommitWaves(Ptrs(sets)).empty());
+  EXPECT_EQ(NumCommitWaves({}), 0u);
+  EXPECT_TRUE(ValidateCommitWaves(Ptrs(sets), {}));
+}
+
+// --- Wire carriage (proto::Block trailing section) ---
+
+proto::Block BlockWithTxs(size_t n) {
+  proto::Block block;
+  block.header.number = 7;
+  for (size_t i = 0; i < n; ++i) {
+    proto::Transaction tx;
+    tx.tx_id = "t" + std::to_string(i);
+    tx.rwset.writes.push_back({"k" + std::to_string(i), "v", false});
+    block.transactions.push_back(std::move(tx));
+  }
+  block.SealDataHash();
+  return block;
+}
+
+TEST(CommitScheduleTest, BlockRoundTripsScheduleOnTheWire) {
+  proto::Block block = BlockWithTxs(3);
+  block.commit_waves = {0, 1, 1};
+  const Bytes encoded = block.Encode();
+  ByteReader reader(encoded);
+  const Result<proto::Block> decoded = proto::Block::Decode(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->commit_waves, block.commit_waves);
+  EXPECT_EQ(decoded->transactions.size(), 3u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(CommitScheduleTest, ScheduleLessBlockEncodesToLegacyBytes) {
+  // The knob-off wire format is byte-identical to a build that has never
+  // heard of commit schedules — this is what keeps pre-schedule runs
+  // reproducible. A shipped schedule strictly appends.
+  proto::Block block = BlockWithTxs(2);
+  const Bytes legacy = block.Encode();
+  block.commit_waves = {0, 0};
+  const Bytes shipped = block.Encode();
+  ASSERT_GT(shipped.size(), legacy.size());
+  EXPECT_EQ(Bytes(shipped.begin(), shipped.begin() + legacy.size()), legacy);
+  block.commit_waves.clear();
+  EXPECT_EQ(block.Encode(), legacy);
+  EXPECT_EQ(block.ByteSize(), legacy.size());
+}
+
+TEST(CommitScheduleTest, ScheduleStaysOutsideTheDataHash) {
+  proto::Block block = BlockWithTxs(4);
+  const crypto::Digest sealed = block.header.data_hash;
+  block.commit_waves = {0, 0, 0, 0};
+  EXPECT_TRUE(block.VerifyDataHash());
+  block.SealDataHash();
+  EXPECT_EQ(block.header.data_hash, sealed);
+}
+
+TEST(CommitScheduleTest, DecodeRejectsMalformedTrailingSection) {
+  proto::Block block = BlockWithTxs(2);
+  Bytes encoded = block.Encode();
+  encoded.push_back(0x11);  // Unknown trailing tag.
+  ByteReader bad_tag(encoded);
+  EXPECT_FALSE(proto::Block::Decode(&bad_tag).ok());
+
+  block.commit_waves = {0, 1};
+  Bytes truncated = block.Encode();
+  truncated.pop_back();  // Chop the last wave entry.
+  ByteReader chopped(truncated);
+  EXPECT_FALSE(proto::Block::Decode(&chopped).ok());
+}
+
+}  // namespace
+}  // namespace fabricpp

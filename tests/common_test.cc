@@ -206,10 +206,17 @@ TEST(ZipfTest, HighSkewConcentratesOnHead) {
 // --- Histogram ---
 
 TEST(HistogramTest, EmptyIsZero) {
+  // Reporting code calls Quantile on never-filled histograms (e.g. a run
+  // where no transaction resolved): every percentile must read 0, not NaN
+  // or a bucket bound.
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
   EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.95), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
 }
 
 TEST(HistogramTest, SingleValue) {

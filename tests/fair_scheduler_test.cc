@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fabric/metrics.h"
 #include "proto/transaction.h"
 
 namespace fabricpp::node {
@@ -171,6 +172,15 @@ TEST(FairSchedulerTest, ConflictPenaltyThrottlesHotKeyWriters) {
   int h_served = 0;
   for (const std::string& c : order) h_served += c == "h";
   EXPECT_EQ(h_served, 1) << "hot-key writer should pay 4x per transaction";
+}
+
+TEST(FairSchedulerTest, IdleRunReportsPerfectFairness) {
+  // The fairness suite's end-to-end runs read jain_fairness out of the run
+  // report; a window in which no client fired (scheduler idle throughout)
+  // must report 1.0, not the pre-fix 0.0 that looked like total starvation.
+  fabric::Metrics metrics;
+  metrics.SetWindow(0, ~0ULL);
+  EXPECT_EQ(metrics.Report().jain_fairness, 1.0);
 }
 
 }  // namespace

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "fabric/metrics.h"
 #include "fabric/network.h"
+#include "node/client_node.h"
 #include "workload/smallbank.h"
 
 namespace fabricpp::fabric {
@@ -64,6 +68,90 @@ TEST(MetricsTest, UnknownKeyStillCounted) {
   metrics.SetWindow(0, ~0ULL);
   metrics.Resolve("never-fired/9", TxOutcome::kSuccess, 77);
   EXPECT_EQ(metrics.successful(), 1u);
+}
+
+TEST(MetricsTest, EmptyReportPercentilesAreZero) {
+  // A run where nothing resolved (e.g. total fault blackout) must report
+  // zero latency percentiles, not bucket bounds from an empty histogram.
+  Metrics metrics;
+  metrics.SetWindow(0, ~0ULL);
+  const RunReport report = metrics.Report();
+  EXPECT_EQ(report.latency_p50_ms, 0.0);
+  EXPECT_EQ(report.latency_p95_ms, 0.0);
+  EXPECT_EQ(report.latency_p99_ms, 0.0);
+  EXPECT_EQ(report.latency_avg_ms, 0.0);
+  EXPECT_EQ(report.block_gap_avg_ms, 0.0);
+  EXPECT_EQ(report.block_gap_p95_ms, 0.0);
+}
+
+TEST(MetricsTest, JainFairnessDefaultsToFairNotStarved) {
+  {
+    // Nobody fired: no allocation exists, so the index is 1.0 — a zeroed
+    // report must not read as "maximally unfair".
+    Metrics metrics;
+    metrics.SetWindow(0, ~0ULL);
+    EXPECT_EQ(metrics.Report().jain_fairness, 1.0);
+  }
+  {
+    // One client: trivially fair regardless of its success count.
+    Metrics metrics;
+    metrics.SetWindow(0, ~0ULL);
+    metrics.NoteFired("solo/1", 10);
+    metrics.Resolve("solo/1", TxOutcome::kAbortMvcc, 20);
+    EXPECT_EQ(metrics.Report().jain_fairness, 1.0);
+  }
+  {
+    // Several clients fired, none succeeded: equal zero shares are fair
+    // (the 0/0 limit), not jain = 0.
+    Metrics metrics;
+    metrics.SetWindow(0, ~0ULL);
+    for (int c = 0; c < 3; ++c) {
+      const std::string key = ProposalKey("c" + std::to_string(c), 1);
+      metrics.NoteFired(key, 10);
+      metrics.Resolve(key, TxOutcome::kAbortMvcc, 20);
+    }
+    EXPECT_EQ(metrics.Report().jain_fairness, 1.0);
+  }
+  {
+    // Genuinely skewed shares still compute the textbook index: x = {3, 1}
+    // gives (3+1)^2 / (2 * (9+1)) = 0.8.
+    Metrics metrics;
+    metrics.SetWindow(0, ~0ULL);
+    for (int i = 1; i <= 3; ++i) {
+      metrics.NoteFired(ProposalKey("a", i), 10);
+      metrics.Resolve(ProposalKey("a", i), TxOutcome::kSuccess, 20);
+    }
+    metrics.NoteFired(ProposalKey("b", 1), 10);
+    metrics.Resolve(ProposalKey("b", 1), TxOutcome::kSuccess, 20);
+    EXPECT_DOUBLE_EQ(metrics.Report().jain_fairness, 0.8);
+  }
+}
+
+TEST(BackoffTest, DoublesThenSaturatesAtMax) {
+  EXPECT_EQ(node::SaturatingBackoff(100, 10000, 0), 100u);
+  EXPECT_EQ(node::SaturatingBackoff(100, 10000, 1), 200u);
+  EXPECT_EQ(node::SaturatingBackoff(100, 10000, 3), 800u);
+  EXPECT_EQ(node::SaturatingBackoff(100, 10000, 7), 10000u);
+  EXPECT_EQ(node::SaturatingBackoff(100, 10000, 200), 10000u);
+}
+
+TEST(BackoffTest, ExtremeKnobsNeverOverflowToTinyDelays) {
+  constexpr uint64_t kHuge = std::numeric_limits<uint64_t>::max();
+  // Base near the top of the range: the old `delay *= 2` wrapped around
+  // here and produced a near-zero delay instead of the configured ceiling.
+  EXPECT_EQ(node::SaturatingBackoff(kHuge - 1, kHuge, 1), kHuge);
+  EXPECT_EQ(node::SaturatingBackoff(kHuge, kHuge, 64), kHuge);
+  EXPECT_EQ(node::SaturatingBackoff(kHuge / 2 + 1, kHuge, 1), kHuge);
+  // Base above max clamps immediately, retries notwithstanding.
+  EXPECT_EQ(node::SaturatingBackoff(kHuge, 5000, 0), 5000u);
+  EXPECT_EQ(node::SaturatingBackoff(kHuge, 5000, 32), 5000u);
+  // Many doublings of a small base saturate instead of wrapping: 1 << 64
+  // would be 0 with wrapping arithmetic.
+  EXPECT_EQ(node::SaturatingBackoff(1, kHuge, 64), kHuge);
+  EXPECT_EQ(node::SaturatingBackoff(1, kHuge, 63), 1ull << 63);
+  // Degenerate knobs stay sane.
+  EXPECT_EQ(node::SaturatingBackoff(0, 10000, 5), 0u);
+  EXPECT_EQ(node::SaturatingBackoff(100, 0, 5), 0u);
 }
 
 TEST(MetricsTest, OutcomeNames) {

@@ -1,14 +1,27 @@
 // google-benchmark timings of the storage-engine substrate: skip list,
-// bloom filter, WAL append, SSTable build/lookup, and end-to-end Db
-// operations. Establishes the per-operation costs that the simulation's
-// CostModel abstracts (per_read / per_write / commit_per_write).
+// bloom filter, WAL append, SSTable build/lookup, end-to-end Db operations,
+// sustained ingest under leveled compaction, block-cache point reads, and
+// crash-restart time vs chain length (full WAL replay vs checkpoint +
+// WAL-tail recovery). Establishes the per-operation costs that the
+// simulation's CostModel abstracts (per_read / per_write /
+// commit_per_write).
+//
+// `--smoke` (used by CI) shortens every measurement to 0.05s AND runs the
+// restart-recovery gate afterwards: checkpointed restart must be strictly
+// faster than full replay and yield a byte-identical state fingerprint, or
+// the binary exits non-zero.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "statedb/persistent_state_db.h"
 #include "storage/bloom.h"
 #include "storage/db.h"
 #include "storage/skiplist.h"
@@ -191,7 +204,253 @@ void BM_BlockCommitPerKeySync(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockCommitPerKeySync)->Arg(64)->Arg(256)->Arg(1024);
 
+// --- Sustained ingest under leveled compaction ---
+
+void BM_SustainedIngest(benchmark::State& state) {
+  const std::string dir = ScratchDir("ingest");
+  DbOptions options;
+  options.memtable_max_bytes = 64 << 10;  // force steady flush/compact churn
+  options.level_base_bytes = 512 << 10;
+  options.target_file_bytes = 128 << 10;
+  options.sync_mode = WalSyncMode::kNone;
+  auto db = Db::Open(dir, options);
+  Rng rng(0x1a6e57);
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (auto _ : state) {
+    (void)(*db)->Put(
+        StrFormat("key%08llu",
+                  static_cast<unsigned long long>(rng.NextUint64(1 << 18))),
+        value);
+  }
+  state.SetBytesProcessed(state.iterations() * (state.range(0) + 11));
+  state.counters["flushes"] = static_cast<double>((*db)->stats().flushes);
+  state.counters["compactions"] =
+      static_cast<double>((*db)->stats().compactions);
+  state.counters["compaction_mb"] =
+      static_cast<double>((*db)->stats().compaction_bytes_written) / 1e6;
+  state.counters["levels"] = static_cast<double>((*db)->num_levels());
+  db->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SustainedIngest)->Arg(64)->Arg(512);
+
+// --- Block-cache point reads (Arg: cache bytes; 0 = disabled) ---
+
+void BM_PointReadWithCache(benchmark::State& state) {
+  const std::string dir = ScratchDir("cache_read");
+  DbOptions options;
+  options.block_cache_bytes = static_cast<size_t>(state.range(0));
+  options.sync_mode = WalSyncMode::kNone;
+  auto db = Db::Open(dir, options);
+  for (int i = 0; i < 50000; ++i) {
+    (void)(*db)->Put(StrFormat("key%06d", i), "value-of-moderate-size");
+  }
+  (void)(*db)->CompactAll();
+  Rng rng(0xcac4e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*db)->Get(StrFormat(
+        "key%06llu",
+        static_cast<unsigned long long>(rng.NextUint64(50000)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+  const uint64_t hits = (*db)->block_cache_hits();
+  const uint64_t misses = (*db)->block_cache_misses();
+  state.counters["hit_rate"] =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  db->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_PointReadWithCache)->Arg(0)->Arg(4 << 20);
+
+// --- Crash-restart time vs chain length ---
+
+/// Applies `blocks` small blocks through the atomic commit path.
+void ApplyChain(statedb::PersistentStateDb* db, uint64_t blocks,
+                uint64_t start = 1) {
+  for (uint64_t h = start; h <= blocks; ++h) {
+    std::vector<proto::WriteItem> writes;
+    for (int k = 0; k < 4; ++k) {
+      writes.push_back({StrFormat("acct%05llu",
+                            static_cast<unsigned long long>(
+                                (h * 17 + k * 7) % 4096)),
+                        StrFormat("bal-%llu-%d",
+                            static_cast<unsigned long long>(h), k),
+                        false});
+    }
+    (void)db->ApplyBlock(writes, proto::Version{h, 0}, h);
+  }
+}
+
+/// Removes the live table set (MANIFEST + *.sst), keeping WAL+checkpoints —
+/// the crash the snapshot recovery path exists for.
+void DropLiveTables(const std::string& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename() == "MANIFEST" ||
+        entry.path().extension() == ".sst") {
+      fs::remove(entry.path());
+    }
+  }
+}
+
+void BM_RestartFullReplay(benchmark::State& state) {
+  const std::string dir = ScratchDir("restart_replay");
+  const uint64_t blocks = static_cast<uint64_t>(state.range(0));
+  DbOptions options;
+  options.sync_mode = WalSyncMode::kNone;
+  // A large memtable keeps the whole chain in the WAL: restart must replay
+  // every block ever committed.
+  options.memtable_max_bytes = 256 << 20;
+  {
+    auto db = statedb::PersistentStateDb::Open(dir, options);
+    ApplyChain(db->get(), blocks);
+  }
+  for (auto _ : state) {
+    auto db = statedb::PersistentStateDb::Open(dir, options);
+    benchmark::DoNotOptimize((*db)->last_committed_block());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(blocks));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RestartFullReplay)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RestartFromCheckpoint(benchmark::State& state) {
+  const std::string dir = ScratchDir("restart_ckpt");
+  const uint64_t blocks = static_cast<uint64_t>(state.range(0));
+  DbOptions options;
+  options.sync_mode = WalSyncMode::kNone;
+  options.memtable_max_bytes = 256 << 20;
+  options.checkpoint_dir = dir + "-ckpts";
+  options.checkpoint_interval_blocks = static_cast<uint32_t>(blocks);
+  fs::remove_all(options.checkpoint_dir);
+  {
+    auto db = statedb::PersistentStateDb::Open(dir, options);
+    ApplyChain(db->get(), blocks);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    DropLiveTables(dir);  // recovery rebuilds them from the snapshot
+    state.ResumeTiming();
+    auto db = statedb::PersistentStateDb::Open(dir, options);
+    benchmark::DoNotOptimize((*db)->last_committed_block());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(blocks));
+  fs::remove_all(dir);
+  fs::remove_all(options.checkpoint_dir);
+}
+BENCHMARK(BM_RestartFromCheckpoint)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// The CI smoke gate: after N blocks, checkpoint + WAL-tail restart must
+/// be strictly faster than full WAL replay AND byte-identical in state.
+/// Returns true on pass.
+bool RunRestartSmokeGate() {
+  constexpr uint64_t kBlocks = 2048;
+  const std::string replay_dir = ScratchDir("gate_replay");
+  const std::string ckpt_dir = ScratchDir("gate_ckpt");
+  DbOptions replay_options;
+  replay_options.sync_mode = WalSyncMode::kNone;
+  replay_options.memtable_max_bytes = 256 << 20;
+  DbOptions ckpt_options = replay_options;
+  ckpt_options.checkpoint_dir = ckpt_dir + "-ckpts";
+  ckpt_options.checkpoint_interval_blocks = kBlocks;
+  fs::remove_all(ckpt_options.checkpoint_dir);
+  {
+    auto db = statedb::PersistentStateDb::Open(replay_dir, replay_options);
+    ApplyChain(db->get(), kBlocks);
+  }
+  {
+    auto db = statedb::PersistentStateDb::Open(ckpt_dir, ckpt_options);
+    ApplyChain(db->get(), kBlocks);
+  }
+  DropLiveTables(ckpt_dir);
+
+  using Clock = std::chrono::steady_clock;
+  const auto replay_start = Clock::now();
+  auto replayed = statedb::PersistentStateDb::Open(replay_dir,
+                                                   replay_options);
+  const double replay_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - replay_start)
+          .count();
+  const auto ckpt_start = Clock::now();
+  auto recovered = statedb::PersistentStateDb::Open(ckpt_dir, ckpt_options);
+  const double ckpt_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - ckpt_start)
+          .count();
+
+  bool ok = true;
+  if (!replayed.ok() || !recovered.ok()) {
+    std::fprintf(stderr, "SMOKE GATE: recovery open failed\n");
+    ok = false;
+  } else {
+    const std::string fp_replay = (*replayed)->StateFingerprint();
+    const std::string fp_ckpt = (*recovered)->StateFingerprint();
+    if ((*recovered)->recovered_checkpoint_height() != kBlocks) {
+      std::fprintf(stderr,
+                   "SMOKE GATE: recovery ignored the checkpoint "
+                   "(recovered_checkpoint_height=%llu)\n",
+                   static_cast<unsigned long long>(
+                       (*recovered)->recovered_checkpoint_height()));
+      ok = false;
+    }
+    if (fp_replay != fp_ckpt) {
+      std::fprintf(stderr,
+                   "SMOKE GATE: fingerprint mismatch\n  replay: %s\n  "
+                   "checkpoint: %s\n",
+                   fp_replay.c_str(), fp_ckpt.c_str());
+      ok = false;
+    }
+    if (ckpt_ms >= replay_ms) {
+      std::fprintf(stderr,
+                   "SMOKE GATE: checkpointed restart (%.2f ms) not faster "
+                   "than full replay (%.2f ms)\n",
+                   ckpt_ms, replay_ms);
+      ok = false;
+    }
+    if (ok) {
+      std::fprintf(stderr,
+                   "SMOKE GATE PASS: %llu blocks, full replay %.2f ms, "
+                   "checkpointed restart %.2f ms (%.1fx), fingerprints "
+                   "match\n",
+                   static_cast<unsigned long long>(kBlocks), replay_ms,
+                   ckpt_ms, replay_ms / (ckpt_ms > 0 ? ckpt_ms : 1e-9));
+    }
+  }
+  fs::remove_all(replay_dir);
+  fs::remove_all(ckpt_dir);
+  fs::remove_all(ckpt_options.checkpoint_dir);
+  return ok;
+}
+
 }  // namespace
 }  // namespace fabricpp::storage
 
-BENCHMARK_MAIN();
+// Custom main so CI can pass `--smoke`: expands to a 0.05s minimum
+// measurement time per benchmark (keeping BENCH_storage.json complete) and
+// additionally runs the restart-recovery gate — checkpoint + WAL-tail
+// restart must beat full replay with an identical state fingerprint.
+int main(int argc, char** argv) {
+  static char min_time_arg[] = "--benchmark_min_time=0.05";
+  bool smoke = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      args.push_back(min_time_arg);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (smoke && !fabricpp::storage::RunRestartSmokeGate()) return 2;
+  return 0;
+}

@@ -1,5 +1,9 @@
 #include "fabric/config.h"
 
+#include <cstdlib>
+
+#include "common/logging.h"
+
 namespace fabricpp::fabric {
 
 FabricConfig FabricConfig::Vanilla() {
@@ -32,7 +36,20 @@ runtime::RuntimeMode FabricConfig::RuntimeModeOrDefault() const {
 storage::DbOptions FabricConfig::StorageOptions() const {
   storage::DbOptions options;
   const auto mode = storage::ParseWalSyncMode(storage_sync_mode);
-  options.sync_mode = mode.ok() ? *mode : storage::WalSyncMode::kBlock;
+  if (!mode.ok()) {
+    // Silently substituting a default here once masked misconfigured
+    // durability ("evry_write" ran with per-block syncing). A caller that
+    // skipped Validate() gets a loud stop, not a quiet downgrade.
+    FABRICPP_LOG(Error) << "unparsable storage_sync_mode \""
+                        << storage_sync_mode
+                        << "\": " << mode.status().ToString()
+                        << " — call Validate() before StorageOptions()";
+    std::abort();
+  }
+  options.sync_mode = *mode;
+  options.block_cache_bytes = static_cast<size_t>(storage_block_cache_bytes);
+  options.checkpoint_interval_blocks = checkpoint_interval_blocks;
+  options.checkpoint_dir = checkpoint_dir;
   return options;
 }
 
@@ -147,6 +164,27 @@ Status FabricConfig::Validate() const {
     return Status::InvalidArgument(
         "storage_sync_mode must be one of \"none\", \"block\", "
         "\"every_write\"; got \"" + storage_sync_mode + "\"");
+  }
+  if (storage_block_cache_bytes > (1ull << 30)) {
+    return Status::InvalidArgument(
+        "storage_block_cache_bytes must be <= 1 GiB (0 disables the block "
+        "cache)");
+  }
+  if (checkpoint_interval_blocks > 0 && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_interval_blocks > 0 requires checkpoint_dir: snapshots "
+        "need a directory to live in");
+  }
+  if (!checkpoint_dir.empty() && checkpoint_interval_blocks == 0) {
+    return Status::InvalidArgument(
+        "checkpoint_dir is set but checkpoint_interval_blocks is 0: no "
+        "snapshot would ever be written — enable the interval or clear the "
+        "directory");
+  }
+  if (ledger_retain_blocks > 0 && checkpoint_interval_blocks == 0) {
+    return Status::InvalidArgument(
+        "ledger_retain_blocks > 0 requires checkpointing: pruned blocks are "
+        "only recoverable-without-replay when the state is checkpointed");
   }
   const auto runtime_parsed = runtime::ParseRuntimeMode(runtime_mode);
   if (!runtime_parsed.ok()) {

@@ -252,10 +252,27 @@ struct FabricConfig {
   /// (fsync each WAL record, the slow per-key baseline). Parsed by
   /// storage::ParseWalSyncMode; Validate() rejects anything else.
   std::string storage_sync_mode = "block";
+  /// Block-cache budget for SSTable data blocks in bytes (sharded LRU;
+  /// see storage::BlockCache). 0 disables the cache. Must be <= 1 GiB.
+  uint64_t storage_block_cache_bytes = 4ull << 20;
+  /// Snapshot the state database every N committed blocks (0 = never).
+  /// When > 0, checkpoint_dir must name the directory snapshots live in;
+  /// restart then recovers from the newest valid checkpoint plus the WAL
+  /// tail instead of replaying the whole log.
+  uint32_t checkpoint_interval_blocks = 0;
+  std::string checkpoint_dir;
+  /// Prune ledger blocks below the newest state checkpoint, retaining at
+  /// least this many trailing blocks. 0 = retain everything (the default:
+  /// a blockchain forgets nothing unless explicitly told to). When > 0,
+  /// checkpointing must be enabled — the checkpoint is what makes the
+  /// pruned prefix recoverable-without-replay.
+  uint32_t ledger_retain_blocks = 0;
 
-  /// Storage-engine options with storage_sync_mode resolved — what benches,
-  /// tools, and durability tests should pass to PersistentStateDb::Open.
-  /// Call Validate() first; an unparseable mode falls back to kBlock here.
+  /// Storage-engine options with storage_sync_mode and the checkpoint /
+  /// cache knobs resolved — what benches, tools, and durability tests
+  /// should pass to PersistentStateDb::Open. Call Validate() first: an
+  /// unparseable storage_sync_mode here is a programming error (Validate
+  /// rejects it) and aborts loudly instead of silently defaulting.
   storage::DbOptions StorageOptions() const;
 
   CostModel cost;

@@ -66,6 +66,26 @@ std::string ReorderWallClock::ToString() const {
       static_cast<double>(schedule_us) / 1e3);
 }
 
+std::string StorageCounters::ToString() const {
+  return StrFormat(
+      "flushes=%llu compactions=%llu compacted=%.2fMB orphans_removed=%llu "
+      "checkpoints=%llu recovered_from=%llu cache_hits=%llu "
+      "cache_misses=%llu hit_rate=%.1f%%",
+      static_cast<unsigned long long>(flushes),
+      static_cast<unsigned long long>(compactions),
+      static_cast<double>(compaction_bytes_written) / 1e6,
+      static_cast<unsigned long long>(orphaned_tables_removed),
+      static_cast<unsigned long long>(checkpoints_written),
+      static_cast<unsigned long long>(recovered_checkpoint_height),
+      static_cast<unsigned long long>(block_cache_hits),
+      static_cast<unsigned long long>(block_cache_misses),
+      100.0 * static_cast<double>(block_cache_hits) /
+          static_cast<double>(
+              block_cache_hits + block_cache_misses == 0
+                  ? 1
+                  : block_cache_hits + block_cache_misses));
+}
+
 std::string ProposalKey(const std::string& client, uint64_t proposal_id) {
   return StrFormat("%s/%llu", client.c_str(),
                    static_cast<unsigned long long>(proposal_id));

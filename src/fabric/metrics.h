@@ -152,6 +152,25 @@ struct ReorderWallClock {
   std::string ToString() const;
 };
 
+/// Storage-engine counters of the observer peer's persistent state store
+/// (storage::DbStats plus the block cache), folded in by the harness after
+/// a run. Same contract as ValidationWallClock: host-side measurements kept
+/// out of RunReport so simulation fingerprints stay byte-identical whatever
+/// the cache size, compaction shape, or checkpoint cadence. Benches and
+/// tools read them via Metrics::storage_counters().
+struct StorageCounters {
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_written = 0;
+  uint64_t orphaned_tables_removed = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t recovered_checkpoint_height = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+
+  std::string ToString() const;
+};
+
 /// Collects transaction outcomes during a run.
 ///
 /// Only events inside the measurement window [window_start, window_end)
@@ -241,6 +260,18 @@ class Metrics {
     reorder_wall_.schedule_us += schedule_us;
   }
   const ReorderWallClock& reorder_wall_clock() const { return reorder_wall_; }
+
+  /// Storage-engine totals, folded in by the harness or bench after the run
+  /// (from storage::Db::stats() and the block cache counters) — see
+  /// StorageCounters.
+  void SetStorageCounters(const StorageCounters& counters) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    storage_counters_ = counters;
+  }
+  StorageCounters storage_counters() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return storage_counters_;
+  }
 
   /// A cut batch waited `waited` virtual time in the orderer's queue before
   /// the reorder stage had pipeline capacity for it. Virtual-time and thus
@@ -351,6 +382,7 @@ class Metrics {
   uint64_t net_duplicated_ = 0;
   ValidationWallClock validation_wall_;
   ReorderWallClock reorder_wall_;
+  StorageCounters storage_counters_;
 };
 
 /// A stable key for (client, proposal) used by Metrics.

@@ -10,6 +10,12 @@ namespace fabricpp::ledger {
 
 namespace {
 
+/// First payload byte of an anchor record. A normal record's payload starts
+/// with the varint length of the encoded block — never zero, since a block
+/// always encodes to at least its header — so 0x00 is unambiguous.
+constexpr uint8_t kAnchorTag = 0x00;
+constexpr uint64_t kAnchorMagic = 0xfab1e7a2c40f0001ULL;
+
 /// Serializes a stored block (block bytes + validation codes).
 Bytes EncodeStored(const StoredBlock& stored) {
   Bytes out;
@@ -42,6 +48,46 @@ Result<StoredBlock> DecodeStored(const Bytes& data) {
   return stored;
 }
 
+/// Frames `payload` as u32 crc | u32 length | payload and flushes.
+Status WriteRecordTo(std::FILE* file, const Bytes& payload) {
+  uint8_t header[8];
+  const uint32_t crc = storage::Crc32(payload.data(), payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(crc >> (8 * i));
+    header[4 + i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), file) !=
+          payload.size() ||
+      std::fflush(file) != 0) {
+    return Status::Internal("ledger file write failed");
+  }
+  return Status::OK();
+}
+
+/// Anchor record payload: tag byte, magic, then the stored-block encoding.
+Bytes EncodeAnchor(const StoredBlock& stored) {
+  Bytes out;
+  ByteWriter writer(&out);
+  writer.PutU8(kAnchorTag);
+  writer.PutU64(kAnchorMagic);
+  const Bytes inner = EncodeStored(stored);
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+Result<StoredBlock> DecodeAnchor(const Bytes& payload) {
+  ByteReader reader(payload);
+  FABRICPP_ASSIGN_OR_RETURN(const uint8_t tag, reader.GetU8());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t magic, reader.GetU64());
+  if (tag != kAnchorTag || magic != kAnchorMagic) {
+    return Status::DataLoss("malformed ledger anchor record");
+  }
+  const Bytes inner(payload.begin() + 9, payload.end());
+  return DecodeStored(inner);
+}
+
 }  // namespace
 
 PersistentLedger::~PersistentLedger() {
@@ -68,6 +114,25 @@ Result<std::unique_ptr<PersistentLedger>> PersistentLedger::Open(
       Bytes payload(length);
       if (std::fread(payload.data(), 1, length, file) != length) break;
       if (storage::Crc32(payload.data(), payload.size()) != crc) break;
+      if (!payload.empty() && payload[0] == kAnchorTag) {
+        // Anchor record — a pruned file's first record. Anywhere else it is
+        // corruption.
+        if (ledger->blocks_recovered_ != 0) {
+          std::fclose(file);
+          return Status::Internal("ledger anchor record not at file start");
+        }
+        auto anchor = DecodeAnchor(payload);
+        if (!anchor.ok()) break;
+        const Status restart =
+            ledger->ledger_.RestartFrom(std::move(anchor).value());
+        if (!restart.ok()) {
+          std::fclose(file);
+          return Status::Internal("ledger anchor rejected: " +
+                                  restart.ToString());
+        }
+        ++ledger->blocks_recovered_;
+        continue;
+      }
       auto stored = DecodeStored(payload);
       if (!stored.ok()) break;
       const Status append = ledger->ledger_.Append(std::move(stored).value());
@@ -91,19 +156,51 @@ Result<std::unique_ptr<PersistentLedger>> PersistentLedger::Open(
 }
 
 Status PersistentLedger::AppendToFile(const StoredBlock& stored) {
-  const Bytes payload = EncodeStored(stored);
-  uint8_t header[8];
-  const uint32_t crc = storage::Crc32(payload.data(), payload.size());
-  const uint32_t length = static_cast<uint32_t>(payload.size());
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<uint8_t>(crc >> (8 * i));
-    header[4 + i] = static_cast<uint8_t>(length >> (8 * i));
+  return WriteRecordTo(file_, EncodeStored(stored));
+}
+
+Status PersistentLedger::PruneBelow(uint64_t first_retained) {
+  const uint64_t before = ledger_.first_block();
+  ledger_.PruneTo(first_retained);
+  if (ledger_.first_block() == before) return Status::OK();
+
+  // Rewrite the block file from the retained suffix: anchor first, then the
+  // rest, then swap in atomically.
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
   }
-  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size() ||
-      std::fflush(file_) != 0) {
-    return Status::Internal("ledger file write failed");
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::Internal("cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  Status status = Status::OK();
+  for (uint64_t n = ledger_.first_block(); n < ledger_.Height(); ++n) {
+    const auto stored = ledger_.GetBlock(n);
+    if (!stored.ok()) {
+      status = stored.status();
+      break;
+    }
+    status = WriteRecordTo(out, n == ledger_.first_block()
+                                    ? EncodeAnchor(**stored)
+                                    : EncodeStored(**stored));
+    if (!status.ok()) break;
+  }
+  std::fclose(out);
+  if (status.ok() && std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    status = Status::Internal("cannot swap pruned ledger file: " +
+                              std::string(std::strerror(errno)));
+  }
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot reopen ledger file " + path_ + ": " +
+                            std::strerror(errno));
   }
   return Status::OK();
 }

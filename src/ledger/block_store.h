@@ -28,6 +28,13 @@ class PersistentLedger {
   /// Validates against the chain, appends in memory, then persists.
   Status Append(StoredBlock stored);
 
+  /// Drops all blocks below `first_retained` (clamped to keep the chain
+  /// tip) and rewrites the block file: the first retained block becomes an
+  /// anchor record, subsequent blocks follow unchanged, and the rewrite is
+  /// atomic (tmp file + rename). Reopening a pruned file restarts the chain
+  /// from the anchor. No-op when nothing would be pruned.
+  Status PruneBelow(uint64_t first_retained);
+
   /// The recovered + appended chain.
   const Ledger& ledger() const { return ledger_; }
 

@@ -1,5 +1,7 @@
 #include "ledger/ledger.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace fabricpp::ledger {
@@ -19,11 +21,11 @@ crypto::Digest Ledger::LastHash() const {
 
 Status Ledger::Append(StoredBlock stored) {
   const proto::Block& block = stored.block;
-  if (block.header.number != blocks_.size()) {
+  if (block.header.number != Height()) {
     return Status::FailedPrecondition(
-        StrFormat("block number %llu does not extend chain of height %zu",
+        StrFormat("block number %llu does not extend chain of height %llu",
                   static_cast<unsigned long long>(block.header.number),
-                  blocks_.size()));
+                  static_cast<unsigned long long>(Height())));
   }
   if (block.header.previous_hash != LastHash()) {
     return Status::FailedPrecondition("previous-hash link mismatch");
@@ -47,12 +49,19 @@ Status Ledger::Append(StoredBlock stored) {
 }
 
 Result<const StoredBlock*> Ledger::GetBlock(uint64_t number) const {
-  if (number >= blocks_.size()) {
+  if (number < first_block_) {
     return Status::OutOfRange(
-        StrFormat("block %llu beyond chain height %zu",
-                  static_cast<unsigned long long>(number), blocks_.size()));
+        StrFormat("block %llu pruned (first retained block is %llu)",
+                  static_cast<unsigned long long>(number),
+                  static_cast<unsigned long long>(first_block_)));
   }
-  return &blocks_[number];
+  if (number >= Height()) {
+    return Status::OutOfRange(
+        StrFormat("block %llu beyond chain height %llu",
+                  static_cast<unsigned long long>(number),
+                  static_cast<unsigned long long>(Height())));
+  }
+  return &blocks_[number - first_block_];
 }
 
 Result<std::pair<uint64_t, uint32_t>> Ledger::FindTransaction(
@@ -67,25 +76,72 @@ Result<std::pair<uint64_t, uint32_t>> Ledger::FindTransaction(
 Result<proto::TxValidationCode> Ledger::GetValidationCode(
     const std::string& tx_id) const {
   FABRICPP_ASSIGN_OR_RETURN(const auto loc, FindTransaction(tx_id));
-  return blocks_[loc.first].validation_codes[loc.second];
+  return blocks_[loc.first - first_block_].validation_codes[loc.second];
 }
 
 Status Ledger::VerifyChain() const {
   for (size_t i = 0; i < blocks_.size(); ++i) {
     const proto::Block& block = blocks_[i].block;
-    if (block.header.number != i) {
-      return Status::Internal(StrFormat("block %zu has wrong number", i));
+    const uint64_t number = first_block_ + i;
+    if (block.header.number != number) {
+      return Status::Internal(
+          StrFormat("block %llu has wrong number",
+                    static_cast<unsigned long long>(number)));
     }
     if (!block.VerifyDataHash()) {
-      return Status::Internal(StrFormat("block %zu data hash mismatch", i));
+      return Status::Internal(
+          StrFormat("block %llu data hash mismatch",
+                    static_cast<unsigned long long>(number)));
     }
+    // The first retained block is the anchor: its predecessor is pruned (or
+    // it is genesis), so there is no link to check — it was verified before
+    // the prune.
     if (i > 0) {
       if (block.header.previous_hash != blocks_[i - 1].block.header.Hash()) {
         return Status::Internal(
-            StrFormat("block %zu previous-hash link broken", i));
+            StrFormat("block %llu previous-hash link broken",
+                      static_cast<unsigned long long>(number)));
       }
     }
   }
+  return Status::OK();
+}
+
+void Ledger::PruneTo(uint64_t first_retained) {
+  if (first_retained <= first_block_) return;
+  // Keep at least the chain tip so LastHash()/Append keep working.
+  first_retained = std::min<uint64_t>(first_retained, Height() - 1);
+  const size_t drop = static_cast<size_t>(first_retained - first_block_);
+  for (size_t i = 0; i < drop; ++i) {
+    for (const proto::Transaction& tx : blocks_[i].block.transactions) {
+      tx_index_.erase(tx.tx_id);
+    }
+  }
+  blocks_.erase(blocks_.begin(), blocks_.begin() + static_cast<ptrdiff_t>(drop));
+  first_block_ = first_retained;
+}
+
+Status Ledger::RestartFrom(StoredBlock anchor) {
+  if (!anchor.block.VerifyDataHash()) {
+    return Status::FailedPrecondition("anchor block data hash mismatch");
+  }
+  if (anchor.validation_codes.size() != anchor.block.transactions.size()) {
+    return Status::InvalidArgument(
+        "anchor validation codes do not match transaction count");
+  }
+  blocks_.clear();
+  tx_index_.clear();
+  total_txs_ = 0;
+  total_valid_txs_ = 0;
+  first_block_ = anchor.block.header.number;
+  for (uint32_t i = 0; i < anchor.block.transactions.size(); ++i) {
+    tx_index_[anchor.block.transactions[i].tx_id] = {first_block_, i};
+    ++total_txs_;
+    if (anchor.validation_codes[i] == proto::TxValidationCode::kValid) {
+      ++total_valid_txs_;
+    }
+  }
+  blocks_.push_back(std::move(anchor));
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #include "statedb/persistent_state_db.h"
 
 #include "common/bytes.h"
+#include "common/logging.h"
+#include "crypto/sha256.h"
 
 namespace fabricpp::statedb {
 
@@ -99,7 +101,24 @@ Status PersistentStateDb::ApplyBlock(const std::vector<VersionedWrite>& writes,
   batch.Put(kHeightKey, std::to_string(height));
   FABRICPP_RETURN_IF_ERROR(db_->ApplyBatch(batch));
   last_committed_block_ = height;
+  MaybeCheckpoint(height);
   return Status::OK();
+}
+
+void PersistentStateDb::MaybeCheckpoint(uint64_t height) {
+  const storage::DbOptions& options = db_->options();
+  if (options.checkpoint_interval_blocks == 0 ||
+      options.checkpoint_dir.empty() || height == 0 ||
+      height % options.checkpoint_interval_blocks != 0) {
+    return;
+  }
+  // Best-effort: the block is already durable (WAL), so a failed snapshot
+  // only costs restart speed, never correctness.
+  const Status status = db_->WriteCheckpoint(height);
+  if (!status.ok()) {
+    FABRICPP_LOG(Warn) << "statedb: checkpoint at height " << height
+                       << " failed: " << status.ToString();
+  }
 }
 
 Status PersistentStateDb::ApplyBlock(
@@ -119,15 +138,39 @@ Status PersistentStateDb::set_last_committed_block(uint64_t block) {
 }
 
 void PersistentStateDb::ExportTo(StateDb* out) const {
-  db_->ForEach([&](const std::string& key, const std::string& raw) {
-    if (key == kHeightKey) return;
-    const auto vv = DecodeValue(raw);
-    if (!vv.ok()) return;
+  // Streaming Db::Iterator, not a key-space materialization: recovery-sized
+  // exports stay O(1) beyond the iterator's per-source state.
+  for (auto it = db_->NewIterator(); it.Valid(); it.Next()) {
+    if (it.key() == kHeightKey) continue;
+    const auto vv = DecodeValue(it.value());
+    if (!vv.ok()) continue;
     // Replays both value and version (SeedInitialState would reset the
     // version, so apply as a one-entry write batch instead).
-    out->ApplyWrites({proto::WriteItem{key, vv->value, false}}, vv->version);
-  });
+    out->ApplyWrites({proto::WriteItem{it.key(), vv->value, false}},
+                     vv->version);
+  }
   out->set_last_committed_block(last_committed_block_);
+}
+
+std::string PersistentStateDb::StateFingerprint() const {
+  crypto::Sha256 hash;
+  const auto update_framed = [&hash](std::string_view s) {
+    uint8_t len[8];
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<uint8_t>(s.size() >> (8 * i));
+    }
+    hash.Update(len, sizeof(len));
+    hash.Update(s.data(), s.size());
+  };
+  for (auto it = db_->NewIterator(); it.Valid(); it.Next()) {
+    if (it.key() == kHeightKey) continue;
+    // The raw value already carries the MVCC version (EncodeValue), so the
+    // digest covers (key, version, value) per entry.
+    update_framed(it.key());
+    update_framed(it.value());
+  }
+  update_framed(std::to_string(last_committed_block_));
+  return crypto::DigestToHex(hash.Finalize());
 }
 
 }  // namespace fabricpp::statedb

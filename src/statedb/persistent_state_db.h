@@ -54,8 +54,24 @@ class PersistentStateDb : public StateStore {
   Status set_last_committed_block(uint64_t block);
 
   /// Copies the full state into an in-memory StateDb (tests compare the
-  /// two implementations entry by entry).
+  /// two implementations entry by entry). Streams through Db::Iterator —
+  /// O(1) memory beyond the iterator, never materializing the key space.
   void ExportTo(StateDb* out) const;
+
+  /// Deterministic digest of the full versioned state: every (key, version,
+  /// value) in ascending key order plus the recovered height, hashed with
+  /// SHA-256. Two stores hold byte-identical state iff their fingerprints
+  /// match — how the restart tests assert checkpoint + WAL-tail recovery
+  /// equals full replay.
+  std::string StateFingerprint() const;
+
+  /// Height of the checkpoint the underlying Db restored from at Open
+  /// (0 = recovery used the live table set / plain WAL replay). When this
+  /// is below the chain tip, the caller replays the remaining blocks from
+  /// the ledger to catch up.
+  uint64_t recovered_checkpoint_height() const {
+    return db_->stats().recovered_checkpoint_height;
+  }
 
   storage::Db& raw_db() { return *db_; }
 
@@ -65,6 +81,10 @@ class PersistentStateDb : public StateStore {
 
   static Bytes EncodeValue(const std::string& value, proto::Version version);
   static Result<VersionedValue> DecodeValue(const std::string& raw);
+
+  /// Snapshots the state when `height` crosses a checkpoint interval
+  /// boundary (best-effort; see DbOptions::checkpoint_interval_blocks).
+  void MaybeCheckpoint(uint64_t height);
 
   std::unique_ptr<storage::Db> db_;
   uint64_t last_committed_block_ = 0;

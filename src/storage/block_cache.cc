@@ -1,0 +1,85 @@
+#include "storage/block_cache.h"
+
+#include <algorithm>
+
+namespace fabricpp::storage {
+
+BlockCache::BlockCache(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes),
+      shard_capacity_(std::max<size_t>(1, capacity_bytes /
+                                              std::max<size_t>(1, num_shards))) {
+  shards_.reserve(std::max<size_t>(1, num_shards));
+  for (size_t i = 0; i < std::max<size_t>(1, num_shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t BlockCache::NextTableId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t BlockCache::PackKey(uint64_t table_id, uint32_t block_index) {
+  // Table ids are process-unique allocation counters (small); a table's
+  // block count is bounded by its entry count / 16. 40 + 24 bits never
+  // collide in practice; the mix below keeps shard selection uniform.
+  return (table_id << 24) ^ block_index;
+}
+
+BlockCache::Shard& BlockCache::ShardFor(uint64_t key) {
+  // Fibonacci hash: consecutive block indexes of one table spread across
+  // shards instead of clustering.
+  const uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+  return *shards_[(mixed >> 32) % shards_.size()];
+}
+
+BlockCache::Handle BlockCache::Lookup(uint64_t table_id,
+                                      uint32_t block_index) {
+  const uint64_t key = PackKey(table_id, block_index);
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->block;
+}
+
+BlockCache::Handle BlockCache::Insert(uint64_t table_id, uint32_t block_index,
+                                      Bytes block) {
+  const uint64_t key = PackKey(table_id, block_index);
+  Handle handle = std::make_shared<const Bytes>(std::move(block));
+  Shard& shard = ShardFor(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
+    shard.charge -= it->second->block->size();
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{key, handle});
+  shard.map[key] = shard.lru.begin();
+  shard.charge += handle->size();
+  // Evict from the cold end; the newly inserted block itself is only evicted
+  // when it alone exceeds the shard budget (callers keep their handle).
+  while (shard.charge > shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.charge -= victim.block->size();
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+  }
+  return handle;
+}
+
+size_t BlockCache::charge_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->charge;
+  }
+  return total;
+}
+
+}  // namespace fabricpp::storage

@@ -1,0 +1,81 @@
+#ifndef FABRICPP_STORAGE_BLOCK_CACHE_H_
+#define FABRICPP_STORAGE_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace fabricpp::storage {
+
+/// A sharded LRU cache for SSTable data blocks, keyed by
+/// (table cache id, block index). Blocks are the spans between two
+/// consecutive sparse-index points of a table (~16 entries), so hot-key
+/// MVCC reads that keep landing in the same span stop re-reading the file.
+///
+/// Sharding: the key hashes to one of `num_shards` independent LRU lists,
+/// each with its own mutex and capacity_bytes / num_shards budget, so
+/// concurrent readers (validator / commit worker pools) do not serialize on
+/// one lock. Hit/miss counters are process-wide atomics.
+///
+/// Entries of dropped tables (after compaction) are not evicted eagerly —
+/// table cache ids are never reused, so stale entries can never be returned
+/// and simply age out of the LRU.
+class BlockCache {
+ public:
+  using Handle = std::shared_ptr<const Bytes>;
+
+  explicit BlockCache(size_t capacity_bytes, size_t num_shards = 8);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns the cached block, bumping it to most-recently-used, or null on
+  /// a miss. Counts a hit or a miss.
+  Handle Lookup(uint64_t table_id, uint32_t block_index);
+
+  /// Inserts (or replaces) a block and returns a handle to it, evicting
+  /// least-recently-used entries of the same shard over budget. The handle
+  /// stays valid after eviction (shared ownership).
+  Handle Insert(uint64_t table_id, uint32_t block_index, Bytes block);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_shards() const { return shards_.size(); }
+  /// Total bytes currently cached across all shards.
+  size_t charge_bytes() const;
+
+  /// Allocates a process-unique table id (monotonic, never reused).
+  static uint64_t NextTableId();
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Handle block;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+    size_t charge = 0;
+  };
+
+  Shard& ShardFor(uint64_t key);
+  static uint64_t PackKey(uint64_t table_id, uint32_t block_index);
+
+  const size_t capacity_bytes_;
+  const size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_BLOCK_CACHE_H_

@@ -1,0 +1,170 @@
+#include "storage/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "storage/crc32.h"
+
+namespace fabricpp::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0xfabc4ec9057a7e01ULL;
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr char kManifestBasename[] = "CHECKPOINT";
+constexpr char kDirPrefix[] = "ckpt-";
+
+}  // namespace
+
+Bytes CheckpointManifest::Encode() const {
+  Bytes out;
+  ByteWriter writer(&out);
+  writer.PutU64(kCheckpointMagic);
+  writer.PutU32(kCheckpointVersion);
+  writer.PutU64(height);
+  writer.PutVarint(chunks.size());
+  for (const CheckpointChunk& chunk : chunks) {
+    writer.PutString(chunk.file);
+    writer.PutVarint(chunk.num_entries);
+    writer.PutVarint(chunk.bytes);
+  }
+  writer.PutU32(Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<CheckpointManifest> CheckpointManifest::Decode(const Bytes& raw) {
+  if (raw.size() < 4) {
+    return Status::DataLoss("checkpoint manifest truncated");
+  }
+  if (Crc32(raw.data(), raw.size() - 4) !=
+      (static_cast<uint32_t>(raw[raw.size() - 4]) |
+       static_cast<uint32_t>(raw[raw.size() - 3]) << 8 |
+       static_cast<uint32_t>(raw[raw.size() - 2]) << 16 |
+       static_cast<uint32_t>(raw[raw.size() - 1]) << 24)) {
+    return Status::DataLoss("checkpoint manifest crc mismatch");
+  }
+  ByteReader reader(raw.data(), raw.size() - 4);
+  CheckpointManifest manifest;
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t magic, reader.GetU64());
+  if (magic != kCheckpointMagic) {
+    return Status::DataLoss("checkpoint manifest bad magic");
+  }
+  FABRICPP_ASSIGN_OR_RETURN(const uint32_t version, reader.GetU32());
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss(
+        StrFormat("checkpoint manifest unsupported version %u", version));
+  }
+  FABRICPP_ASSIGN_OR_RETURN(manifest.height, reader.GetU64());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t count, reader.GetVarint());
+  manifest.chunks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CheckpointChunk chunk;
+    FABRICPP_ASSIGN_OR_RETURN(chunk.file, reader.GetString());
+    FABRICPP_ASSIGN_OR_RETURN(chunk.num_entries, reader.GetVarint());
+    FABRICPP_ASSIGN_OR_RETURN(chunk.bytes, reader.GetVarint());
+    manifest.chunks.push_back(std::move(chunk));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("checkpoint manifest trailing bytes");
+  }
+  return manifest;
+}
+
+std::string CheckpointDirName(const std::string& root, uint64_t height) {
+  return root + "/" + kDirPrefix +
+         StrFormat("%llu", static_cast<unsigned long long>(height));
+}
+
+std::vector<uint64_t> ListCheckpoints(const std::string& root) {
+  std::vector<uint64_t> heights;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (ec) break;
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kDirPrefix, 0) != 0) continue;
+    const std::string digits = name.substr(std::strlen(kDirPrefix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    if (!fs::exists(entry.path() / kManifestBasename)) continue;
+    heights.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(heights.begin(), heights.end());
+  return heights;
+}
+
+Status WriteCheckpointManifest(const std::string& dir,
+                               const CheckpointManifest& manifest) {
+  const Bytes encoded = manifest.Encode();
+  const std::string path = dir + "/" + kManifestBasename;
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot write checkpoint manifest: " + tmp +
+                            ": " + std::strerror(errno));
+  }
+  const bool ok =
+      std::fwrite(encoded.data(), 1, encoded.size(), file) == encoded.size();
+  std::fclose(file);
+  if (!ok) return Status::Internal("checkpoint manifest write failed");
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::Internal("checkpoint manifest rename failed");
+  return Status::OK();
+}
+
+Result<CheckpointManifest> ReadCheckpointManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestBasename;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("checkpoint manifest missing: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  Bytes raw(static_cast<size_t>(size));
+  const bool ok = std::fread(raw.data(), 1, raw.size(), file) == raw.size();
+  std::fclose(file);
+  if (!ok) return Status::Internal("checkpoint manifest read failed");
+  FABRICPP_ASSIGN_OR_RETURN(CheckpointManifest manifest,
+                            CheckpointManifest::Decode(raw));
+  // Chunk presence + size cross-check: a chunk that was never renamed into
+  // place or got truncated fails here before any sstable parse.
+  for (const CheckpointChunk& chunk : manifest.chunks) {
+    std::error_code ec;
+    const uint64_t bytes = fs::file_size(fs::path(dir) / chunk.file, ec);
+    if (ec || bytes != chunk.bytes) {
+      return Status::DataLoss("checkpoint chunk missing or resized: " +
+                              chunk.file);
+    }
+  }
+  return manifest;
+}
+
+void PruneCheckpoints(const std::string& root, uint32_t retain) {
+  std::vector<uint64_t> heights = ListCheckpoints(root);
+  std::error_code ec;
+  // Abandoned tmp dirs (crash mid-write) are always reclaimed.
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (entry.is_directory() && name.rfind(kDirPrefix, 0) == 0 &&
+        name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+  if (heights.size() <= retain) return;
+  for (size_t i = 0; i + retain < heights.size(); ++i) {
+    fs::remove_all(CheckpointDirName(root, heights[i]), ec);
+  }
+}
+
+}  // namespace fabricpp::storage

@@ -1,0 +1,56 @@
+#ifndef FABRICPP_STORAGE_CHECKPOINT_H_
+#define FABRICPP_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace fabricpp::storage {
+
+/// One sorted, non-overlapping chunk of a state checkpoint (an ordinary
+/// sstable file inside the checkpoint directory).
+struct CheckpointChunk {
+  std::string file;  ///< Basename within the checkpoint directory.
+  uint64_t num_entries = 0;
+  uint64_t bytes = 0;  ///< File size, cross-checked at load.
+};
+
+/// The CHECKPOINT manifest: a CRC-protected, versioned description of a
+/// snapshot of the whole live key space at a block height. Chunks are
+/// written in ascending key order (a streaming Db::Iterator pass), so a
+/// restored checkpoint is a sorted non-overlapping run — it installs
+/// directly as an L1 level.
+struct CheckpointManifest {
+  uint64_t height = 0;
+  std::vector<CheckpointChunk> chunks;
+
+  Bytes Encode() const;
+  static Result<CheckpointManifest> Decode(const Bytes& raw);
+};
+
+/// `<root>/ckpt-<height>`. Written as `<dir>.tmp` then renamed, so a
+/// directory without the `.tmp` suffix is complete-or-absent.
+std::string CheckpointDirName(const std::string& root, uint64_t height);
+
+/// Heights of all complete checkpoints under `root`, ascending. A missing
+/// root directory is an empty list, not an error.
+std::vector<uint64_t> ListCheckpoints(const std::string& root);
+
+/// Writes `manifest` to `<dir>/CHECKPOINT` (tmp + rename within dir).
+Status WriteCheckpointManifest(const std::string& dir,
+                               const CheckpointManifest& manifest);
+
+/// Reads and validates `<dir>/CHECKPOINT`.
+Result<CheckpointManifest> ReadCheckpointManifest(const std::string& dir);
+
+/// Deletes all checkpoints under `root` except the newest `retain` ones,
+/// plus any abandoned `.tmp` directories.
+void PruneCheckpoints(const std::string& root, uint32_t retain);
+
+}  // namespace fabricpp::storage
+
+#endif  // FABRICPP_STORAGE_CHECKPOINT_H_

@@ -8,6 +8,8 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/block_cache.h"
+#include "storage/checkpoint.h"
 #include "storage/skiplist.h"
 #include "storage/sstable.h"
 #include "storage/wal.h"
@@ -17,29 +19,72 @@ namespace fabricpp::storage {
 
 /// Tuning knobs of the storage engine.
 struct DbOptions {
-  /// Memtable size that triggers a flush to an SSTable.
+  /// Memtable size that triggers a flush to an L0 SSTable.
   size_t memtable_max_bytes = 4 << 20;
   uint32_t bloom_bits_per_key = 10;
-  /// Number of live SSTables that triggers a full merge compaction.
+  /// Number of L0 flush files that triggers an L0 -> L1 merge (L0 files
+  /// overlap each other, so every L0 file joins the merge).
   size_t compaction_trigger = 8;
+  /// Target total data bytes of L1; level n may hold
+  /// level_base_bytes * level_size_ratio^(n-1) before it spills into n+1.
+  size_t level_base_bytes = 8 << 20;
+  size_t level_size_ratio = 8;
+  /// Compaction and checkpoint outputs are chunked into files of roughly
+  /// this many data bytes, so one merge never rewrites a whole level.
+  size_t target_file_bytes = 2 << 20;
   /// WAL durability (see WalSyncMode): when to fsync appends. kBlock is
   /// the group-commit sweet spot — one fsync per ApplyBatch, none for
   /// individual writes.
   WalSyncMode sync_mode = WalSyncMode::kNone;
+  /// Capacity of the sstable data-block cache (sharded LRU); 0 disables
+  /// caching and every point read goes to disk.
+  size_t block_cache_bytes = 4 << 20;
+  /// Directory holding state checkpoints. Empty = checkpoints disabled:
+  /// WriteCheckpoint fails and Open never looks for snapshots.
+  std::string checkpoint_dir;
+  /// Consumed by PersistentStateDb: write a checkpoint every N committed
+  /// blocks (0 = never). Validated by FabricConfig.
+  uint64_t checkpoint_interval_blocks = 0;
+  /// Complete checkpoints retained after a new one is written.
+  uint32_t checkpoint_retain = 2;
+};
+
+/// Lifetime counters of one Db instance (not persisted).
+struct DbStats {
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  /// Bytes written by compaction outputs (write amplification numerator).
+  uint64_t compaction_bytes_written = 0;
+  /// Unreferenced .sst files reclaimed at Open (crash between a table write
+  /// and the manifest update, or between the manifest update and the old
+  /// file removes).
+  uint64_t orphaned_tables_removed = 0;
+  uint64_t checkpoints_written = 0;
+  /// Height of the checkpoint recovery restored from; 0 when recovery used
+  /// the live manifest (or found nothing).
+  uint64_t recovered_checkpoint_height = 0;
 };
 
 /// A small LSM-tree key-value store — the persistent substrate standing in
 /// for the LevelDB instance behind Fabric's state database (paper §6.1:
 /// "Fabric is set up to use LevelDB as the current state database").
 ///
-/// Architecture: WAL -> memtable (skip list) -> immutable SSTables with
-/// sparse indexes and Bloom filters -> full-merge compaction. Writes are
-/// logged before being applied; recovery replays the WAL and reloads the
-/// manifest. Single-threaded by design (the simulation substrate is
-/// single-threaded; see DESIGN.md §5).
+/// Architecture: WAL -> memtable (skip list) -> leveled SSTables with
+/// sparse indexes, Bloom filters and a shared block cache. L0 holds raw
+/// memtable flushes (files may overlap); levels >= 1 are sorted runs of
+/// non-overlapping files. Compaction merges all of L0 (or one file of a
+/// deeper level) into the overlapping files one level down, triggered by
+/// L0 file count and per-level size budgets. Writes are logged before
+/// being applied; recovery loads the manifest — or, when the manifest is
+/// gone but a checkpoint exists, the newest valid checkpoint — and replays
+/// the WAL tail. See DESIGN.md §14.
 class Db {
  public:
   /// Opens (or creates) a database in `dir`, replaying any WAL left behind.
+  /// When no manifest exists but `options.checkpoint_dir` holds a complete
+  /// checkpoint, the newest valid one is installed first (stats() reports
+  /// its height) and the WAL replays on top. Unreferenced table files from
+  /// crashed flush/compaction windows are garbage-collected.
   static Result<std::unique_ptr<Db>> Open(const std::string& dir,
                                           DbOptions options = {});
 
@@ -57,15 +102,25 @@ class Db {
   /// batch order (later writes to a key win).
   Status ApplyBatch(const WriteBatch& batch);
 
-  /// Point lookup: memtable first, then SSTables newest-to-oldest.
+  /// Point lookup: memtable, then L0 newest-to-oldest, then one candidate
+  /// file per deeper level (levels >= 1 are non-overlapping).
   Result<std::string> Get(std::string_view key) const;
 
-  /// Forces the memtable into an SSTable (also rotates the WAL).
+  /// Forces the memtable into an L0 SSTable (also rotates the WAL).
   Status Flush();
 
-  /// Merges every live SSTable into one, dropping shadowed values and
-  /// tombstones.
+  /// Merges every live SSTable into one L1 run, dropping shadowed values
+  /// and tombstones. Kept for tests/tools; the online path compacts
+  /// incrementally (MaybeFlushAndCompact).
   Status CompactAll();
+
+  /// Snapshots the whole live key space at block `height` into
+  /// `options.checkpoint_dir` via a streaming iterator pass: flushes the
+  /// memtable (so the WAL that follows is exactly the post-checkpoint
+  /// tail), then writes sorted chunk files plus a CRC'd CHECKPOINT manifest
+  /// into a tmp directory renamed into place (complete-or-absent). Older
+  /// checkpoints beyond `checkpoint_retain` are pruned.
+  Status WriteCheckpoint(uint64_t height);
 
   /// Visits all live (non-deleted) entries in ascending key order.
   void ForEach(const std::function<void(const std::string&,
@@ -98,7 +153,12 @@ class Db {
   Iterator NewIterator() const { return Iterator(this); }
 
   // --- Introspection (tests, benches) ---
-  size_t num_sstables() const { return tables_.size(); }
+  size_t num_sstables() const;
+  size_t num_levels() const { return levels_.size(); }
+  size_t level_num_sstables(size_t level) const {
+    return level < levels_.size() ? levels_[level].size() : 0;
+  }
+  uint64_t level_bytes(size_t level) const;
   size_t memtable_entries() const { return memtable_->size(); }
   size_t memtable_bytes() const { return memtable_bytes_; }
   uint64_t wal_records_replayed() const { return wal_records_replayed_; }
@@ -107,11 +167,23 @@ class Db {
   /// the per-key path bumps them O(keys) times.
   uint64_t wal_appends() const { return wal_appends_; }
   uint64_t wal_syncs() const { return wal_syncs_; }
+  const DbStats& stats() const { return stats_; }
+  const DbOptions& options() const { return options_; }
+  uint64_t block_cache_hits() const { return cache_ ? cache_->hits() : 0; }
+  uint64_t block_cache_misses() const {
+    return cache_ ? cache_->misses() : 0;
+  }
+  const std::shared_ptr<BlockCache>& block_cache() const { return cache_; }
 
  private:
   struct MemEntry {
     EntryType type = EntryType::kPut;
     std::string value;
+  };
+  /// One live table: its file number and the open Sstable.
+  struct LevelFile {
+    uint64_t number = 0;
+    Sstable table;
   };
 
   explicit Db(std::string dir, DbOptions options);
@@ -120,8 +192,29 @@ class Db {
   Status AppendToWal(const Bytes& record, bool sync);
   void InsertMem(std::string_view key, EntryType type, std::string value);
   Status MaybeFlushAndCompact();
-  Status LoadManifest();
+  Status MaybeCompact();
+  /// Merges level's input set (all of L0, or the oldest-numbered file of a
+  /// deeper level) with the overlapping files of level+1.
+  Status CompactLevel(size_t level);
+  /// K-way merge of `inputs` (oldest first; later index wins ties) into
+  /// chunked output files appended to `outputs`.
+  Status MergeTables(const std::vector<const Sstable*>& inputs,
+                     bool drop_tombstones, size_t max_output_bytes,
+                     std::vector<LevelFile>* outputs);
+  /// True when any file of `levels_[level..]` overlaps [min_key, max_key] —
+  /// then tombstones in a compaction ending above `level` must survive.
+  bool AnyOverlapAtOrBelow(size_t level, const std::string& min_key,
+                           const std::string& max_key) const;
+  void EnsureLevel(size_t level);
+  void DropEmptyDeepLevels();
+  /// Loads MANIFEST; sets *found=false on a fresh database.
+  Status LoadManifest(bool* found);
   Status WriteManifest();
+  /// Installs the newest valid checkpoint as the initial L1 (copying chunk
+  /// files into the live dir); tried oldest-last, corrupt ones skipped.
+  Status TryRecoverFromCheckpoint();
+  /// Deletes .sst files in dir_ that no manifest entry references.
+  void RemoveOrphanTables();
   std::string TableFileName(uint64_t number) const;
   std::string WalFileName() const;
   std::string ManifestFileName() const;
@@ -131,12 +224,15 @@ class Db {
   std::unique_ptr<SkipList<MemEntry>> memtable_;
   size_t memtable_bytes_ = 0;
   WalWriter wal_;
-  std::vector<Sstable> tables_;  // Oldest first.
-  std::vector<uint64_t> table_numbers_;
+  std::shared_ptr<BlockCache> cache_;
+  /// levels_[0]: L0 flush files, oldest first (newest shadows). levels_[n>=1]:
+  /// sorted runs, files ordered by smallest_key, pairwise non-overlapping.
+  std::vector<std::vector<LevelFile>> levels_;
   uint64_t next_file_number_ = 1;
   uint64_t wal_records_replayed_ = 0;
   uint64_t wal_appends_ = 0;
   uint64_t wal_syncs_ = 0;
+  DbStats stats_;
 };
 
 }  // namespace fabricpp::storage

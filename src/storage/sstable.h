@@ -2,6 +2,7 @@
 #define FABRICPP_STORAGE_SSTABLE_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,6 +11,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/block_cache.h"
 #include "storage/bloom.h"
 
 namespace fabricpp::storage {
@@ -49,12 +51,20 @@ class SstableBuilder {
   std::vector<TableEntry> entries_;
 };
 
-/// An open, immutable table. The file content is held in memory (tables
-/// are bounded by the memtable flush threshold).
+/// An open, immutable table.
+///
+/// Open() reads and CRC-validates the whole file once, then retains only
+/// the sparse index, the Bloom filter and the key bounds in memory; entry
+/// data is re-read from disk on demand in *blocks* — the spans between two
+/// consecutive sparse-index points (~16 entries). Point lookups go through
+/// the optional shared BlockCache; sequential scans (compaction, iterators)
+/// read blocks directly so they cannot wipe the cache's hot set.
 class Sstable {
  public:
-  /// Opens and validates the footer/CRC.
-  static Result<Sstable> Open(const std::string& path);
+  /// Opens and validates the footer/CRC. `cache` (may be null) is consulted
+  /// and filled by point lookups.
+  static Result<Sstable> Open(const std::string& path,
+                              std::shared_ptr<BlockCache> cache = nullptr);
 
   /// Point lookup. Returns nullopt when the key is absent from this table
   /// (a found tombstone IS returned — callers must stop searching older
@@ -64,7 +74,9 @@ class Sstable {
   /// In-order scan of all entries (compaction, iterators).
   void ForEach(const std::function<void(const TableEntry&)>& fn) const;
 
-  /// Positional in-order iterator over the table's entries.
+  /// Positional in-order iterator over the table's entries. Reads blocks
+  /// sequentially, bypassing the cache (scan resistance). The table must
+  /// outlive the iterator.
   class Iterator {
    public:
     explicit Iterator(const Sstable* table) : table_(table) { Advance(); }
@@ -75,7 +87,9 @@ class Sstable {
    private:
     void Advance();
     const Sstable* table_;
-    size_t pos_ = 0;
+    size_t block_ = 0;           // Next block to load.
+    BlockCache::Handle data_;    // Current block's bytes.
+    size_t pos_ = 0;             // Decode position within data_.
     bool valid_ = false;
     TableEntry entry_;
   };
@@ -85,18 +99,43 @@ class Sstable {
   const std::string& path() const { return path_; }
   const std::string& smallest_key() const { return smallest_key_; }
   const std::string& largest_key() const { return largest_key_; }
+  /// Size of the entry region (what compaction rewrites) — the level-sizing
+  /// metric.
+  uint64_t data_bytes() const { return index_offset_; }
+  /// Whole file size on disk.
+  uint64_t file_bytes() const { return file_size_; }
+  /// Process-unique id keying this table's blocks in the BlockCache.
+  uint64_t cache_id() const { return cache_id_; }
 
  private:
+  /// Shared pread-able file handle; Sstable is copy/movable, iterators and
+  /// copies share the descriptor (pread carries its own offset, so reads
+  /// are thread-safe).
+  class File;
+
+  friend class Iterator;
+
   Sstable() : bloom_(0, 10) {}
 
-  Result<TableEntry> DecodeEntryAt(size_t* pos) const;
+  size_t num_blocks() const { return index_.size(); }
+  uint64_t BlockOffset(size_t block) const { return index_[block].second; }
+  uint64_t BlockEnd(size_t block) const {
+    return block + 1 < index_.size() ? index_[block + 1].second
+                                     : index_offset_;
+  }
+  /// Reads block `block`, via the cache (fill_cache) or straight from disk.
+  Result<BlockCache::Handle> ReadBlock(size_t block, bool fill_cache) const;
+  static Result<TableEntry> DecodeEntry(ByteReader* reader);
 
   std::string path_;
-  Bytes data_;
-  size_t index_offset_ = 0;
+  std::shared_ptr<File> file_;
+  std::shared_ptr<BlockCache> cache_;
+  uint64_t cache_id_ = 0;
+  uint64_t file_size_ = 0;
+  uint64_t index_offset_ = 0;
   size_t num_entries_ = 0;
   BloomFilter bloom_;
-  /// Sparse index: (key, entry offset), ascending.
+  /// Sparse index: (key, entry offset), ascending — one entry per block.
   std::vector<std::pair<std::string, uint64_t>> index_;
   std::string smallest_key_;
   std::string largest_key_;

@@ -1,0 +1,439 @@
+// Tests for the checkpoint/snapshot subsystem: manifest encoding, snapshot
+// write + recovery, checkpoint retention, the PersistentStateDb checkpoint
+// cadence, the restart-equals-replay acceptance property (state fingerprint
+// after checkpoint + WAL-tail recovery is byte-identical to full replay),
+// ledger pruning below the checkpoint horizon, and the ExportTo streaming
+// regression.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "crypto/sha256.h"
+#include "ledger/block_store.h"
+#include "ledger/ledger.h"
+#include "statedb/persistent_state_db.h"
+#include "statedb/state_db.h"
+#include "storage/checkpoint.h"
+#include "storage/db.h"
+
+namespace fabricpp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test.
+class CheckpointFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fabricpp_ckpt_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+// --- Manifest encoding ---
+
+TEST(CheckpointManifestTest, EncodeDecodeRoundTrip) {
+  storage::CheckpointManifest manifest;
+  manifest.height = 1234;
+  manifest.chunks.push_back({"chunk-000000.sst", 10, 2048});
+  manifest.chunks.push_back({"chunk-000001.sst", 7, 1024});
+  const Bytes encoded = manifest.Encode();
+  const auto decoded = storage::CheckpointManifest::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->height, 1234u);
+  ASSERT_EQ(decoded->chunks.size(), 2u);
+  EXPECT_EQ(decoded->chunks[0].file, "chunk-000000.sst");
+  EXPECT_EQ(decoded->chunks[1].num_entries, 7u);
+  EXPECT_EQ(decoded->chunks[1].bytes, 1024u);
+}
+
+TEST(CheckpointManifestTest, DecodeRejectsBitFlips) {
+  storage::CheckpointManifest manifest;
+  manifest.height = 9;
+  manifest.chunks.push_back({"chunk-000000.sst", 1, 64});
+  Bytes encoded = manifest.Encode();
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    Bytes copy = encoded;
+    copy[i] ^= 0x40;
+    EXPECT_FALSE(storage::CheckpointManifest::Decode(copy).ok())
+        << "flip at byte " << i << " went undetected";
+  }
+  // Truncations must fail too.
+  for (size_t n = 0; n < encoded.size(); ++n) {
+    const Bytes prefix(encoded.begin(), encoded.begin() + n);
+    EXPECT_FALSE(storage::CheckpointManifest::Decode(prefix).ok())
+        << "truncation to " << n << " bytes went undetected";
+  }
+}
+
+// --- Db::WriteCheckpoint + recovery ---
+
+TEST_F(CheckpointFixture, WriteCheckpointAndListRoundTrip) {
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  auto db = storage::Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*db)->Put(StrFormat("key%03d", i), "v").ok());
+  }
+  ASSERT_TRUE((*db)->WriteCheckpoint(10).ok());
+  EXPECT_EQ((*db)->stats().checkpoints_written, 1u);
+
+  const auto heights = storage::ListCheckpoints(Path("ckpts"));
+  ASSERT_EQ(heights.size(), 1u);
+  EXPECT_EQ(heights[0], 10u);
+  const auto manifest = storage::ReadCheckpointManifest(
+      storage::CheckpointDirName(Path("ckpts"), 10));
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->height, 10u);
+  uint64_t entries = 0;
+  for (const auto& chunk : manifest->chunks) entries += chunk.num_entries;
+  EXPECT_EQ(entries, 100u);
+}
+
+TEST_F(CheckpointFixture, CheckpointIsChunkedAtTargetFileBytes) {
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  options.target_file_bytes = 4096;
+  auto db = storage::Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*db)->Put(StrFormat("key%03d", i),
+                           std::string(100, 'x')).ok());
+  }
+  ASSERT_TRUE((*db)->WriteCheckpoint(5).ok());
+  const auto manifest = storage::ReadCheckpointManifest(
+      storage::CheckpointDirName(Path("ckpts"), 5));
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_GT(manifest->chunks.size(), 1u);
+}
+
+TEST_F(CheckpointFixture, RetentionKeepsNewestCheckpoints) {
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  options.checkpoint_retain = 2;
+  auto db = storage::Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  for (uint64_t h = 10; h <= 40; h += 10) {
+    ASSERT_TRUE((*db)->Put("k" + std::to_string(h), "v").ok());
+    ASSERT_TRUE((*db)->WriteCheckpoint(h).ok());
+  }
+  const auto heights = storage::ListCheckpoints(Path("ckpts"));
+  EXPECT_EQ(heights, (std::vector<uint64_t>{30, 40}));
+}
+
+TEST_F(CheckpointFixture, RecoveryUsesNewestCheckpointPlusWalTail) {
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  {
+    auto db = storage::Db::Open(Path("db"), options);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*db)->Put(StrFormat("key%03d", i), "old").ok());
+    }
+    ASSERT_TRUE((*db)->WriteCheckpoint(7).ok());
+    // Post-checkpoint tail: lives only in the WAL.
+    ASSERT_TRUE((*db)->Put("key007", "new").ok());
+    ASSERT_TRUE((*db)->Put("tail", "t").ok());
+  }
+  // Simulate losing the live table set (the scenario checkpoints exist
+  // for): wipe MANIFEST and *.sst, keep wal.log and the checkpoints.
+  for (const auto& entry : fs::directory_iterator(Path("db"))) {
+    const std::string name = entry.path().filename().string();
+    if (name == "MANIFEST" || name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".sst") == 0) {
+      fs::remove(entry.path());
+    }
+  }
+  auto db = storage::Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->stats().recovered_checkpoint_height, 7u);
+  EXPECT_EQ(*(*db)->Get("key003"), "old");
+  EXPECT_EQ(*(*db)->Get("key007"), "new");  // WAL tail wins
+  EXPECT_EQ(*(*db)->Get("tail"), "t");
+}
+
+TEST_F(CheckpointFixture, CorruptCheckpointFallsBackToOlderOne) {
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  options.checkpoint_retain = 4;
+  {
+    auto db = storage::Db::Open(Path("db"), options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Put("a", "1").ok());
+    ASSERT_TRUE((*db)->WriteCheckpoint(10).ok());
+    ASSERT_TRUE((*db)->Put("b", "2").ok());
+    ASSERT_TRUE((*db)->WriteCheckpoint(20).ok());
+  }
+  // Corrupt the newest checkpoint's first chunk.
+  const std::string dir20 = storage::CheckpointDirName(Path("ckpts"), 20);
+  const auto manifest20 = storage::ReadCheckpointManifest(dir20);
+  ASSERT_TRUE(manifest20.ok());
+  {
+    std::FILE* f = std::fopen(
+        (fs::path(dir20) / manifest20->chunks[0].file).string().c_str(),
+        "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);
+    std::fputc(0xff, f);
+    std::fclose(f);
+  }
+  fs::remove(fs::path(Path("db")) / "MANIFEST");
+  for (const auto& entry : fs::directory_iterator(Path("db"))) {
+    if (entry.path().extension() == ".sst") fs::remove(entry.path());
+  }
+  auto db = storage::Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  // The height-20 snapshot is damaged; recovery must fall back to height 10
+  // — never load the corrupt one. State after height 10 ("b") was flushed
+  // into the (lost) live tables, so it is NOT recoverable from storage
+  // alone: recovered_checkpoint_height = 10 tells the peer to replay
+  // blocks 11+ from the ledger to catch up.
+  EXPECT_EQ((*db)->stats().recovered_checkpoint_height, 10u);
+  EXPECT_EQ(*(*db)->Get("a"), "1");
+  EXPECT_EQ((*db)->Get("b").status().code(), StatusCode::kNotFound);
+}
+
+// --- PersistentStateDb: cadence + the restart-equals-replay property ---
+
+TEST_F(CheckpointFixture, StateDbCheckpointsOnInterval) {
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  options.checkpoint_interval_blocks = 5;
+  auto db = statedb::PersistentStateDb::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  for (uint64_t h = 1; h <= 12; ++h) {
+    ASSERT_TRUE(
+        (*db)->ApplyBlock({{"k" + std::to_string(h), "v", false}},
+                          proto::Version{h, 0}, h).ok());
+  }
+  // Heights 5 and 10 crossed the interval.
+  EXPECT_EQ((*db)->raw_db().stats().checkpoints_written, 2u);
+  const auto heights = storage::ListCheckpoints(Path("ckpts"));
+  EXPECT_EQ(heights, (std::vector<uint64_t>{5, 10}));
+}
+
+TEST_F(CheckpointFixture, RestartFromCheckpointEqualsFullReplay) {
+  // The acceptance property: commit N blocks twice — once into a store
+  // with checkpointing that then loses its live tables (recovering from
+  // checkpoint + WAL tail), once into a plain store that replays
+  // everything — and require byte-identical versioned state fingerprints.
+  constexpr uint64_t kBlocks = 23;
+  constexpr uint32_t kInterval = 8;
+  const auto apply_chain = [](statedb::PersistentStateDb* db) {
+    for (uint64_t h = 1; h <= kBlocks; ++h) {
+      std::vector<proto::WriteItem> writes;
+      for (int k = 0; k < 6; ++k) {
+        writes.push_back({StrFormat("acct%04llu",
+                              static_cast<unsigned long long>(
+                                  (h * 7 + k * 13) % 64)),
+                          StrFormat("bal-%llu-%d",
+                              static_cast<unsigned long long>(h), k),
+                          false});
+      }
+      // A rotating delete keeps tombstones in play.
+      writes.push_back({StrFormat("acct%04llu",
+                            static_cast<unsigned long long>(h % 64)),
+                        "", true});
+      ASSERT_TRUE(db->ApplyBlock(writes, proto::Version{h, 0}, h).ok());
+    }
+  };
+
+  storage::DbOptions ckpt_options;
+  ckpt_options.checkpoint_dir = Path("ckpts");
+  ckpt_options.checkpoint_interval_blocks = kInterval;
+  {
+    auto db = statedb::PersistentStateDb::Open(Path("ckpt_db"), ckpt_options);
+    ASSERT_TRUE(db.ok());
+    apply_chain(db->get());
+    ASSERT_GT((*db)->raw_db().stats().checkpoints_written, 0u);
+  }
+  // Crash that loses the live table set but keeps WAL + checkpoints.
+  for (const auto& entry : fs::directory_iterator(Path("ckpt_db"))) {
+    if (entry.path().filename() == "MANIFEST" ||
+        entry.path().extension() == ".sst") {
+      fs::remove(entry.path());
+    }
+  }
+  auto recovered = statedb::PersistentStateDb::Open(Path("ckpt_db"),
+                                                    ckpt_options);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->recovered_checkpoint_height(), 16u);
+  EXPECT_EQ((*recovered)->last_committed_block(), kBlocks);
+
+  auto replayed = statedb::PersistentStateDb::Open(Path("replay_db"));
+  ASSERT_TRUE(replayed.ok());
+  apply_chain(replayed->get());
+
+  EXPECT_EQ((*recovered)->StateFingerprint(), (*replayed)->StateFingerprint());
+}
+
+TEST_F(CheckpointFixture, FingerprintDetectsStateDivergence) {
+  auto a = statedb::PersistentStateDb::Open(Path("a"));
+  auto b = statedb::PersistentStateDb::Open(Path("b"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE((*a)->ApplyBlock({{"k", "v1", false}},
+                               proto::Version{1, 0}, 1).ok());
+  ASSERT_TRUE((*b)->ApplyBlock({{"k", "v2", false}},
+                               proto::Version{1, 0}, 1).ok());
+  EXPECT_NE((*a)->StateFingerprint(), (*b)->StateFingerprint());
+  // Same value, different version must differ too.
+  auto c = statedb::PersistentStateDb::Open(Path("c"));
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->ApplyBlock({{"k", "v1", false}},
+                               proto::Version{2, 0}, 1).ok());
+  EXPECT_NE((*a)->StateFingerprint(), (*c)->StateFingerprint());
+}
+
+// --- ExportTo regression: streams, and round-trips versions exactly ---
+
+TEST_F(CheckpointFixture, ExportToStreamsFullVersionedState) {
+  auto db = statedb::PersistentStateDb::Open(Path("db"));
+  ASSERT_TRUE(db.ok());
+  for (uint64_t h = 1; h <= 4; ++h) {
+    std::vector<proto::WriteItem> writes;
+    for (int k = 0; k < 50; ++k) {
+      writes.push_back({StrFormat("key%03d", k),
+                        StrFormat("v%llu.%d",
+                            static_cast<unsigned long long>(h), k),
+                        false});
+    }
+    ASSERT_TRUE((*db)->ApplyBlock(writes, proto::Version{h, 3}, h).ok());
+  }
+  statedb::StateDb memory;
+  (*db)->ExportTo(&memory);
+  EXPECT_EQ(memory.last_committed_block(), 4u);
+  for (int k = 0; k < 50; ++k) {
+    const auto value = memory.Get(StrFormat("key%03d", k));
+    ASSERT_TRUE(value.ok()) << k;
+    EXPECT_EQ(value->value, StrFormat("v4.%d", k));
+    EXPECT_EQ(value->version.block_num, 4u);
+    EXPECT_EQ(value->version.tx_num, 3u);
+  }
+}
+
+// --- Ledger pruning below the checkpoint horizon ---
+
+ledger::StoredBlock MakeBlock(uint64_t number, const crypto::Digest& prev,
+                              int txs) {
+  ledger::StoredBlock stored;
+  stored.block.header.number = number;
+  stored.block.header.previous_hash = prev;
+  for (int i = 0; i < txs; ++i) {
+    proto::Transaction tx;
+    tx.tx_id = StrFormat("tx-%llu-%d",
+                         static_cast<unsigned long long>(number), i);
+    stored.block.transactions.push_back(std::move(tx));
+    stored.validation_codes.push_back(proto::TxValidationCode::kValid);
+  }
+  stored.block.SealDataHash();
+  return stored;
+}
+
+TEST(LedgerPruneTest, PruneKeepsHeightAndVerifies) {
+  ledger::Ledger chain;
+  for (uint64_t n = 1; n <= 10; ++n) {
+    ASSERT_TRUE(chain.Append(MakeBlock(n, chain.LastHash(), 2)).ok());
+  }
+  const uint64_t total = chain.TotalTransactions();
+  chain.PruneTo(6);
+  EXPECT_EQ(chain.Height(), 11u);
+  EXPECT_EQ(chain.first_block(), 6u);
+  EXPECT_EQ(chain.NumStoredBlocks(), 5u);
+  EXPECT_EQ(chain.TotalTransactions(), total);  // lifetime totals survive
+  EXPECT_TRUE(chain.VerifyChain().ok());
+  // Pruned numbers answer OutOfRange; retained ones still resolve.
+  EXPECT_FALSE(chain.GetBlock(3).ok());
+  EXPECT_TRUE(chain.GetBlock(6).ok());
+  EXPECT_TRUE(chain.GetBlock(10).ok());
+  // Pruned transactions left the index.
+  EXPECT_FALSE(chain.FindTransaction("tx-3-0").ok());
+  EXPECT_TRUE(chain.FindTransaction("tx-7-1").ok());
+  // The chain still extends normally after a prune.
+  ASSERT_TRUE(chain.Append(MakeBlock(11, chain.LastHash(), 1)).ok());
+  EXPECT_EQ(chain.Height(), 12u);
+}
+
+TEST(LedgerPruneTest, PruneClampsToKeepTip) {
+  ledger::Ledger chain;
+  ASSERT_TRUE(chain.Append(MakeBlock(1, chain.LastHash(), 1)).ok());
+  chain.PruneTo(99);
+  EXPECT_EQ(chain.NumStoredBlocks(), 1u);
+  EXPECT_EQ(chain.first_block(), 1u);
+  EXPECT_EQ(chain.Height(), 2u);
+}
+
+TEST_F(CheckpointFixture, PersistentLedgerPruneSurvivesReopen) {
+  const std::string path = Path("blocks.dat");
+  {
+    auto ledger = ledger::PersistentLedger::Open(path);
+    ASSERT_TRUE(ledger.ok());
+    for (uint64_t n = 1; n <= 12; ++n) {
+      ASSERT_TRUE(
+          (*ledger)->Append(MakeBlock(n, (*ledger)->ledger().LastHash(), 3))
+              .ok());
+    }
+    const auto before = fs::file_size(path);
+    ASSERT_TRUE((*ledger)->PruneBelow(8).ok());
+    EXPECT_LT(fs::file_size(path), before);  // bodies actually dropped
+    EXPECT_EQ((*ledger)->ledger().first_block(), 8u);
+    EXPECT_EQ((*ledger)->ledger().Height(), 13u);
+    // Appending after a prune keeps working.
+    ASSERT_TRUE(
+        (*ledger)->Append(MakeBlock(13, (*ledger)->ledger().LastHash(), 1))
+            .ok());
+  }
+  auto reopened = ledger::PersistentLedger::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->ledger().first_block(), 8u);
+  EXPECT_EQ((*reopened)->ledger().Height(), 14u);
+  EXPECT_EQ((*reopened)->blocks_recovered(), 6u);  // anchor + 5
+  EXPECT_TRUE((*reopened)->ledger().VerifyChain().ok());
+  EXPECT_FALSE((*reopened)->ledger().GetBlock(2).ok());
+  const auto block = (*reopened)->ledger().GetBlock(9);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->block.transactions.size(), 3u);
+  // And the pruned file still extends.
+  ASSERT_TRUE(
+      (*reopened)
+          ->Append(MakeBlock(14, (*reopened)->ledger().LastHash(), 1))
+          .ok());
+}
+
+TEST_F(CheckpointFixture, PersistentLedgerPruneBelowIsIdempotent) {
+  const std::string path = Path("blocks.dat");
+  auto ledger = ledger::PersistentLedger::Open(path);
+  ASSERT_TRUE(ledger.ok());
+  for (uint64_t n = 1; n <= 5; ++n) {
+    ASSERT_TRUE(
+        (*ledger)->Append(MakeBlock(n, (*ledger)->ledger().LastHash(), 1))
+            .ok());
+  }
+  ASSERT_TRUE((*ledger)->PruneBelow(3).ok());
+  const auto size_after = fs::file_size(path);
+  // Pruning to the same (or an older) horizon is a no-op.
+  ASSERT_TRUE((*ledger)->PruneBelow(3).ok());
+  ASSERT_TRUE((*ledger)->PruneBelow(1).ok());
+  EXPECT_EQ(fs::file_size(path), size_after);
+  EXPECT_EQ((*ledger)->ledger().first_block(), 3u);
+}
+
+}  // namespace
+}  // namespace fabricpp

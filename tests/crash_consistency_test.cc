@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "statedb/persistent_state_db.h"
+#include "storage/checkpoint.h"
 #include "storage/db.h"
 #include "storage/write_batch.h"
 
@@ -254,6 +255,212 @@ TEST_F(PersistentStateDbCrashConsistencyTest,
   // The per-key path for comparison: O(keys) appends.
   ASSERT_TRUE((*db)->ApplyWrites(writes, proto::Version{2, 0}).ok());
   EXPECT_EQ((*db)->raw_db().wal_appends(), 1u + writes.size());
+}
+
+// --- Checkpoint boundary: corrupt/truncate every checkpoint byte; recovery
+// must use the snapshot or cleanly fall back, never load a damaged one ---
+
+class CheckpointCrashConsistencyTest : public CrashConsistencyFixture {
+ protected:
+  /// Builds the canonical store: 50 keys checkpointed at height 7, then a
+  /// WAL-only tail (key007 overwritten + one new key). Returns the live dir.
+  std::string BuildCheckpointedDb() {
+    storage::DbOptions options;
+    options.checkpoint_dir = Path("ckpts");
+    auto db = storage::Db::Open(Path("db"), options);
+    EXPECT_TRUE(db.ok());
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE((*db)->Put("key" + std::to_string(i), "old").ok());
+    }
+    EXPECT_TRUE((*db)->WriteCheckpoint(7).ok());
+    EXPECT_TRUE((*db)->Put("key7", "new").ok());
+    EXPECT_TRUE((*db)->Put("tail", "t").ok());
+    return Path("db");
+  }
+
+  /// Simulates the crash the snapshot exists for: the live table set is
+  /// gone, wal.log and the checkpoint directory survive.
+  void DropLiveTables() {
+    for (const auto& entry : fs::directory_iterator(Path("db"))) {
+      if (entry.path().filename() == "MANIFEST" ||
+          entry.path().extension() == ".sst") {
+        fs::remove(entry.path());
+      }
+    }
+  }
+
+  /// Opens the store and checks the invariant: either the checkpoint was
+  /// used (full state incl. WAL tail) or recovery fell back to WAL-only
+  /// (tail data still intact, snapshot ignored). Partially-applied
+  /// snapshots are never acceptable.
+  void ExpectAllOrNothingRecovery(const std::string& what) {
+    storage::DbOptions options;
+    options.checkpoint_dir = Path("ckpts");
+    auto db = storage::Db::Open(Path("db"), options);
+    ASSERT_TRUE(db.ok()) << what;
+    const bool used_checkpoint =
+        (*db)->stats().recovered_checkpoint_height == 7;
+    if (used_checkpoint) {
+      for (int i = 0; i < 50; ++i) {
+        if (i == 7) continue;
+        EXPECT_EQ(*(*db)->Get("key" + std::to_string(i)), "old")
+            << what << " key" << i;
+      }
+    } else {
+      // Clean fallback: the snapshot contributed nothing; checkpointed-only
+      // keys are absent rather than half-present.
+      EXPECT_EQ((*db)->Get("key3").status().code(), StatusCode::kNotFound)
+          << what;
+    }
+    // The WAL tail is valid either way and must always survive.
+    EXPECT_EQ(*(*db)->Get("key7"), "new") << what;
+    EXPECT_EQ(*(*db)->Get("tail"), "t") << what;
+  }
+};
+
+TEST_F(CheckpointCrashConsistencyTest, ManifestCorruptedAtEveryByte) {
+  BuildCheckpointedDb();
+  const std::string manifest_path =
+      storage::CheckpointDirName(Path("ckpts"), 7) + "/CHECKPOINT";
+  const std::vector<char> good = ReadFileBytes(manifest_path);
+  ASSERT_GT(good.size(), 20u);
+  for (size_t i = 0; i < good.size(); ++i) {
+    // Re-dropped each round: a successful recovery legitimately rebuilds
+    // the live MANIFEST + tables from the snapshot.
+    DropLiveTables();
+    std::vector<char> bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x20);
+    WriteFileBytes(manifest_path, bad, bad.size());
+    ExpectAllOrNothingRecovery("manifest flip at byte " +
+                               std::to_string(i));
+  }
+  DropLiveTables();
+  WriteFileBytes(manifest_path, good, good.size());
+  ExpectAllOrNothingRecovery("restored manifest");
+}
+
+TEST_F(CheckpointCrashConsistencyTest, ManifestTruncatedAtEveryByte) {
+  BuildCheckpointedDb();
+  const std::string manifest_path =
+      storage::CheckpointDirName(Path("ckpts"), 7) + "/CHECKPOINT";
+  const std::vector<char> good = ReadFileBytes(manifest_path);
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    DropLiveTables();
+    WriteFileBytes(manifest_path, good, cut);
+    ExpectAllOrNothingRecovery("manifest cut at byte " +
+                               std::to_string(cut));
+  }
+}
+
+TEST_F(CheckpointCrashConsistencyTest, ChunkCorruptedAtEveryStride) {
+  BuildCheckpointedDb();
+  const auto manifest = storage::ReadCheckpointManifest(
+      storage::CheckpointDirName(Path("ckpts"), 7));
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_FALSE(manifest->chunks.empty());
+  const std::string chunk_path =
+      storage::CheckpointDirName(Path("ckpts"), 7) + "/" +
+      manifest->chunks[0].file;
+  const std::vector<char> good = ReadFileBytes(chunk_path);
+  ASSERT_GT(good.size(), 100u);
+  // Every byte under ASan would take minutes; a stride of 7 still crosses
+  // data, index, bloom and footer regions at co-prime offsets.
+  for (size_t i = 0; i < good.size(); i += 7) {
+    DropLiveTables();
+    std::vector<char> bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    WriteFileBytes(chunk_path, bad, bad.size());
+    ExpectAllOrNothingRecovery("chunk flip at byte " + std::to_string(i));
+  }
+  DropLiveTables();
+  WriteFileBytes(chunk_path, good, good.size());
+  ExpectAllOrNothingRecovery("restored chunk");
+}
+
+TEST_F(CheckpointCrashConsistencyTest, ChunkTruncatedAtEveryStride) {
+  BuildCheckpointedDb();
+  const auto manifest = storage::ReadCheckpointManifest(
+      storage::CheckpointDirName(Path("ckpts"), 7));
+  ASSERT_TRUE(manifest.ok());
+  const std::string chunk_path =
+      storage::CheckpointDirName(Path("ckpts"), 7) + "/" +
+      manifest->chunks[0].file;
+  const std::vector<char> good = ReadFileBytes(chunk_path);
+  for (size_t cut = 0; cut < good.size(); cut += 7) {
+    DropLiveTables();
+    WriteFileBytes(chunk_path, good, cut);
+    ExpectAllOrNothingRecovery("chunk cut at byte " + std::to_string(cut));
+  }
+}
+
+TEST_F(CheckpointCrashConsistencyTest, AbandonedTmpCheckpointIsIgnored) {
+  BuildCheckpointedDb();
+  // A crash mid-WriteCheckpoint leaves a ckpt-<h>.tmp directory that was
+  // never renamed; it must never be loaded and gets cleaned up by the next
+  // retention pass.
+  const std::string tmp_dir =
+      storage::CheckpointDirName(Path("ckpts"), 9) + ".tmp";
+  fs::create_directories(tmp_dir);
+  { std::ofstream(tmp_dir + "/chunk-000000.sst") << "partial"; }
+  DropLiveTables();
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  auto db = storage::Db::Open(Path("db"), options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->stats().recovered_checkpoint_height, 7u);
+  EXPECT_EQ(*(*db)->Get("key3"), "old");
+  EXPECT_EQ(*(*db)->Get("tail"), "t");
+}
+
+TEST_F(CheckpointCrashConsistencyTest,
+       WalTailAfterCheckpointTruncatedAtEveryByte) {
+  // The recovery pair under crash: snapshot intact, WAL tail cut at every
+  // byte. Recovery must always yield checkpoint state plus an
+  // all-or-nothing prefix of the tail batches.
+  storage::DbOptions options;
+  options.checkpoint_dir = Path("ckpts");
+  const std::string wal = Path("db") + "/wal.log";
+  {
+    auto db = storage::Db::Open(Path("db"), options);
+    ASSERT_TRUE(db.ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE((*db)->Put("key" + std::to_string(i), "old").ok());
+    }
+    ASSERT_TRUE((*db)->WriteCheckpoint(3).ok());
+    storage::WriteBatch a;
+    a.Put("key3", "new");
+    a.Put("t1", "x");
+    ASSERT_TRUE((*db)->ApplyBatch(a).ok());
+    storage::WriteBatch b;
+    b.Put("t2", "y");
+    ASSERT_TRUE((*db)->ApplyBatch(b).ok());
+  }
+  const std::vector<char> tail = ReadFileBytes(wal);
+  ASSERT_GT(tail.size(), 16u);
+  for (size_t cut = 0; cut <= tail.size(); ++cut) {
+    // Live tables are LOST in this scenario; only checkpoint + cut WAL
+    // remain. Re-dropped every round: each recovery legitimately rebuilds
+    // a live MANIFEST + tables from the snapshot.
+    for (const auto& entry : fs::directory_iterator(Path("db"))) {
+      if (entry.path().filename() == "MANIFEST" ||
+          entry.path().extension() == ".sst") {
+        fs::remove(entry.path());
+      }
+    }
+    WriteFileBytes(wal, tail, cut);
+    auto db = storage::Db::Open(Path("db"), options);
+    ASSERT_TRUE(db.ok()) << "cut at byte " << cut;
+    EXPECT_EQ((*db)->stats().recovered_checkpoint_height, 3u)
+        << "cut " << cut;
+    // Checkpoint state is always whole.
+    EXPECT_EQ(*(*db)->Get("key5"), "old") << "cut " << cut;
+    // Tail batches apply all-or-nothing, in order.
+    const bool has_a = (*db)->Get("t1").ok();
+    const bool has_b = (*db)->Get("t2").ok();
+    EXPECT_TRUE(has_a || !has_b) << "batch b without a at cut " << cut;
+    EXPECT_EQ(*(*db)->Get("key3"), has_a ? "new" : "old")
+        << "cut " << cut;
+  }
 }
 
 }  // namespace

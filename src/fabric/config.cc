@@ -189,15 +189,54 @@ Status FabricConfig::Validate() const {
   const auto runtime_parsed = runtime::ParseRuntimeMode(runtime_mode);
   if (!runtime_parsed.ok()) {
     return Status::InvalidArgument(
-        "runtime_mode must be \"sim\" or \"thread\"; got \"" + runtime_mode +
-        "\"");
+        "runtime_mode must be \"sim\", \"thread\" or \"socket\"; got \"" +
+        runtime_mode + "\"");
   }
-  if (*runtime_parsed == runtime::RuntimeMode::kThread &&
+  if (*runtime_parsed != runtime::RuntimeMode::kSim &&
       ordering_backend == OrderingBackend::kRaft) {
     return Status::InvalidArgument(
         "the raft ordering backend is simulation-only (the raft cluster "
         "runs on sim primitives); use runtime_mode=\"sim\" or "
         "ordering_backend=kSolo");
+  }
+  if (*runtime_parsed == runtime::RuntimeMode::kSocket) {
+    const size_t want_peers =
+        static_cast<size_t>(num_orgs) * static_cast<size_t>(peers_per_org);
+    if (peer_addresses.size() != want_peers) {
+      return Status::InvalidArgument(
+          "runtime_mode=\"socket\" needs one peer_addresses entry per peer "
+          "(num_orgs * peers_per_org = " +
+          std::to_string(want_peers) + "; got " +
+          std::to_string(peer_addresses.size()) +
+          "): every process dials and binds from the same cluster list");
+    }
+    for (const std::string& addr : peer_addresses) {
+      if (addr.empty()) {
+        return Status::InvalidArgument(
+            "peer_addresses entries must be non-empty \"host:port\" strings");
+      }
+    }
+    if (orderer_address.empty()) {
+      return Status::InvalidArgument(
+          "runtime_mode=\"socket\" requires orderer_address: peers and "
+          "clients must know where the ordering service listens");
+    }
+    if (gossip_blocks) {
+      return Status::InvalidArgument(
+          "gossip_blocks is not supported under runtime_mode=\"socket\" yet "
+          "(block dissemination is orderer-direct over TCP); disable it");
+    }
+  }
+  if (socket_connect_timeout_ms == 0 || socket_connect_timeout_ms > 600000) {
+    return Status::InvalidArgument(
+        "socket_connect_timeout_ms must be in [1, 600000]");
+  }
+  if (socket_max_frame_bytes < 4096 ||
+      socket_max_frame_bytes > (1ull << 30)) {
+    return Status::InvalidArgument(
+        "socket_max_frame_bytes must be in [4096, 1 GiB]: it bounds one "
+        "length-framed wire message, so it must exceed the largest block "
+        "the orderer can cut");
   }
   if (mailbox_capacity < 16 || mailbox_capacity > 1048576) {
     return Status::InvalidArgument(

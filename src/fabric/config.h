@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "ordering/batch_cutter.h"
@@ -240,6 +241,29 @@ struct FabricConfig {
   /// mirroring the single client machine). Ignored under "sim". Must be in
   /// [1, 256].
   uint32_t thread_client_shards = 1;
+
+  // --- Socket deployment (runtime_mode = "socket") ---
+  /// TCP address ("host:port") peer i is reachable at. Under socket mode
+  /// there must be exactly num_orgs * peers_per_org entries; every process
+  /// in the cluster runs from the same list so dialing and listening agree.
+  /// Port 0 is allowed only for in-process test clusters that rewire
+  /// addresses after binding.
+  std::vector<std::string> peer_addresses;
+  /// TCP address ("host:port") the ordering service is reachable at.
+  /// Required under socket mode.
+  std::string orderer_address;
+  /// Override of the local bind address for this process (e.g. to listen
+  /// on 0.0.0.0 while peers dial a public name). Empty = bind the address
+  /// the cluster list assigns this role.
+  std::string listen_address;
+  /// How long a dial may sit unconnected before it is torn down and retried
+  /// with backoff. Must be in [1, 600000].
+  uint32_t socket_connect_timeout_ms = 5000;
+  /// Upper bound a receiver accepts for one wire frame (header + payload +
+  /// CRC). Frames announcing more are a stream error and drop the
+  /// connection. Must be in [4096, 1 GiB]; size it above the largest block
+  /// (max_block_bytes plus framing slack).
+  uint64_t socket_max_frame_bytes = 64ull << 20;
 
   /// runtime_mode resolved to the enum. Call Validate() first; an
   /// unparseable mode falls back to kSim here.

@@ -34,6 +34,52 @@ std::string_view TxOutcomeToString(TxOutcome outcome) {
   return "UNKNOWN";
 }
 
+TxOutcome OutcomeFromValidationCode(proto::TxValidationCode code) {
+  switch (code) {
+    case proto::TxValidationCode::kValid:
+      return TxOutcome::kSuccess;
+    case proto::TxValidationCode::kMvccConflict:
+      return TxOutcome::kAbortMvcc;
+    case proto::TxValidationCode::kEndorsementPolicyFailure:
+      return TxOutcome::kAbortPolicy;
+    case proto::TxValidationCode::kDuplicateTxId:
+      return TxOutcome::kAbortDuplicateTxId;
+    // The orderer-stage codes never appear in a committed block, but they do
+    // travel in socket-mode OUTCOME messages (early aborts).
+    case proto::TxValidationCode::kAbortedByReorderer:
+      return TxOutcome::kAbortReorderer;
+    case proto::TxValidationCode::kAbortedVersionSkew:
+      return TxOutcome::kAbortVersionSkew;
+    case proto::TxValidationCode::kAbortedStaleSimulation:
+      return TxOutcome::kAbortStaleSimulation;
+    case proto::TxValidationCode::kNotValidated:
+      return TxOutcome::kAbortChaincodeError;
+  }
+  return TxOutcome::kAbortChaincodeError;
+}
+
+std::string TransportCounters::ToString() const {
+  const double messages_d =
+      messages == 0 ? 1.0 : static_cast<double>(messages);
+  return StrFormat(
+      "messages=%llu framed=%.2fMB modeled=%.2fMB framed_avg=%.1fB "
+      "modeled_avg=%.1fB socket_tx=%llu/%.2fMB socket_rx=%llu/%.2fMB "
+      "writev=%llu reconnects=%llu dropped=%llu decode_errors=%llu",
+      static_cast<unsigned long long>(messages),
+      static_cast<double>(framed_bytes) / 1e6,
+      static_cast<double>(modeled_bytes) / 1e6,
+      static_cast<double>(framed_bytes) / messages_d,
+      static_cast<double>(modeled_bytes) / messages_d,
+      static_cast<unsigned long long>(socket_frames_sent),
+      static_cast<double>(socket_bytes_sent) / 1e6,
+      static_cast<unsigned long long>(socket_frames_received),
+      static_cast<double>(socket_bytes_received) / 1e6,
+      static_cast<unsigned long long>(socket_writev_calls),
+      static_cast<unsigned long long>(socket_reconnects),
+      static_cast<unsigned long long>(socket_messages_dropped),
+      static_cast<unsigned long long>(socket_decode_errors));
+}
+
 std::string ValidationWallClock::ToString() const {
   const double blocks_d = blocks == 0 ? 1.0 : static_cast<double>(blocks);
   const double waves_d =

@@ -51,6 +51,12 @@ inline constexpr size_t kNumTxOutcomes = 12;
 
 std::string_view TxOutcomeToString(TxOutcome outcome);
 
+/// Maps a committed transaction's validation code to the outcome bucket the
+/// run report counts it under. Shared by the observer peer (commit events)
+/// and the socket-mode client host, which resolves metrics from OUTCOME
+/// wire messages instead of an in-process commit loop.
+TxOutcome OutcomeFromValidationCode(proto::TxValidationCode code);
+
 /// Aggregated results of one run (what every bench prints).
 struct RunReport {
   double measure_seconds = 0;
@@ -171,6 +177,38 @@ struct StorageCounters {
   std::string ToString() const;
 };
 
+/// Wire-level message accounting under the thread and socket runtimes.
+/// Same contract as ValidationWallClock: **not part of RunReport**. The
+/// deterministic cost model keeps charging the modeled
+/// `ByteSize() + node::kMessageOverhead` sizes (so sim fingerprints never
+/// move), while these counters record what the messages *actually* weigh
+/// once encoded and framed (proto/wire_format.h) — the measured replacement
+/// for the modeled constant. Sim runs leave everything zero.
+struct TransportCounters {
+  /// Array bound for per-type counters, indexed by the raw
+  /// proto::WireMessageType byte (1..12 used today).
+  static constexpr size_t kNumWireTypes = 16;
+
+  uint64_t messages = 0;
+  uint64_t framed_bytes = 0;   ///< Encoded payload + frame header + CRC.
+  uint64_t modeled_bytes = 0;  ///< What the cost model charged instead.
+  uint64_t messages_by_type[kNumWireTypes] = {0};
+  uint64_t framed_bytes_by_type[kNumWireTypes] = {0};
+
+  // Socket event-loop totals (zero in sim/thread modes), folded in by the
+  // host after a run from runtime::SocketTransport::counters().
+  uint64_t socket_frames_sent = 0;
+  uint64_t socket_bytes_sent = 0;
+  uint64_t socket_frames_received = 0;
+  uint64_t socket_bytes_received = 0;
+  uint64_t socket_writev_calls = 0;
+  uint64_t socket_reconnects = 0;
+  uint64_t socket_messages_dropped = 0;
+  uint64_t socket_decode_errors = 0;
+
+  std::string ToString() const;
+};
+
 /// Collects transaction outcomes during a run.
 ///
 /// Only events inside the measurement window [window_start, window_end)
@@ -271,6 +309,47 @@ class Metrics {
   StorageCounters storage_counters() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return storage_counters_;
+  }
+
+  /// One cross-node message measured at its real framed size (thread and
+  /// socket modes; the mesh skips measuring under sim). `type` is the raw
+  /// proto::WireMessageType byte; `modeled_bytes` is what the cost model
+  /// charged for the same send. Outside RunReport — see TransportCounters.
+  void NoteWireMessage(uint8_t type, uint64_t framed_bytes,
+                       uint64_t modeled_bytes) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++transport_counters_.messages;
+    transport_counters_.framed_bytes += framed_bytes;
+    transport_counters_.modeled_bytes += modeled_bytes;
+    if (type < TransportCounters::kNumWireTypes) {
+      ++transport_counters_.messages_by_type[type];
+      transport_counters_.framed_bytes_by_type[type] += framed_bytes;
+    }
+  }
+
+  /// Socket event-loop totals, folded in by the host after the run (from
+  /// runtime::SocketTransport::counters()). Leaves the mesh-level message
+  /// counters untouched.
+  void SetSocketTransportTotals(uint64_t frames_sent, uint64_t bytes_sent,
+                                uint64_t frames_received,
+                                uint64_t bytes_received,
+                                uint64_t writev_calls, uint64_t reconnects,
+                                uint64_t messages_dropped,
+                                uint64_t decode_errors) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    transport_counters_.socket_frames_sent = frames_sent;
+    transport_counters_.socket_bytes_sent = bytes_sent;
+    transport_counters_.socket_frames_received = frames_received;
+    transport_counters_.socket_bytes_received = bytes_received;
+    transport_counters_.socket_writev_calls = writev_calls;
+    transport_counters_.socket_reconnects = reconnects;
+    transport_counters_.socket_messages_dropped = messages_dropped;
+    transport_counters_.socket_decode_errors = decode_errors;
+  }
+
+  TransportCounters transport_counters() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return transport_counters_;
   }
 
   /// A cut batch waited `waited` virtual time in the orderer's queue before
@@ -383,6 +462,7 @@ class Metrics {
   ValidationWallClock validation_wall_;
   ReorderWallClock reorder_wall_;
   StorageCounters storage_counters_;
+  TransportCounters transport_counters_;
 };
 
 /// A stable key for (client, proposal) used by Metrics.

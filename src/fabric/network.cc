@@ -23,6 +23,13 @@ FabricNetwork::FabricNetwork(FabricConfig config,
   // randomness without a fault plan, so fault-free runs stay bit-identical
   // to a network without it). Thread: one mailbox thread per endpoint.
   const runtime::RuntimeMode mode = config_.RuntimeModeOrDefault();
+  if (mode == runtime::RuntimeMode::kSocket) {
+    FABRICPP_LOG(Error)
+        << "runtime_mode=\"socket\" composes per-process hosts, not one "
+           "in-process network — run fabricpp_node / fabricpp_load (or "
+           "fabric::SocketHost) instead of FabricNetwork";
+    std::abort();
+  }
   if (mode == runtime::RuntimeMode::kSim) {
     runtime::SimRuntime::Options options;
     options.seed = config_.seed;
@@ -81,10 +88,15 @@ FabricNetwork::FabricNetwork(FabricConfig config,
   (void)policies_.Register(std::move(policy));
 
   // 5. The nodes, built against the narrow context only — no node sees
-  // FabricNetwork itself, just the directory + runtime interfaces.
+  // FabricNetwork itself, just the directory + runtime + mesh interfaces.
+  // LocalMesh measures real framed wire sizes in thread mode only; the sim
+  // path must not spend host time encoding messages it never ships.
+  mesh_ = std::make_unique<node::LocalMesh>(
+      &config_, &metrics_, this, runtime_.get(),
+      /*measure_wire_bytes=*/mode == runtime::RuntimeMode::kThread);
   const node::NodeContext ctx{&config_,         &metrics_, workload_,
                               registry_.get(),  &policies_, runtime_.get(),
-                              this};
+                              this,             mesh_.get()};
 
   // Peers, org-major: A1 A2 ... B1 B2 ...
   for (uint32_t o = 0; o < config_.num_orgs; ++o) {
@@ -133,7 +145,7 @@ FabricNetwork::FabricNetwork(FabricConfig config,
     for (uint32_t i = 0; i < config_.clients_per_channel; ++i) {
       const uint32_t index = c * config_.clients_per_channel + i;
       clients_.push_back(std::make_unique<node::ClientNode>(
-          ctx, index, c, StrFormat("client_c%u_%u", c, i),
+          ctx, index, c, node::ClientNameFor(c, i),
           config_.seed * 0x9e3779b97f4a7c15ULL + index + 1,
           client_endpoints_[index % shards], client_cpus_[index % shards]));
       clients_by_name_[clients_.back()->name()] = clients_.back().get();
@@ -173,16 +185,9 @@ node::ClientNode* FabricNetwork::FindClient(const std::string& name) {
   return it == clients_by_name_.end() ? nullptr : it->second;
 }
 
-std::vector<node::PeerNode*> FabricNetwork::EndorsersFor(
-    uint64_t proposal_id) {
-  std::vector<node::PeerNode*> endorsers;
-  endorsers.reserve(config_.num_orgs);
-  for (uint32_t o = 0; o < config_.num_orgs; ++o) {
-    const uint32_t p =
-        static_cast<uint32_t>(proposal_id % config_.peers_per_org);
-    endorsers.push_back(peers_[o * config_.peers_per_org + p].get());
-  }
-  return endorsers;
+std::vector<uint32_t> FabricNetwork::EndorsersFor(uint64_t proposal_id) {
+  return node::EndorserIndicesFor(config_.num_orgs, config_.peers_per_org,
+                                  proposal_id);
 }
 
 RunReport FabricNetwork::RunFor(sim::SimTime duration, sim::SimTime warmup) {

@@ -13,6 +13,7 @@
 #include "fabric/raft_consensus.h"
 #include "node/client_node.h"
 #include "node/consensus.h"
+#include "node/local_mesh.h"
 #include "node/node_context.h"
 #include "node/orderer_node.h"
 #include "node/peer_node.h"
@@ -153,7 +154,7 @@ class FabricNetwork : public node::NodeDirectory {
   size_t num_clients() const override { return clients_.size(); }
   ClientNode& client(uint32_t i) override { return *clients_[i]; }
   ClientNode* FindClient(const std::string& name) override;
-  std::vector<PeerNode*> EndorsersFor(uint64_t proposal_id) override;
+  std::vector<uint32_t> EndorsersFor(uint64_t proposal_id) override;
   const std::string& default_policy_id() const override {
     return default_policy_id_;
   }
@@ -181,6 +182,9 @@ class FabricNetwork : public node::NodeDirectory {
   /// of them under the thread runtime, clients assigned round-robin.
   std::vector<runtime::Endpoint*> client_endpoints_;
   std::vector<runtime::Executor*> client_cpus_;
+  /// The in-process message fabric every node send goes through; must
+  /// outlive the nodes, which hold it via NodeContext.
+  std::unique_ptr<node::LocalMesh> mesh_;
   /// Borrowed from runtime_ (sim mode only, where the pools are shared).
   ThreadPool* validator_pool_ = nullptr;
   ThreadPool* reorder_pool_ = nullptr;

@@ -1,0 +1,260 @@
+#ifndef FABRICPP_FABRIC_SOCKET_HOST_H_
+#define FABRICPP_FABRIC_SOCKET_HOST_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaincode/chaincode.h"
+#include "fabric/config.h"
+#include "fabric/metrics.h"
+#include "node/client_node.h"
+#include "node/consensus.h"
+#include "node/mesh.h"
+#include "node/node_context.h"
+#include "node/orderer_node.h"
+#include "node/peer_node.h"
+#include "peer/policy.h"
+#include "proto/wire_format.h"
+#include "runtime/runtime.h"
+#include "runtime/socket_transport.h"
+#include "runtime/thread_runtime.h"
+#include "workload/workload.h"
+
+namespace fabricpp::fabric {
+
+/// Which slice of the network one process hosts under runtime_mode="socket":
+/// all clients (the load driver), one peer, or the orderer.
+struct SocketRole {
+  enum class Kind { kClients, kPeer, kOrderer };
+  Kind kind = Kind::kClients;
+  uint32_t peer_index = 0;  ///< Valid iff kind == kPeer.
+
+  std::string ToString() const;
+};
+
+/// Parses "clients" | "orderer" | "peer:<index>".
+Result<SocketRole> ParseSocketRole(const std::string& text);
+
+/// The multi-process composition root (DESIGN.md §15): one SocketHost per
+/// process hosts its slice of the network on a ThreadRuntime and stitches
+/// the slices together over TCP. It is simultaneously the
+/// node::NodeDirectory its local nodes look each other up in (remote
+/// lookups abort — node code only reaches concrete nodes through
+/// Mesh-delivered tasks, which by construction run where the node lives)
+/// and the node::Mesh that encodes every cross-node send into a wire frame
+/// (proto/wire_format.h) and ships it through runtime::SocketTransport.
+///
+/// Topology: the orderer listens and dials nobody; each peer listens and
+/// dials the orderer; the client host dials every peer and the orderer.
+/// Exactly one connection per process pair, both directions multiplexed.
+///
+/// Measurement: the client host owns the run. RunClients mirrors the
+/// thread-mode FabricNetwork::RunFor protocol (reset epoch, fire, sleep,
+/// quiesce, report); outcome frames from the observer peer and the orderer
+/// resolve proposals in this host's Metrics, so the RunReport has the same
+/// shape and semantics as the in-process modes. Peer/orderer hosts run
+/// until a kShutdown frame (or a signal) stops them.
+class SocketHost : public node::NodeDirectory, public node::Mesh {
+ public:
+  /// `workload` must outlive the host. The config must validate with
+  /// runtime_mode="socket" (peer_addresses / orderer_address filled in).
+  SocketHost(FabricConfig config, const workload::Workload* workload,
+             SocketRole role);
+  ~SocketHost() override;
+
+  SocketHost(const SocketHost&) = delete;
+  SocketHost& operator=(const SocketHost&) = delete;
+
+  /// Builds the local nodes, binds the listener (peer/orderer roles) and
+  /// starts dialing. Returns the first hard error (e.g. bind failure).
+  Status Start();
+
+  /// Port this host's listener bound; 0 for the (dial-only) client host.
+  /// Resolves port 0 in the configured address — how tests run whole
+  /// clusters in one process on ephemeral ports.
+  uint16_t listen_port() const;
+
+  /// Blocks until every route this role dials is connected.
+  bool WaitForCluster(uint32_t timeout_ms);
+
+  /// Client host only: runs the standard experiment against the remote
+  /// cluster — clients fire for `duration` (wall-clock microseconds),
+  /// outcomes are measured in [warmup, duration) — and returns the report.
+  /// One call per host, like the thread runtime.
+  RunReport RunClients(runtime::TimeMicros duration,
+                       runtime::TimeMicros warmup = 0);
+
+  /// Client host only: polls every peer for (height, tip hash, state
+  /// fingerprint, key count) per channel until two consecutive rounds
+  /// agree (the cluster went quiescent) or `timeout_ms` elapses. Returns
+  /// the last round, sorted by peer index; may be shorter than num_peers
+  /// on timeout.
+  std::vector<proto::StateReportMsg> CollectPeerReports(uint32_t timeout_ms);
+
+  /// Client host only: tells every peer and the orderer to exit.
+  void BroadcastShutdown();
+
+  /// Daemon roles: blocks until a kShutdown frame arrives or Stop() is
+  /// called. Returns whether a shutdown frame (vs. local Stop) ended it.
+  bool WaitForShutdown();
+
+  /// Stops the transport and the runtime. Idempotent; the destructor calls
+  /// it too.
+  void Stop();
+
+  Metrics& metrics() { return metrics_; }
+  const FabricConfig& config() const { return config_; }
+  const SocketRole& role() const { return role_; }
+  runtime::SocketTransport& transport() { return *transport_; }
+  /// The locally hosted peer (peer role only; else nullptr).
+  node::PeerNode* local_peer() { return peer_.get(); }
+
+  // --- node::NodeDirectory ---
+  size_t num_peers() const override;
+  node::PeerNode& peer(uint32_t index) override;
+  node::OrdererNode& orderer() override;
+  size_t num_clients() const override;
+  node::ClientNode& client(uint32_t index) override;
+  node::ClientNode* FindClient(const std::string& name) override;
+  std::vector<uint32_t> EndorsersFor(uint64_t proposal_id) override;
+  const std::string& default_policy_id() const override {
+    return default_policy_id_;
+  }
+  bool IsObserver(const node::PeerNode& peer) const override {
+    return peer.index() == 0;
+  }
+
+  // --- node::Mesh (encode + ship over TCP) ---
+  void SendProposal(runtime::Endpoint& from, uint32_t peer_index,
+                    uint32_t channel, const proto::Proposal& proposal,
+                    uint32_t client_index, uint64_t size_bytes) override;
+  void SendTransaction(runtime::Endpoint& from, uint32_t channel,
+                       proto::Transaction tx, uint64_t size_bytes) override;
+  void SendEndorsementReply(runtime::Endpoint& from, uint32_t client_index,
+                            uint64_t proposal_id,
+                            Result<peer::EndorsementResponse> response,
+                            uint64_t size_bytes) override;
+  void SendBusy(runtime::Endpoint& from, uint32_t client_index,
+                const node::BusyResponse& busy) override;
+  void SendBusyByName(runtime::Endpoint& from, const std::string& client,
+                      const node::BusyResponse& busy) override;
+  bool RoutesToClient(const std::string& client) override;
+  void SendOutcome(runtime::Endpoint& from, const std::string& client,
+                   uint64_t proposal_id,
+                   proto::TxValidationCode code) override;
+  void SendBlock(runtime::Endpoint& from, uint32_t peer_index,
+                 uint32_t channel, std::shared_ptr<proto::Block> block,
+                 uint64_t block_bytes) override;
+  void GossipBlock(runtime::Endpoint& from, uint32_t channel,
+                   std::shared_ptr<proto::Block> block,
+                   uint64_t block_bytes) override;
+  void SendChainInfo(runtime::Endpoint& from, uint32_t peer_index,
+                     uint32_t channel, uint64_t height) override;
+  void SendBlockRequest(runtime::Endpoint& from, uint32_t channel,
+                        uint32_t peer_index, uint64_t from_number) override;
+
+ private:
+  /// Encodes + ships one frame and records its real framed size against the
+  /// modeled one (Metrics transport counters, outside RunReport).
+  void Ship(const runtime::SocketPeerKey& to, proto::WireMessageType type,
+            const Bytes& payload, uint64_t modeled_bytes);
+
+  /// Transport frame dispatch (event-loop thread): decode the payload and
+  /// post the typed handler onto the target node's execution context.
+  void HandleFrame(const runtime::SocketPeerKey& from, proto::Frame frame);
+  void HandleClientsFrame(proto::Frame& frame);
+  void HandlePeerFrame(const runtime::SocketPeerKey& from,
+                       proto::Frame& frame);
+  void HandleOrdererFrame(proto::Frame& frame);
+
+  /// Peer role: periodic anti-entropy — a catch-up probe to the orderer
+  /// every peer_fetch_retry_interval, so a block lost in flight (or a tail
+  /// block with no successor to reveal the gap) is always re-fetched.
+  void ArmAntiEntropy();
+
+  /// The peer roster's names ("A1", "B2", ...), derivable from config alone
+  /// — every host prewarms its verifier caches with them, so endorsements
+  /// signed in one process verify in another.
+  std::vector<std::string> PeerNames() const;
+
+  runtime::SocketPeerKey SelfKey() const;
+  static runtime::SocketPeerKey OrdererKey() {
+    return {proto::NodeRole::kOrderer, 0};
+  }
+  static runtime::SocketPeerKey ClientsKey() {
+    return {proto::NodeRole::kClientHost, 0};
+  }
+  static runtime::SocketPeerKey PeerKey(uint32_t index) {
+    return {proto::NodeRole::kPeer, index};
+  }
+
+  FabricConfig config_;
+  const workload::Workload* workload_;
+  SocketRole role_;
+  Metrics metrics_;
+  std::unique_ptr<chaincode::ChaincodeRegistry> registry_;
+  peer::PolicyRegistry policies_;
+  std::string default_policy_id_;
+  std::unique_ptr<runtime::ThreadRuntime> runtime_;
+  std::unique_ptr<runtime::SocketTransport> transport_;
+
+  // Local slice (exactly one populated, by role).
+  std::unique_ptr<node::PeerNode> peer_;
+  std::unique_ptr<node::OrdererNode> orderer_;
+  node::SoloConsensus solo_consensus_;
+  std::vector<runtime::Endpoint*> client_endpoints_;
+  std::vector<runtime::Executor*> client_cpus_;
+  std::vector<std::unique_ptr<node::ClientNode>> clients_;
+  std::unordered_map<std::string, node::ClientNode*> clients_by_name_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_received_ = false;
+  bool stopped_ = false;
+  /// Set once the measured run ended: late frames for clients are ignored
+  /// instead of posted into the shut-down runtime.
+  std::atomic<bool> run_done_{false};
+  bool ran_ = false;
+  /// State reports keyed by (token, peer_index) — CollectPeerReports waits
+  /// here for each polling round to complete.
+  uint64_t next_state_token_ = 1;
+  std::map<std::pair<uint64_t, uint32_t>, proto::StateReportMsg> reports_;
+};
+
+/// A whole socket-mode cluster inside one process, on ephemeral loopback
+/// ports: the orderer host binds first, each peer host learns its port,
+/// the client host learns everyone's. Every host still has its own
+/// ThreadRuntime, Metrics and SocketTransport — only TCP connects them —
+/// so this exercises the full multi-process path without fork/exec. Used
+/// by tests and bench_runtime; real deployments run fabricpp_node /
+/// fabricpp_load instead.
+class LocalSocketCluster {
+ public:
+  /// `base` needs topology/workload knobs only; runtime_mode and the
+  /// address lists are filled in here. Aborts on a start failure (test
+  /// fixture semantics). `workload` must outlive the cluster.
+  LocalSocketCluster(FabricConfig base, const workload::Workload* workload);
+
+  /// Broadcasts shutdown from the client host and stops every host.
+  ~LocalSocketCluster();
+
+  LocalSocketCluster(const LocalSocketCluster&) = delete;
+  LocalSocketCluster& operator=(const LocalSocketCluster&) = delete;
+
+  SocketHost& clients() { return *clients_; }
+
+ private:
+  std::unique_ptr<SocketHost> orderer_;
+  std::vector<std::unique_ptr<SocketHost>> peers_;
+  std::unique_ptr<SocketHost> clients_;
+};
+
+}  // namespace fabricpp::fabric
+
+#endif  // FABRICPP_FABRIC_SOCKET_HOST_H_

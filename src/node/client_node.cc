@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "node/mesh.h"
 #include "node/orderer_node.h"
 #include "node/peer_node.h"
 #include "node/wire.h"
@@ -181,18 +182,15 @@ void ClientNode::Submit(proto::Proposal proposal) {
   cpu_->Submit(
       cost.sign, [this, proposal = std::move(proposal)]() mutable {
         const uint64_t size = proposal.ByteSize() + kMessageOverhead;
-        std::vector<PeerNode*> endorsers =
+        std::vector<uint32_t> endorsers =
             ctx_.directory->EndorsersFor(proposal.proposal_id + index_);
         PendingProposal pending;
         pending.proposal = proposal;
         pending.expected = static_cast<uint32_t>(endorsers.size());
         pending_.emplace(proposal.proposal_id, std::move(pending));
-        for (PeerNode* peer : endorsers) {
-          transport().Send(
-              *home_, peer->endpoint(), size,
-              [peer, channel = channel_, proposal, index = index_]() mutable {
-                peer->HandleProposal(channel, std::move(proposal), index);
-              });
+        for (uint32_t peer_index : endorsers) {
+          ctx_.mesh->SendProposal(*home_, peer_index, channel_, proposal,
+                                  index_, size);
         }
         ArmEndorsementTimeout(proposal.proposal_id);
       });
@@ -264,12 +262,7 @@ void ClientNode::Assemble(PendingProposal pending) {
         tx.ComputeTxId(pending.proposal);
         const uint64_t proposal_id = tx.proposal_id;
         const uint64_t size = tx.ByteSize() + kMessageOverhead;
-        OrdererNode* orderer = &ctx_.directory->orderer();
-        transport().Send(
-            *home_, orderer->endpoint(), size,
-            [orderer, channel = channel_, tx = std::move(tx)]() mutable {
-              orderer->HandleTransaction(channel, std::move(tx));
-            });
+        ctx_.mesh->SendTransaction(*home_, channel_, std::move(tx), size);
         ArmCommitTimeout(proposal_id);
       });
 }

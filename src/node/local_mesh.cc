@@ -1,0 +1,260 @@
+#include "node/local_mesh.h"
+
+#include <utility>
+
+#include "node/client_node.h"
+#include "node/orderer_node.h"
+#include "node/peer_node.h"
+#include "node/wire.h"
+#include "proto/wire_format.h"
+
+namespace fabricpp::node {
+
+LocalMesh::LocalMesh(const fabric::FabricConfig* config,
+                     fabric::Metrics* metrics, NodeDirectory* directory,
+                     runtime::Runtime* runtime, bool measure_wire_bytes)
+    : config_(config),
+      metrics_(metrics),
+      directory_(directory),
+      runtime_(runtime),
+      measure_wire_bytes_(measure_wire_bytes) {}
+
+void LocalMesh::Measure(uint8_t type, size_t payload_size, uint64_t modeled) {
+  metrics_->NoteWireMessage(type, proto::FramedSize(payload_size), modeled);
+}
+
+void LocalMesh::SendProposal(runtime::Endpoint& from, uint32_t peer_index,
+                             uint32_t channel, const proto::Proposal& proposal,
+                             uint32_t client_index, uint64_t size_bytes) {
+  PeerNode* peer = &directory_->peer(peer_index);
+  transport().Send(
+      from, peer->endpoint(), size_bytes,
+      [peer, channel, proposal, index = client_index]() mutable {
+        peer->HandleProposal(channel, std::move(proposal), index);
+      });
+  if (measure_wire_bytes_) {
+    const proto::ProposalMsg msg{channel, client_index, proposal};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kProposal),
+            msg.Encode().size(), size_bytes);
+  }
+}
+
+void LocalMesh::SendTransaction(runtime::Endpoint& from, uint32_t channel,
+                                proto::Transaction tx, uint64_t size_bytes) {
+  OrdererNode* orderer = &directory_->orderer();
+  if (measure_wire_bytes_) {
+    const proto::TransactionMsg msg{channel, tx};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kTransaction),
+            msg.Encode().size(), size_bytes);
+  }
+  transport().Send(from, orderer->endpoint(), size_bytes,
+                   [orderer, channel, tx = std::move(tx)]() mutable {
+                     orderer->HandleTransaction(channel, std::move(tx));
+                   });
+}
+
+void LocalMesh::SendEndorsementReply(
+    runtime::Endpoint& from, uint32_t client_index, uint64_t proposal_id,
+    Result<peer::EndorsementResponse> response, uint64_t size_bytes) {
+  ClientNode* client = &directory_->client(client_index);
+  if (measure_wire_bytes_) {
+    proto::EndorsementReplyMsg msg;
+    msg.client_index = client_index;
+    msg.proposal_id = proposal_id;
+    msg.ok = response.ok();
+    if (response.ok()) {
+      msg.rwset = response->rwset;
+      msg.endorsement = response->endorsement;
+    } else {
+      msg.status_code = static_cast<uint8_t>(response.status().code());
+      msg.status_message = response.status().message();
+    }
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kEndorsementReply),
+            msg.Encode().size(), size_bytes);
+  }
+  transport().Send(
+      from, client->home(), size_bytes,
+      [client, proposal_id, response = std::move(response)]() mutable {
+        client->HandleEndorsement(proposal_id, std::move(response));
+      });
+}
+
+void LocalMesh::SendBusy(runtime::Endpoint& from, uint32_t client_index,
+                         const BusyResponse& busy) {
+  ClientNode* client = &directory_->client(client_index);
+  transport().Send(from, client->home(), kMessageOverhead,
+                   [client, busy]() { client->HandleBusy(busy); });
+  if (measure_wire_bytes_) {
+    const proto::BusyMsg msg{client_index, busy.proposal_id,
+                             busy.retry_after_us};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kBusy),
+            msg.Encode().size(), kMessageOverhead);
+  }
+}
+
+void LocalMesh::SendBusyByName(runtime::Endpoint& from,
+                               const std::string& client_name,
+                               const BusyResponse& busy) {
+  ClientNode* client = directory_->FindClient(client_name);
+  if (client == nullptr) return;
+  transport().Send(from, client->home(), kMessageOverhead,
+                   [client, busy]() { client->HandleBusy(busy); });
+  if (measure_wire_bytes_) {
+    const proto::BusyMsg msg{0, busy.proposal_id, busy.retry_after_us};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kBusy),
+            msg.Encode().size(), kMessageOverhead);
+  }
+}
+
+bool LocalMesh::RoutesToClient(const std::string& client) {
+  return directory_->FindClient(client) != nullptr;
+}
+
+void LocalMesh::SendOutcome(runtime::Endpoint& from, const std::string& client,
+                            uint64_t proposal_id,
+                            proto::TxValidationCode code) {
+  ClientNode* target = directory_->FindClient(client);
+  if (target == nullptr) return;
+  const bool success = code == proto::TxValidationCode::kValid;
+  transport().Send(from, target->home(), kMessageOverhead,
+                   [target, proposal_id, success]() {
+                     target->HandleOutcome(proposal_id, success);
+                   });
+  if (measure_wire_bytes_) {
+    proto::OutcomeMsg msg;
+    msg.client = client;
+    msg.proposal_id = proposal_id;
+    msg.code = code;
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kOutcome),
+            msg.Encode().size(), kMessageOverhead);
+  }
+}
+
+void LocalMesh::SendBlock(runtime::Endpoint& from, uint32_t peer_index,
+                          uint32_t channel,
+                          std::shared_ptr<proto::Block> block,
+                          uint64_t block_bytes) {
+  PeerNode* peer = &directory_->peer(peer_index);
+  transport().Send(from, peer->endpoint(), block_bytes,
+                   [peer, channel, block]() {
+                     peer->HandleBlock(channel, block);
+                   });
+  if (measure_wire_bytes_) {
+    const proto::BlockMsg msg{channel, *block};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kBlock),
+            msg.Encode().size(), block_bytes);
+  }
+}
+
+void LocalMesh::GossipBlock(runtime::Endpoint& from, uint32_t channel,
+                            std::shared_ptr<proto::Block> block,
+                            uint64_t block_bytes) {
+  // Gossip: one copy to each org's leader peer (its first), which forwards
+  // to the org's remaining members — "partially from ordering service to
+  // peers directly ... and partially between the peers using a gossip
+  // protocol" (Appendix A.2 step 9).
+  const uint32_t peers_per_org = config_->peers_per_org;
+  for (uint32_t org = 0; org < config_->num_orgs; ++org) {
+    PeerNode* leader = &directory_->peer(org * peers_per_org);
+    NodeDirectory* directory = directory_;
+    runtime::Transport* transport = &this->transport();
+    transport->Send(
+        from, leader->endpoint(), block_bytes,
+        [directory, transport, leader, org, peers_per_org, channel, block,
+         block_bytes]() {
+          leader->HandleBlock(channel, block);
+          for (uint32_t m = 1; m < peers_per_org; ++m) {
+            PeerNode* member = &directory->peer(org * peers_per_org + m);
+            transport->Send(leader->endpoint(), member->endpoint(),
+                            block_bytes, [member, channel, block]() {
+                              member->HandleBlock(channel, block);
+                            });
+          }
+        });
+  }
+  if (measure_wire_bytes_) {
+    // Every peer receives one framed copy (orderer->leader hops plus the
+    // leader->member forwards), all the same encoding.
+    const proto::BlockMsg msg{channel, *block};
+    const size_t payload = msg.Encode().size();
+    const size_t copies = directory_->num_peers();
+    for (size_t i = 0; i < copies; ++i) {
+      Measure(static_cast<uint8_t>(proto::WireMessageType::kBlock), payload,
+              block_bytes);
+    }
+  }
+}
+
+void LocalMesh::SendChainInfo(runtime::Endpoint& from, uint32_t peer_index,
+                              uint32_t channel, uint64_t height) {
+  PeerNode* peer = &directory_->peer(peer_index);
+  transport().Send(from, peer->endpoint(), kMessageOverhead,
+                   [peer, channel, height]() {
+                     peer->HandleChainInfo(channel, height);
+                   });
+  if (measure_wire_bytes_) {
+    const proto::ChainInfoMsg msg{channel, height};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kChainInfo),
+            msg.Encode().size(), kMessageOverhead);
+  }
+}
+
+void LocalMesh::SendBlockRequest(runtime::Endpoint& from, uint32_t channel,
+                                 uint32_t peer_index, uint64_t from_number) {
+  OrdererNode* orderer = &directory_->orderer();
+  transport().Send(from, orderer->endpoint(), kMessageOverhead,
+                   [orderer, channel, peer_index, from_number]() {
+                     orderer->HandleBlockRequest(channel, peer_index,
+                                                 from_number);
+                   });
+  if (measure_wire_bytes_) {
+    const proto::BlockRequestMsg msg{channel, peer_index, from_number};
+    Measure(static_cast<uint8_t>(proto::WireMessageType::kBlockRequest),
+            msg.Encode().size(), kMessageOverhead);
+  }
+}
+
+std::string ClientNameFor(uint32_t channel, uint32_t index_in_channel) {
+  return "client_c" + std::to_string(channel) + "_" +
+         std::to_string(index_in_channel);
+}
+
+bool ParseClientName(const std::string& name, uint32_t* channel,
+                     uint32_t* index_in_channel) {
+  constexpr std::string_view kPrefix = "client_c";
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  const size_t sep = name.find('_', kPrefix.size());
+  if (sep == std::string::npos || sep == kPrefix.size() ||
+      sep + 1 >= name.size()) {
+    return false;
+  }
+  uint64_t ch = 0;
+  for (size_t i = kPrefix.size(); i < sep; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    ch = ch * 10 + static_cast<uint64_t>(name[i] - '0');
+    if (ch > UINT32_MAX) return false;
+  }
+  uint64_t idx = 0;
+  for (size_t i = sep + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    idx = idx * 10 + static_cast<uint64_t>(name[i] - '0');
+    if (idx > UINT32_MAX) return false;
+  }
+  *channel = static_cast<uint32_t>(ch);
+  *index_in_channel = static_cast<uint32_t>(idx);
+  return true;
+}
+
+std::vector<uint32_t> EndorserIndicesFor(uint32_t num_orgs,
+                                         uint32_t peers_per_org,
+                                         uint64_t key) {
+  std::vector<uint32_t> endorsers;
+  endorsers.reserve(num_orgs);
+  for (uint32_t o = 0; o < num_orgs; ++o) {
+    const uint32_t p = static_cast<uint32_t>(key % peers_per_org);
+    endorsers.push_back(o * peers_per_org + p);
+  }
+  return endorsers;
+}
+
+}  // namespace fabricpp::node

@@ -7,6 +7,7 @@
 
 #include "ledger/ledger.h"
 #include "node/client_node.h"
+#include "node/mesh.h"
 #include "node/peer_node.h"
 #include "node/wire.h"
 #include "ordering/commit_schedule.h"
@@ -57,43 +58,16 @@ void OrdererNode::DispatchBlock(uint32_t channel,
   // Distribute to every peer (paper §2.2.2 / Appendix A.2 steps 8-9).
   if (!config().gossip_blocks) {
     for (uint32_t p = 0; p < ctx_.directory->num_peers(); ++p) {
-      PeerNode* peer = &ctx_.directory->peer(p);
-      transport().Send(*endpoint_, peer->endpoint(), block_bytes,
-                       [peer, channel, block]() {
-                         peer->HandleBlock(channel, block);
-                       });
+      ctx_.mesh->SendBlock(*endpoint_, p, channel, block, block_bytes);
     }
     return;
   }
-  // Gossip: one copy to each org's leader peer (its first), which forwards
-  // to the org's remaining members — "partially from ordering service to
-  // peers directly ... and partially between the peers using a gossip
-  // protocol" (Appendix A.2 step 9).
-  const uint32_t peers_per_org = config().peers_per_org;
-  for (uint32_t org = 0; org < config().num_orgs; ++org) {
-    PeerNode* leader = &ctx_.directory->peer(org * peers_per_org);
-    NodeDirectory* directory = ctx_.directory;
-    runtime::Transport* transport = &this->transport();
-    transport->Send(
-        *endpoint_, leader->endpoint(), block_bytes,
-        [directory, transport, leader, org, peers_per_org, channel, block,
-         block_bytes]() {
-          leader->HandleBlock(channel, block);
-          for (uint32_t m = 1; m < peers_per_org; ++m) {
-            PeerNode* member = &directory->peer(org * peers_per_org + m);
-            transport->Send(leader->endpoint(), member->endpoint(),
-                            block_bytes, [member, channel, block]() {
-                              member->HandleBlock(channel, block);
-                            });
-          }
-        });
-  }
+  ctx_.mesh->GossipBlock(*endpoint_, channel, block, block_bytes);
 }
 
 void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
                                      uint64_t from_number) {
   ChannelState& ch = channels_[channel];
-  PeerNode* peer = &ctx_.directory->peer(peer_index);
   // Bounded batch per request: the peer re-requests from its new frontier
   // until it reports parity (HandleChainInfo), so a long outage drains in
   // successive rounds instead of one giant burst.
@@ -103,17 +77,11 @@ void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
        it != ch.dispatched.end() && sent < kMaxBlocksPerFetch; ++it, ++sent) {
     std::shared_ptr<proto::Block> block = it->second;
     const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
-    transport().Send(*endpoint_, peer->endpoint(), block_bytes,
-                     [peer, channel, block]() {
-                       peer->HandleBlock(channel, block);
-                     });
+    ctx_.mesh->SendBlock(*endpoint_, peer_index, channel, block, block_bytes);
   }
   const uint64_t highest =
       ch.dispatched.empty() ? 0 : ch.dispatched.rbegin()->first;
-  transport().Send(*endpoint_, peer->endpoint(), kMessageOverhead,
-                   [peer, channel, highest]() {
-                     peer->HandleChainInfo(channel, highest);
-                   });
+  ctx_.mesh->SendChainInfo(*endpoint_, peer_index, channel, highest);
 }
 
 void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
@@ -145,11 +113,8 @@ void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
 
 void OrdererNode::NotifyBusy(const std::string& client_name,
                              uint64_t proposal_id) {
-  ClientNode* client = ctx_.directory->FindClient(client_name);
-  if (client == nullptr) return;
   const BusyResponse busy{proposal_id, config().busy_retry_hint};
-  transport().Send(*endpoint_, client->home(), kMessageOverhead,
-                   [client, busy]() { client->HandleBusy(busy); });
+  ctx_.mesh->SendBusyByName(*endpoint_, client_name, busy);
 }
 
 void OrdererNode::PumpAdmission(uint32_t channel) {
@@ -174,17 +139,13 @@ void OrdererNode::PumpAdmission(uint32_t channel) {
   }
 }
 
-void OrdererNode::NotifyEarlyAbort(const proto::Transaction& tx) {
+void OrdererNode::NotifyEarlyAbort(const proto::Transaction& tx,
+                                   proto::TxValidationCode code) {
   // Early abort notification to the client (paper §5.2: aborted
   // transactions leave the pipeline immediately and the client learns of it
-  // without waiting for validation).
-  ClientNode* client = ctx_.directory->FindClient(tx.client);
-  if (client == nullptr) return;
-  const uint64_t proposal_id = tx.proposal_id;
-  transport().Send(*endpoint_, client->home(), kMessageOverhead,
-                   [client, proposal_id]() {
-                     client->HandleOutcome(proposal_id, false);
-                   });
+  // without waiting for validation). The code travels with the outcome so a
+  // remote client host can account the abort under the right bucket.
+  ctx_.mesh->SendOutcome(*endpoint_, tx.client, tx.proposal_id, code);
 }
 
 void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
@@ -256,7 +217,8 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
       metrics().Resolve(
           fabric::ProposalKey(txs[victim].client, txs[victim].proposal_id),
           fabric::TxOutcome::kAbortVersionSkew, now);
-      NotifyEarlyAbort(txs[victim]);
+      NotifyEarlyAbort(txs[victim],
+                       proto::TxValidationCode::kAbortedVersionSkew);
     }
     service += cost.order_per_tx * txs.size();  // The skew scan.
   }
@@ -287,7 +249,7 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
       const proto::Transaction& tx = txs[survivors[victim]];
       metrics().Resolve(fabric::ProposalKey(tx.client, tx.proposal_id),
                         fabric::TxOutcome::kAbortReorderer, now);
-      NotifyEarlyAbort(tx);
+      NotifyEarlyAbort(tx, proto::TxValidationCode::kAbortedByReorderer);
     }
     final_order.clear();
     for (const uint32_t pos : reorder.order) {

@@ -107,7 +107,8 @@ class OrdererNode {
   };
 
   void Enqueue(uint32_t channel, proto::Transaction tx);
-  void NotifyEarlyAbort(const proto::Transaction& tx);
+  void NotifyEarlyAbort(const proto::Transaction& tx,
+                        proto::TxValidationCode code);
   /// Tells `client_name` its transaction was refused for overload, with the
   /// configured retry-after hint. External clients (not in the directory)
   /// are only counted.

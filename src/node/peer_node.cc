@@ -5,29 +5,11 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "node/client_node.h"
+#include "node/mesh.h"
 #include "node/orderer_node.h"
 #include "node/wire.h"
 
 namespace fabricpp::node {
-
-namespace {
-
-fabric::TxOutcome OutcomeFromValidationCode(proto::TxValidationCode code) {
-  switch (code) {
-    case proto::TxValidationCode::kValid:
-      return fabric::TxOutcome::kSuccess;
-    case proto::TxValidationCode::kMvccConflict:
-      return fabric::TxOutcome::kAbortMvcc;
-    case proto::TxValidationCode::kEndorsementPolicyFailure:
-      return fabric::TxOutcome::kAbortPolicy;
-    case proto::TxValidationCode::kDuplicateTxId:
-      return fabric::TxOutcome::kAbortDuplicateTxId;
-    default:
-      return fabric::TxOutcome::kAbortChaincodeError;
-  }
-}
-
-}  // namespace
 
 PeerNode::PeerNode(const NodeContext& ctx, uint32_t index, std::string name,
                    std::string org)
@@ -61,10 +43,8 @@ void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
     // refuse explicitly with a retry-after hint. The refusal costs no CPU
     // (shedding must stay cheap) — the proposal never enters simulation.
     metrics().NoteEndorserAdmission(false);
-    ClientNode* client = &ctx_.directory->client(client_index);
     const BusyResponse busy{proposal.proposal_id, config().busy_retry_hint};
-    transport().Send(*endpoint_, client->home(), kMessageOverhead,
-                     [client, busy]() { client->HandleBusy(busy); });
+    ctx_.mesh->SendBusy(*endpoint_, client_index, busy);
     return;
   }
   if (depth != 0) metrics().NoteEndorserAdmission(true);
@@ -127,13 +107,8 @@ void PeerNode::FinishSimulation(uint32_t channel, uint32_t client_index,
 
   uint64_t reply_size = kMessageOverhead;
   if (response.ok()) reply_size += response->rwset.ByteSize();
-  ClientNode* client = &ctx_.directory->client(client_index);
-  transport().Send(*endpoint_, client->home(), reply_size,
-                   [client, proposal_id,
-                    response = std::move(response)]() mutable {
-                     client->HandleEndorsement(proposal_id,
-                                               std::move(response));
-                   });
+  ctx_.mesh->SendEndorsementReply(*endpoint_, client_index, proposal_id,
+                                  std::move(response), reply_size);
 
   if (config().concurrency == fabric::ConcurrencyMode::kCoarseLock &&
       ch.active_sims == 0 && ch.commit_phase) {
@@ -189,13 +164,8 @@ void PeerNode::DrainReorderBuffer(uint32_t channel) {
 
 void PeerNode::RequestMissingBlocks(uint32_t channel) {
   if (crashed_) return;
-  OrdererNode* orderer = &ctx_.directory->orderer();
   const uint64_t from = channels_[channel].next_accept;
-  const uint32_t peer_index = index_;
-  transport().Send(*endpoint_, orderer->endpoint(), kMessageOverhead,
-                   [orderer, channel, peer_index, from]() {
-                     orderer->HandleBlockRequest(channel, peer_index, from);
-                   });
+  ctx_.mesh->SendBlockRequest(*endpoint_, channel, index_, from);
 }
 
 void PeerNode::ArmFetchTimer(uint32_t channel) {
@@ -383,10 +353,10 @@ void PeerNode::FinishCommit(uint32_t channel) {
     for (uint32_t i = 0; i < block->transactions.size(); ++i) {
       const proto::Transaction& tx = block->transactions[i];
       const fabric::TxOutcome outcome =
-          OutcomeFromValidationCode(result.codes[i]);
+          fabric::OutcomeFromValidationCode(result.codes[i]);
       const std::string key = fabric::ProposalKey(tx.client, tx.proposal_id);
-      ClientNode* client = ctx_.directory->FindClient(tx.client);
-      if (client != nullptr) {
+      const bool routed = ctx_.mesh->RoutesToClient(tx.client);
+      if (routed) {
         // Client-fired work resolves at most once, even when a client-side
         // timeout raced this commit.
         metrics().ResolveFired(key, outcome, now);
@@ -396,14 +366,9 @@ void PeerNode::FinishCommit(uint32_t channel) {
       }
       // Commit-event notification to the submitting client (Fabric's event
       // service); an aborted transaction triggers resubmission there.
-      if (client != nullptr) {
-        const bool success =
-            result.codes[i] == proto::TxValidationCode::kValid;
-        const uint64_t proposal_id = tx.proposal_id;
-        transport().Send(*endpoint_, client->home(), kMessageOverhead,
-                         [client, proposal_id, success]() {
-                           client->HandleOutcome(proposal_id, success);
-                         });
+      if (routed) {
+        ctx_.mesh->SendOutcome(*endpoint_, tx.client, tx.proposal_id,
+                               result.codes[i]);
       }
     }
     metrics().NoteBlockCommitted(

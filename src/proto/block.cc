@@ -63,6 +63,12 @@ Result<Block> Block::Decode(ByteReader* r) {
     FABRICPP_ASSIGN_OR_RETURN(block.header.data_hash[i], r->GetU8());
   }
   FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_txs, r->GetVarint());
+  // Bound before reserve(): a hostile count (say 2^60) must produce a decode
+  // error, not a length_error/OOM abort. Every transaction costs well over
+  // one encoded byte, so a count beyond the bytes left is garbage.
+  if (num_txs > r->remaining()) {
+    return Status::DataLoss("implausible transaction count in encoded block");
+  }
   block.transactions.reserve(num_txs);
   for (uint64_t i = 0; i < num_txs; ++i) {
     FABRICPP_ASSIGN_OR_RETURN(Transaction tx, Transaction::Decode(r));

@@ -33,9 +33,25 @@ Bytes ReadWriteSet::Encode() const {
   return out;
 }
 
+namespace {
+
+/// Bounds a decoded element count before reserve(): every element costs at
+/// least one encoded byte, so a count beyond the bytes left is garbage. A
+/// hostile varint must yield a decode error, never a length_error/OOM abort.
+Status CheckCount(uint64_t count, const ByteReader& r, const char* what) {
+  if (count > r.remaining()) {
+    return Status::DataLoss(std::string("implausible ") + what +
+                            " count in encoded rwset");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<ReadWriteSet> ReadWriteSet::Decode(ByteReader* r) {
   ReadWriteSet set;
   FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_reads, r->GetVarint());
+  FABRICPP_RETURN_IF_ERROR(CheckCount(num_reads, *r, "read"));
   set.reads.reserve(num_reads);
   for (uint64_t i = 0; i < num_reads; ++i) {
     ReadItem item;
@@ -46,6 +62,7 @@ Result<ReadWriteSet> ReadWriteSet::Decode(ByteReader* r) {
     set.reads.push_back(std::move(item));
   }
   FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_writes, r->GetVarint());
+  FABRICPP_RETURN_IF_ERROR(CheckCount(num_writes, *r, "write"));
   set.writes.reserve(num_writes);
   for (uint64_t i = 0; i < num_writes; ++i) {
     WriteItem item;

@@ -2,6 +2,21 @@
 
 namespace fabricpp::proto {
 
+namespace {
+
+/// Bounds a decoded element count before reserve(): every element costs at
+/// least one encoded byte, so a count beyond the bytes left is garbage. A
+/// hostile varint must yield a decode error, never a length_error/OOM abort.
+Status CheckCount(uint64_t count, const ByteReader& r, const char* what) {
+  if (count > r.remaining()) {
+    return Status::DataLoss(std::string("implausible ") + what +
+                            " count in encoded transaction");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Bytes Proposal::Encode() const {
   Bytes out;
   ByteWriter w(&out);
@@ -13,6 +28,23 @@ Bytes Proposal::Encode() const {
   for (const std::string& a : args) w.PutString(a);
   w.PutU64(nonce);
   return out;
+}
+
+Result<Proposal> Proposal::Decode(ByteReader* r) {
+  Proposal p;
+  FABRICPP_ASSIGN_OR_RETURN(p.proposal_id, r->GetVarint());
+  FABRICPP_ASSIGN_OR_RETURN(p.client, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(p.channel, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(p.chaincode, r->GetString());
+  FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_args, r->GetVarint());
+  FABRICPP_RETURN_IF_ERROR(CheckCount(num_args, *r, "arg"));
+  p.args.reserve(num_args);
+  for (uint64_t i = 0; i < num_args; ++i) {
+    FABRICPP_ASSIGN_OR_RETURN(std::string arg, r->GetString());
+    p.args.push_back(std::move(arg));
+  }
+  FABRICPP_ASSIGN_OR_RETURN(p.nonce, r->GetU64());
+  return p;
 }
 
 std::string_view TxValidationCodeToString(TxValidationCode code) {
@@ -95,6 +127,7 @@ Result<Transaction> Transaction::Decode(ByteReader* r) {
     FABRICPP_ASSIGN_OR_RETURN(tx.rwset, ReadWriteSet::Decode(r));
   }
   FABRICPP_ASSIGN_OR_RETURN(const uint64_t num_endorsements, r->GetVarint());
+  FABRICPP_RETURN_IF_ERROR(CheckCount(num_endorsements, *r, "endorsement"));
   tx.endorsements.reserve(num_endorsements);
   for (uint64_t i = 0; i < num_endorsements; ++i) {
     Endorsement e;

@@ -26,6 +26,7 @@ struct Proposal {
 
   /// Canonical encoding (hashed into the transaction id).
   Bytes Encode() const;
+  static Result<Proposal> Decode(ByteReader* r);
   uint64_t ByteSize() const { return Encode().size(); }
 };
 

@@ -5,8 +5,10 @@ namespace fabricpp::runtime {
 Result<RuntimeMode> ParseRuntimeMode(const std::string& mode) {
   if (mode == "sim") return RuntimeMode::kSim;
   if (mode == "thread") return RuntimeMode::kThread;
-  return Status::InvalidArgument("unknown runtime mode \"" + mode +
-                                 "\" (expected \"sim\" or \"thread\")");
+  if (mode == "socket") return RuntimeMode::kSocket;
+  return Status::InvalidArgument(
+      "unknown runtime mode \"" + mode +
+      "\" (expected \"sim\", \"thread\" or \"socket\")");
 }
 
 std::string_view RuntimeModeToString(RuntimeMode mode) {
@@ -15,6 +17,8 @@ std::string_view RuntimeModeToString(RuntimeMode mode) {
       return "sim";
     case RuntimeMode::kThread:
       return "thread";
+    case RuntimeMode::kSocket:
+      return "socket";
   }
   return "unknown";
 }

@@ -119,9 +119,14 @@ enum class RuntimeMode {
   /// Real OS threads: one mailbox thread per endpoint, steady_clock time,
   /// lossless in-process transport. Not deterministic.
   kThread,
+  /// Multi-process deployment: each process runs a ThreadRuntime for its
+  /// local nodes and a SocketTransport (TCP, length-framed CRC'd wire
+  /// format — DESIGN.md §15) toward every remote node. Not deterministic.
+  kSocket,
 };
 
-/// Parses "sim" / "thread" (the FabricConfig::runtime_mode values).
+/// Parses "sim" / "thread" / "socket" (the FabricConfig::runtime_mode
+/// values).
 Result<RuntimeMode> ParseRuntimeMode(const std::string& mode);
 std::string_view RuntimeModeToString(RuntimeMode mode);
 

@@ -1,0 +1,624 @@
+#include "runtime/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace fabricpp::runtime {
+
+namespace {
+
+/// Frames coalesced into one writev call. Small messages (endorsement
+/// replies, outcomes) dominate the wire; batching them amortizes the
+/// syscall without adding latency — everything queued is already due.
+constexpr size_t kMaxIovecs = 64;
+
+/// Default epoll timeout when no dial/connect deadline is pending.
+constexpr int kIdlePollMs = 200;
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+std::string SocketPeerKey::ToString() const {
+  switch (role) {
+    case proto::NodeRole::kClientHost:
+      return "clients";
+    case proto::NodeRole::kOrderer:
+      return "orderer";
+    case proto::NodeRole::kPeer:
+      return StrFormat("peer:%u", index);
+  }
+  return StrFormat("role%u:%u", static_cast<uint32_t>(role), index);
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& address) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= address.size()) {
+    return Status::InvalidArgument("address must be host:port, got \"" +
+                                   address + "\"");
+  }
+  uint64_t port = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    const char c = address[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid port in \"" + address + "\"");
+    }
+    port = port * 10 + static_cast<uint64_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in \"" + address +
+                                     "\"");
+    }
+  }
+  return std::make_pair(address.substr(0, colon),
+                        static_cast<uint16_t>(port));
+}
+
+SocketTransport::SocketTransport(Options options, FrameHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+SocketTransport::~SocketTransport() { Stop(); }
+
+int64_t SocketTransport::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Bytes SocketTransport::EncodeHello() const {
+  proto::HelloMsg hello;
+  hello.role = options_.self_role;
+  hello.index = options_.self_index;
+  hello.name = options_.self_name;
+  return proto::EncodeFrame(proto::WireMessageType::kHello, hello.Encode());
+}
+
+Status SocketTransport::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("transport already started");
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(StrFormat("epoll_create1: %s", strerror(errno)));
+  }
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::Internal(StrFormat("eventfd: %s", strerror(errno)));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  if (!options_.listen_address.empty()) {
+    auto host_port = ParseHostPort(options_.listen_address);
+    if (!host_port.ok()) return host_port.status();
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+    if (listen_fd_ < 0) {
+      return Status::Internal(StrFormat("socket: %s", strerror(errno)));
+    }
+    int one = 1;
+    (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(host_port->second);
+    if (host_port->first == "0.0.0.0" || host_port->first == "*") {
+      addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (inet_pton(AF_INET, host_port->first.c_str(),
+                         &addr.sin_addr) != 1) {
+      // Resolve a name ("localhost"). Static addresses only; any latency
+      // here is paid once at startup, before the loop runs.
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* res = nullptr;
+      if (getaddrinfo(host_port->first.c_str(), nullptr, &hints, &res) != 0 ||
+          res == nullptr) {
+        return Status::InvalidArgument("cannot resolve listen host \"" +
+                                       host_port->first + "\"");
+      }
+      addr.sin_addr =
+          reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+      freeaddrinfo(res);
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Status::Internal(StrFormat("bind %s: %s",
+                                        options_.listen_address.c_str(),
+                                        strerror(errno)));
+    }
+    if (listen(listen_fd_, 128) != 0) {
+      return Status::Internal(StrFormat("listen: %s", strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      listen_port_ = ntohs(bound.sin_port);
+    }
+    ev.data.fd = listen_fd_;
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
+
+  started_ = true;
+  loop_thread_ = std::thread([this]() { Loop(); });
+  return Status::OK();
+}
+
+void SocketTransport::Wake() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  (void)!write(wake_fd_, &one, sizeof(one));
+}
+
+void SocketTransport::Dial(const SocketPeerKey& peer,
+                           const std::string& address) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Route& route = routes_[peer];
+    route.dial_address = address;
+    route.next_dial_ms = 0;  // Dial on the next loop pass.
+  }
+  Wake();
+}
+
+bool SocketTransport::Send(const SocketPeerKey& peer,
+                           proto::WireMessageType type, const Bytes& payload) {
+  Bytes frame = proto::EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || stop_) {
+    messages_dropped_.fetch_add(1);
+    return false;
+  }
+  const auto it = routes_.find(peer);
+  if (it == routes_.end()) {
+    // No dial target and no connection has ever identified as this peer:
+    // the frame can never be delivered, so shed it instead of buffering.
+    messages_dropped_.fetch_add(1);
+    return false;
+  }
+  Route& route = it->second;
+  if (route.conn != nullptr) {
+    const bool was_idle = route.conn->write_queue.empty();
+    route.conn->write_queue.push_back(std::move(frame));
+    if (was_idle && !route.conn->connecting) UpdateEpoll(route.conn);
+    return true;
+  }
+  if (route.pending.size() >= options_.max_pending_frames) {
+    // Bounded like the thread runtime's mailboxes: the route is down and
+    // the queue is full, so the newest frame is shed and counted. The node
+    // layer recovers through timeouts and block refetch.
+    messages_dropped_.fetch_add(1);
+    return false;
+  }
+  route.pending.push_back(std::move(frame));
+  return true;
+}
+
+bool SocketTransport::Connected(const SocketPeerKey& peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = routes_.find(peer);
+  return it != routes_.end() && it->second.conn != nullptr;
+}
+
+bool SocketTransport::WaitConnected(const std::vector<SocketPeerKey>& peers,
+                                    uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_until(lock, deadline, [&]() {
+    if (stop_) return true;
+    for (const SocketPeerKey& key : peers) {
+      const auto it = routes_.find(key);
+      if (it == routes_.end() || it->second.conn == nullptr) return false;
+    }
+    return true;
+  }) && !stop_;
+}
+
+bool SocketTransport::Drain(uint32_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_until(lock, deadline, [&]() {
+    if (stop_) return true;
+    for (const auto& [fd, conn] : conns_) {
+      if (!conn->write_queue.empty()) return false;
+    }
+    return true;
+  });
+}
+
+void SocketTransport::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) {
+      stop_ = true;
+      cv_.notify_all();
+      return;
+    }
+    stop_ = true;
+  }
+  Wake();
+  cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [fd, conn] : conns_) {
+    (void)close(fd);
+    delete conn;
+  }
+  conns_.clear();
+  for (auto& [key, route] : routes_) route.conn = nullptr;
+  if (listen_fd_ >= 0) (void)close(listen_fd_);
+  if (wake_fd_ >= 0) (void)close(wake_fd_);
+  if (epoll_fd_ >= 0) (void)close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+}
+
+SocketTransport::Counters SocketTransport::counters() const {
+  Counters c;
+  c.frames_sent = frames_sent_.load();
+  c.bytes_sent = bytes_sent_.load();
+  c.frames_received = frames_received_.load();
+  c.bytes_received = bytes_received_.load();
+  c.writev_calls = writev_calls_.load();
+  c.reconnects = reconnects_.load();
+  c.messages_dropped = messages_dropped_.load();
+  c.decode_errors = decode_errors_.load();
+  return c;
+}
+
+void SocketTransport::UpdateEpoll(Conn* conn) {
+  epoll_event ev{};
+  ev.data.fd = conn->fd;
+  ev.events = EPOLLIN;
+  if (conn->connecting || !conn->write_queue.empty()) ev.events |= EPOLLOUT;
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void SocketTransport::StartDial(Route* route, const SocketPeerKey& key) {
+  auto host_port = ParseHostPort(route->dial_address);
+  if (!host_port.ok()) {
+    FABRICPP_LOG(Error) << "socket: bad dial address for " << key.ToString()
+                        << ": " << host_port.status();
+    route->next_dial_ms = NowMs() + options_.backoff_max_ms;
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(host_port->second);
+  if (inet_pton(AF_INET, host_port->first.c_str(), &addr.sin_addr) != 1) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (getaddrinfo(host_port->first.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      route->next_dial_ms = NowMs() + options_.backoff_max_ms;
+      return;
+    }
+    addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+
+  const int fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    route->next_dial_ms = NowMs() + options_.backoff_max_ms;
+    return;
+  }
+  SetNoDelay(fd);
+
+  if (route->backoff_ms > 0) reconnects_.fetch_add(1);
+  auto* conn = new Conn(options_.max_frame_bytes);
+  conn->fd = fd;
+  conn->identified = true;
+  conn->peer = key;
+  conn->write_queue.push_back(EncodeHello());
+  conn->connect_deadline_ms = NowMs() + options_.connect_timeout_ms;
+  conns_[fd] = conn;
+  route->dialing = true;
+
+  epoll_event ev{};
+  ev.data.fd = fd;
+  const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr));
+  if (rc == 0) {
+    conn->connecting = false;
+    ev.events = EPOLLIN | EPOLLOUT;
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    EstablishRoute(key, conn);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    conn->connecting = true;
+    ev.events = EPOLLIN | EPOLLOUT;
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    return;
+  }
+  CloseConn(conn, "connect failed");
+}
+
+void SocketTransport::FinishConnect(Conn* conn) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+      err != 0) {
+    CloseConn(conn, "connect failed");
+    return;
+  }
+  conn->connecting = false;
+  EstablishRoute(conn->peer, conn);
+}
+
+void SocketTransport::EstablishRoute(const SocketPeerKey& key, Conn* conn) {
+  Route& route = routes_[key];
+  if (route.conn != nullptr && route.conn != conn) {
+    // A fresh connection supersedes the stale one (e.g. the remote redialed
+    // before we noticed the old socket die). Drop the stale conn without
+    // touching the route's redial state.
+    Conn* stale = route.conn;
+    route.conn = nullptr;
+    stale->identified = false;  // Detach so CloseConn leaves the route alone.
+    CloseConn(stale, "superseded");
+  }
+  route.conn = conn;
+  route.dialing = false;
+  route.backoff_ms = 0;
+  while (!route.pending.empty()) {
+    conn->write_queue.push_back(std::move(route.pending.front()));
+    route.pending.pop_front();
+  }
+  FlushConn(conn);
+  if (conns_.count(conn->fd) != 0) UpdateEpoll(conn);
+  cv_.notify_all();
+}
+
+void SocketTransport::CloseConn(Conn* conn, const char* why) {
+  if (conn->identified) {
+    const auto it = routes_.find(conn->peer);
+    if (it != routes_.end() && it->second.conn == conn) {
+      it->second.conn = nullptr;
+    }
+    if (it != routes_.end() && !it->second.dial_address.empty()) {
+      Route& route = it->second;
+      route.dialing = false;
+      route.backoff_ms =
+          route.backoff_ms == 0
+              ? options_.backoff_min_ms
+              : std::min<uint32_t>(route.backoff_ms * 2,
+                                   options_.backoff_max_ms);
+      route.next_dial_ms = NowMs() + route.backoff_ms;
+      FABRICPP_LOG(Info) << "socket: connection to " << conn->peer.ToString()
+                         << " closed (" << why << "), redial in "
+                         << route.backoff_ms << "ms";
+    }
+  }
+  (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  (void)close(conn->fd);
+  conns_.erase(conn->fd);
+  delete conn;
+  cv_.notify_all();
+}
+
+void SocketTransport::AcceptAll() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient error; the loop retries.
+    SetNoDelay(fd);
+    auto* conn = new Conn(options_.max_frame_bytes);
+    conn->fd = fd;
+    conns_[fd] = conn;
+    epoll_event ev{};
+    ev.data.fd = fd;
+    ev.events = EPOLLIN;
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void SocketTransport::FlushConn(Conn* conn) {
+  while (!conn->write_queue.empty()) {
+    iovec iov[kMaxIovecs];
+    size_t n = 0;
+    size_t offset = conn->write_offset;
+    for (const Bytes& frame : conn->write_queue) {
+      if (n == kMaxIovecs) break;
+      iov[n].iov_base =
+          const_cast<uint8_t*>(frame.data()) + (n == 0 ? offset : 0);
+      iov[n].iov_len = frame.size() - (n == 0 ? offset : 0);
+      ++n;
+    }
+    const ssize_t wrote = writev(conn->fd, iov, static_cast<int>(n));
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      CloseConn(conn, "write error");
+      return;
+    }
+    writev_calls_.fetch_add(1);
+    bytes_sent_.fetch_add(static_cast<uint64_t>(wrote));
+    size_t left = static_cast<size_t>(wrote);
+    while (left > 0 && !conn->write_queue.empty()) {
+      const size_t frame_left =
+          conn->write_queue.front().size() - conn->write_offset;
+      if (left >= frame_left) {
+        left -= frame_left;
+        conn->write_queue.pop_front();
+        conn->write_offset = 0;
+        frames_sent_.fetch_add(1);
+      } else {
+        conn->write_offset += left;
+        left = 0;
+      }
+    }
+  }
+  cv_.notify_all();  // Drain() watches for empty queues.
+}
+
+void SocketTransport::HandleWritable(Conn* conn) {
+  FlushConn(conn);
+  if (conns_.count(conn->fd) != 0) UpdateEpoll(conn);
+}
+
+void SocketTransport::HandleReadable(Conn* conn) {
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t got = recv(conn->fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      bytes_received_.fetch_add(static_cast<uint64_t>(got));
+      conn->decoder.Feed(buf, static_cast<size_t>(got));
+      if (static_cast<size_t>(got) < sizeof(buf)) break;
+      continue;
+    }
+    if (got == 0) {
+      CloseConn(conn, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    CloseConn(conn, "read error");
+    return;
+  }
+
+  proto::Frame frame;
+  while (true) {
+    Result<bool> next = conn->decoder.Next(&frame);
+    if (!next.ok()) {
+      decode_errors_.fetch_add(1);
+      FABRICPP_LOG(Warn) << "socket: corrupt stream from "
+                         << (conn->identified ? conn->peer.ToString()
+                                              : std::string("<anonymous>"))
+                         << ": " << next.status();
+      CloseConn(conn, "stream error");
+      return;
+    }
+    if (!*next) return;
+    frames_received_.fetch_add(1);
+
+    if (!conn->identified) {
+      // First frame on an accepted connection must identify the dialer.
+      if (frame.type != static_cast<uint8_t>(proto::WireMessageType::kHello)) {
+        decode_errors_.fetch_add(1);
+        CloseConn(conn, "no hello");
+        return;
+      }
+      ByteReader r(frame.payload);
+      Result<proto::HelloMsg> hello = proto::HelloMsg::Decode(&r);
+      if (!hello.ok()) {
+        decode_errors_.fetch_add(1);
+        CloseConn(conn, "bad hello");
+        return;
+      }
+      conn->identified = true;
+      conn->peer = SocketPeerKey{hello->role, hello->index};
+      FABRICPP_LOG(Info) << "socket: accepted " << conn->peer.ToString()
+                         << " (\"" << hello->name << "\")";
+      EstablishRoute(conn->peer, conn);
+      continue;
+    }
+    if (frame.type == static_cast<uint8_t>(proto::WireMessageType::kHello)) {
+      continue;  // Redundant hello on an identified stream.
+    }
+    // Dispatch without the lock: the handler may post into node contexts
+    // whose tasks immediately call back into Send().
+    const SocketPeerKey from = conn->peer;
+    mu_.unlock();
+    handler_(from, std::move(frame));
+    mu_.lock();
+    frame = proto::Frame{};
+    // The handler ran unlocked; the connection may be gone by now.
+    if (conns_.count(conn->fd) == 0 || conns_[conn->fd] != conn) return;
+  }
+}
+
+void SocketTransport::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // Dial pass: (re)connect every dialed route that is due.
+    const int64_t now = NowMs();
+    int timeout = kIdlePollMs;
+    for (auto& [key, route] : routes_) {
+      if (route.dial_address.empty() || route.conn != nullptr ||
+          route.dialing) {
+        continue;
+      }
+      if (route.next_dial_ms <= now) {
+        StartDial(&route, key);
+      } else {
+        timeout = std::min<int64_t>(timeout, route.next_dial_ms - now);
+      }
+    }
+    // Connect-timeout pass.
+    std::vector<Conn*> timed_out;
+    for (auto& [fd, conn] : conns_) {
+      if (conn->connecting) {
+        if (conn->connect_deadline_ms <= now) {
+          timed_out.push_back(conn);
+        } else {
+          timeout = std::min<int64_t>(timeout, conn->connect_deadline_ms - now);
+        }
+      }
+    }
+    for (Conn* conn : timed_out) CloseConn(conn, "connect timeout");
+
+    epoll_event events[64];
+    lock.unlock();
+    const int n = epoll_wait(epoll_fd_, events, 64, timeout);
+    lock.lock();
+    if (stop_) break;
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // Closed earlier in this batch.
+      Conn* conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          !conn->connecting) {
+        CloseConn(conn, "socket error");
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (conn->connecting) {
+          FinishConnect(conn);
+        } else {
+          HandleWritable(conn);
+        }
+        if (conns_.find(fd) == conns_.end()) continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+    }
+  }
+}
+
+}  // namespace fabricpp::runtime

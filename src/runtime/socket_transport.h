@@ -1,0 +1,212 @@
+#ifndef FABRICPP_RUNTIME_SOCKET_TRANSPORT_H_
+#define FABRICPP_RUNTIME_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "proto/wire_format.h"
+
+namespace fabricpp::runtime {
+
+/// Identity of a remote process in the socket deployment. The orderer and
+/// the client host use index 0; peers carry their global peer index.
+struct SocketPeerKey {
+  proto::NodeRole role = proto::NodeRole::kClientHost;
+  uint32_t index = 0;
+
+  friend bool operator==(const SocketPeerKey& a, const SocketPeerKey& b) {
+    return a.role == b.role && a.index == b.index;
+  }
+  friend bool operator<(const SocketPeerKey& a, const SocketPeerKey& b) {
+    if (a.role != b.role) return a.role < b.role;
+    return a.index < b.index;
+  }
+  std::string ToString() const;
+};
+
+/// The TCP substrate of runtime_mode="socket" (DESIGN.md §15): one
+/// background epoll event loop owning every socket, length-framed CRC'd
+/// messages (proto/wire_format.h), per-connection write queues flushed with
+/// writev corking, and dial-side reconnect with exponential backoff.
+///
+/// Threading model: the event loop is the only thread that touches file
+/// descriptors. Public methods are thread-safe; Send() enqueues the encoded
+/// frame under a lock and wakes the loop via an eventfd. Received frames
+/// are handed to the FrameHandler *on the event-loop thread* — handlers
+/// must stay cheap (decode + post onto a node's execution context).
+///
+/// Connection lifecycle: Dial() registers a persistent route that the loop
+/// keeps connected — nonblocking connect with a timeout, a HELLO frame
+/// announcing this process's identity as the first bytes on the wire, and
+/// exponential-backoff redial on failure or disconnect. Accepted
+/// connections are anonymous until their HELLO arrives, which binds them to
+/// the announced key. Frames sent toward a route that is down queue up to
+/// `max_pending_frames` and flush on (re)establishment; beyond the bound
+/// the newest frame is dropped and counted — the node layer already
+/// tolerates loss via timeouts and block refetch.
+///
+/// Stream errors (bad length / version / CRC) poison the connection: it is
+/// closed and, for dialed routes, redialed from scratch. Payload decode
+/// errors are the handler's business (NoteMessageDropped keeps the count
+/// here so one report covers both).
+class SocketTransport {
+ public:
+  struct Options {
+    /// "host:port" to bind and listen on; empty = dial-only process.
+    /// Port 0 binds an ephemeral port (see listen_port()).
+    std::string listen_address;
+    /// Frames larger than this poison the stream (decoder bound).
+    uint64_t max_frame_bytes = 64ull << 20;
+    uint32_t connect_timeout_ms = 5000;
+    uint32_t backoff_min_ms = 50;
+    uint32_t backoff_max_ms = 2000;
+    /// Per-route bound on frames queued while the connection is down.
+    size_t max_pending_frames = 4096;
+    /// Identity announced in this process's HELLO.
+    proto::NodeRole self_role = proto::NodeRole::kClientHost;
+    uint32_t self_index = 0;
+    std::string self_name;
+  };
+
+  /// Wire-level counters, mirrored into Metrics::TransportCounters by the
+  /// composition root after a run.
+  struct Counters {
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t writev_calls = 0;
+    uint64_t reconnects = 0;
+    uint64_t messages_dropped = 0;
+    uint64_t decode_errors = 0;
+  };
+
+  /// Invoked on the event-loop thread for every well-framed message from an
+  /// identified connection.
+  using FrameHandler =
+      std::function<void(const SocketPeerKey& from, proto::Frame frame)>;
+
+  SocketTransport(Options options, FrameHandler handler);
+  ~SocketTransport();
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Binds the listener (when configured) and starts the event loop.
+  Status Start();
+
+  /// Port the listener bound (resolves port 0); 0 when not listening.
+  uint16_t listen_port() const { return listen_port_; }
+
+  /// Registers a persistent dialed route to `peer` at "host:port". The
+  /// event loop connects (and reconnects) in the background; frames may be
+  /// sent immediately and queue until the connection is up.
+  void Dial(const SocketPeerKey& peer, const std::string& address);
+
+  /// Encodes `payload` as one frame and ships it toward `peer`. Returns
+  /// false if the frame was dropped (unknown undialed route with no
+  /// connection, bounded queue overflow, or after Stop()).
+  bool Send(const SocketPeerKey& peer, proto::WireMessageType type,
+            const Bytes& payload);
+
+  /// True while an established connection to `peer` exists.
+  bool Connected(const SocketPeerKey& peer) const;
+
+  /// Blocks until every key in `peers` is connected, or `timeout_ms`
+  /// elapses. Returns whether all connected.
+  bool WaitConnected(const std::vector<SocketPeerKey>& peers,
+                     uint32_t timeout_ms);
+
+  /// Blocks until every write queue has flushed to the kernel (graceful
+  /// drain before shutdown), or `timeout_ms` elapses.
+  bool Drain(uint32_t timeout_ms);
+
+  /// Closes everything and joins the loop. Idempotent.
+  void Stop();
+
+  /// Handler-side payload decode failure (message error, stream stays up).
+  void NoteMessageDropped() { messages_dropped_.fetch_add(1); }
+
+  Counters counters() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool connecting = false;   ///< Nonblocking connect in flight.
+    bool identified = false;   ///< Peer key known (dialer, or HELLO seen).
+    SocketPeerKey peer;
+    proto::FrameDecoder decoder;
+    std::deque<Bytes> write_queue;
+    size_t write_offset = 0;  ///< Bytes of write_queue.front() already sent.
+    int64_t connect_deadline_ms = 0;
+
+    explicit Conn(uint64_t max_frame_bytes) : decoder(max_frame_bytes) {}
+  };
+
+  struct Route {
+    std::string dial_address;  ///< Empty for accept-side routes.
+    Conn* conn = nullptr;      ///< Established connection, if any.
+    std::deque<Bytes> pending; ///< Frames awaiting a connection.
+    uint32_t backoff_ms = 0;
+    int64_t next_dial_ms = 0;  ///< Steady-clock ms deadline for redial.
+    bool dialing = false;      ///< A Conn is currently connecting.
+  };
+
+  void Loop();
+  void Wake();
+  int64_t NowMs() const;
+  void StartDial(Route* route, const SocketPeerKey& key);
+  void FinishConnect(Conn* conn);
+  void EstablishRoute(const SocketPeerKey& key, Conn* conn);
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  void FlushConn(Conn* conn);
+  void CloseConn(Conn* conn, const char* why);
+  void AcceptAll();
+  void UpdateEpoll(Conn* conn);
+  Bytes EncodeHello() const;
+
+  Options options_;
+  FrameHandler handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<SocketPeerKey, Route> routes_;
+  std::unordered_map<int, Conn*> conns_;  ///< fd -> connection, loop-owned.
+  bool started_ = false;
+  bool stop_ = false;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  uint16_t listen_port_ = 0;
+  std::thread loop_thread_;
+
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> writev_calls_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+};
+
+/// Splits "host:port". Fails on a missing/invalid port.
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& address);
+
+}  // namespace fabricpp::runtime
+
+#endif  // FABRICPP_RUNTIME_SOCKET_TRANSPORT_H_

@@ -1,5 +1,10 @@
 #include "statedb/state_db.h"
 
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
 namespace fabricpp::statedb {
 
 Result<VersionedValue> StateDb::Get(const std::string& key) const {
@@ -46,6 +51,25 @@ void StateDb::ForEach(const std::function<void(const std::string&,
                                                const VersionedValue&)>& fn)
     const {
   for (const auto& [key, vv] : map_) fn(key, vv);
+}
+
+std::string StateDb::Fingerprint() const {
+  std::vector<const std::pair<const std::string, VersionedValue>*> entries;
+  entries.reserve(map_.size());
+  for (const auto& entry : map_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  Bytes canonical;
+  ByteWriter w(&canonical);
+  w.PutU64(last_committed_block_);
+  w.PutVarint(entries.size());
+  for (const auto* entry : entries) {
+    w.PutString(entry->first);
+    w.PutString(entry->second.value);
+    w.PutU64(entry->second.version.block_num);
+    w.PutU32(entry->second.version.tx_num);
+  }
+  return crypto::DigestToHex(crypto::Sha256::Hash(canonical));
 }
 
 }  // namespace fabricpp::statedb

@@ -105,6 +105,13 @@ class StateDb : public StateStore {
 
   size_t NumKeys() const { return map_.size(); }
 
+  /// Canonical digest of the full state: every (key, value, version) entry
+  /// hashed in sorted key order, returned as a SHA-256 hex string. Two
+  /// replicas converged on the same state produce the same fingerprint —
+  /// the cross-process equality check the socket deployment's load driver
+  /// asserts after a run.
+  std::string Fingerprint() const;
+
   /// Iterates all entries (test/inspection helper; unspecified order).
   void ForEach(const std::function<void(const std::string&,
                                         const VersionedValue&)>& fn) const;

@@ -319,5 +319,78 @@ TEST(ConfigValidationTest, ThreadClientShards) {
   EXPECT_TRUE(config.Validate().ok());
 }
 
+/// A valid socket-mode deployment: one address per peer plus the orderer.
+FabricConfig SocketBase() {
+  FabricConfig config;
+  config.runtime_mode = "socket";
+  const size_t num_peers =
+      static_cast<size_t>(config.num_orgs) * config.peers_per_org;
+  for (size_t i = 0; i < num_peers; ++i) {
+    config.peer_addresses.push_back("127.0.0.1:" + std::to_string(7151 + i));
+  }
+  config.orderer_address = "127.0.0.1:7150";
+  return config;
+}
+
+TEST(ConfigValidationTest, SocketModeRequiresAddresses) {
+  EXPECT_TRUE(SocketBase().Validate().ok());
+
+  auto config = SocketBase();
+  config.peer_addresses.clear();
+  ExpectInvalid(config, "socket mode without peer_addresses");
+
+  config = SocketBase();
+  config.peer_addresses.pop_back();
+  ExpectInvalid(config, "one peer_addresses entry short");
+
+  config = SocketBase();
+  config.peer_addresses.push_back("127.0.0.1:9999");
+  ExpectInvalid(config, "one peer_addresses entry too many");
+
+  config = SocketBase();
+  config.peer_addresses[0].clear();
+  ExpectInvalid(config, "empty peer_addresses entry");
+
+  config = SocketBase();
+  config.orderer_address.clear();
+  ExpectInvalid(config, "socket mode without orderer_address");
+
+  // Addresses without socket mode are fine: they are simply unused.
+  config = SocketBase();
+  config.runtime_mode = "thread";
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, SocketModeRejectsUnsupportedFeatures) {
+  auto config = SocketBase();
+  config.gossip_blocks = true;
+  ExpectInvalid(config, "gossip_blocks under socket mode");
+
+  config = SocketBase();
+  config.ordering_backend = OrderingBackend::kRaft;
+  ExpectInvalid(config, "raft ordering under socket mode");
+}
+
+TEST(ConfigValidationTest, SocketTimeoutAndFrameBounds) {
+  // These bound real resources, so they validate in every runtime mode.
+  auto config = Base();
+  config.socket_connect_timeout_ms = 0;
+  ExpectInvalid(config, "socket_connect_timeout_ms = 0");
+  config.socket_connect_timeout_ms = 600001;
+  ExpectInvalid(config, "socket_connect_timeout_ms = 600001");
+  config.socket_connect_timeout_ms = 600000;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config = Base();
+  config.socket_max_frame_bytes = 4095;
+  ExpectInvalid(config, "socket_max_frame_bytes = 4095");
+  config.socket_max_frame_bytes = (1ull << 30) + 1;
+  ExpectInvalid(config, "socket_max_frame_bytes > 1 GiB");
+  config.socket_max_frame_bytes = 4096;
+  EXPECT_TRUE(config.Validate().ok());
+  config.socket_max_frame_bytes = 1ull << 30;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 }  // namespace
 }  // namespace fabricpp::fabric

@@ -1,0 +1,293 @@
+// SocketTransport + SocketHost integration tests over real loopback TCP:
+// frame delivery and counters between two transports, reconnect with
+// backoff when the listener comes up late, pending-queue flush on
+// establishment, and a whole SmallBank cluster (orderer + peers + load
+// driver as separate SocketHosts in one process, ephemeral ports) that
+// must converge to identical per-peer fingerprints — the in-process twin
+// of scripts/socket_smoke.sh.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/config.h"
+#include "fabric/socket_host.h"
+#include "proto/wire_format.h"
+#include "runtime/socket_transport.h"
+#include "sim/time.h"
+#include "workload/smallbank.h"
+
+namespace fabricpp::runtime {
+namespace {
+
+using proto::NodeRole;
+using proto::WireMessageType;
+
+constexpr SocketPeerKey kOrdererKey{NodeRole::kOrderer, 0};
+constexpr SocketPeerKey kClientsKey{NodeRole::kClientHost, 0};
+
+/// Collects frames delivered to one transport.
+class FrameSink {
+ public:
+  void Handle(const SocketPeerKey& from, proto::Frame frame) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    frames_.emplace_back(from, std::move(frame));
+    cv_.notify_all();
+  }
+
+  /// Waits until `n` frames arrived; returns whether they did.
+  bool WaitFor(size_t n, uint32_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [&] { return frames_.size() >= n; });
+  }
+
+  std::vector<std::pair<SocketPeerKey, proto::Frame>> Take() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return std::move(frames_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<SocketPeerKey, proto::Frame>> frames_;
+};
+
+SocketTransport::Options ListenerOptions() {
+  SocketTransport::Options options;
+  options.listen_address = "127.0.0.1:0";
+  options.self_role = NodeRole::kOrderer;
+  options.self_name = "orderer";
+  return options;
+}
+
+SocketTransport::Options DialerOptions() {
+  SocketTransport::Options options;
+  options.self_role = NodeRole::kClientHost;
+  options.self_name = "load";
+  return options;
+}
+
+TEST(SocketTransportTest, DeliversFramesBothWays) {
+  FrameSink server_sink;
+  FrameSink client_sink;
+  SocketTransport server(ListenerOptions(),
+                         [&](const SocketPeerKey& from, proto::Frame f) {
+                           server_sink.Handle(from, std::move(f));
+                         });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.listen_port(), 0);
+
+  SocketTransport client(DialerOptions(),
+                         [&](const SocketPeerKey& from, proto::Frame f) {
+                           client_sink.Handle(from, std::move(f));
+                         });
+  ASSERT_TRUE(client.Start().ok());
+  client.Dial(kOrdererKey,
+              "127.0.0.1:" + std::to_string(server.listen_port()));
+  ASSERT_TRUE(client.WaitConnected({kOrdererKey}, 5000));
+
+  const proto::BusyMsg busy{7, 42, 1000};
+  EXPECT_TRUE(client.Send(kOrdererKey, WireMessageType::kBusy, busy.Encode()));
+  ASSERT_TRUE(server_sink.WaitFor(1, 5000));
+  auto server_got = server_sink.Take();
+  ASSERT_EQ(server_got.size(), 1u);
+  EXPECT_TRUE(server_got[0].first == kClientsKey);
+  EXPECT_EQ(server_got[0].second.type,
+            static_cast<uint8_t>(WireMessageType::kBusy));
+  ByteReader r(server_got[0].second.payload);
+  auto decoded = proto::BusyMsg::Decode(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->proposal_id, 42u);
+
+  // The accept side can answer back over the same multiplexed connection.
+  const proto::ChainInfoMsg info{0, 17};
+  EXPECT_TRUE(
+      server.Send(kClientsKey, WireMessageType::kChainInfo, info.Encode()));
+  ASSERT_TRUE(client_sink.WaitFor(1, 5000));
+  auto client_got = client_sink.Take();
+  ASSERT_EQ(client_got.size(), 1u);
+  EXPECT_TRUE(client_got[0].first == kOrdererKey);
+
+  EXPECT_TRUE(client.Drain(2000));
+  const auto ctrs = client.counters();
+  EXPECT_GE(ctrs.frames_sent, 2u);  // HELLO + BUSY.
+  EXPECT_GT(ctrs.bytes_sent, 0u);
+  EXPECT_GE(ctrs.frames_received, 1u);
+  EXPECT_EQ(ctrs.decode_errors, 0u);
+  client.Stop();
+  server.Stop();
+}
+
+TEST(SocketTransportTest, ManyFramesSurviveChunkingAndCorking) {
+  FrameSink sink;
+  SocketTransport server(ListenerOptions(),
+                         [&](const SocketPeerKey& from, proto::Frame f) {
+                           sink.Handle(from, std::move(f));
+                         });
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport client(DialerOptions(), [](const SocketPeerKey&,
+                                             proto::Frame) {});
+  ASSERT_TRUE(client.Start().ok());
+  client.Dial(kOrdererKey,
+              "127.0.0.1:" + std::to_string(server.listen_port()));
+
+  // Burst without waiting for the connection: frames queue as pending and
+  // flush on establishment, then keep flowing; payload sizes vary so frame
+  // boundaries land everywhere within recv chunks.
+  constexpr size_t kFrames = 500;
+  for (size_t i = 0; i < kFrames; ++i) {
+    proto::OutcomeMsg msg;
+    msg.client = std::string(1 + (i % 97), 'x');
+    msg.proposal_id = i;
+    EXPECT_TRUE(
+        client.Send(kOrdererKey, WireMessageType::kOutcome, msg.Encode()));
+  }
+  ASSERT_TRUE(sink.WaitFor(kFrames, 10000));
+  auto got = sink.Take();
+  ASSERT_EQ(got.size(), kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    ByteReader r(got[i].second.payload);
+    auto msg = proto::OutcomeMsg::Decode(&r);
+    ASSERT_TRUE(msg.ok());
+    // In-order per connection: TCP + one write queue.
+    EXPECT_EQ(msg->proposal_id, i);
+  }
+  // Corking batched at least some writes (far fewer writev calls than
+  // frames would be ideal, but scheduling-dependent; assert the counter
+  // moved and never exceeded one call per frame plus the HELLO).
+  const auto ctrs = client.counters();
+  EXPECT_GT(ctrs.writev_calls, 0u);
+  EXPECT_LE(ctrs.writev_calls, kFrames + 1);
+  client.Stop();
+  server.Stop();
+}
+
+TEST(SocketTransportTest, ReconnectsWhenListenerComesUpLate) {
+  // Dial first: the route must back off and keep retrying, then establish
+  // once the listener exists, then flush everything queued meanwhile.
+  SocketTransport client(DialerOptions(), [](const SocketPeerKey&,
+                                             proto::Frame) {});
+  ASSERT_TRUE(client.Start().ok());
+
+  // Reserve a port by binding a listener, learning its port, and stopping
+  // it again — the dial target while nothing is listening.
+  uint16_t port = 0;
+  {
+    SocketTransport probe(ListenerOptions(),
+                          [](const SocketPeerKey&, proto::Frame) {});
+    ASSERT_TRUE(probe.Start().ok());
+    port = probe.listen_port();
+    probe.Stop();
+  }
+  client.Dial(kOrdererKey, "127.0.0.1:" + std::to_string(port));
+  const proto::StateRequestMsg req{123};
+  EXPECT_TRUE(
+      client.Send(kOrdererKey, WireMessageType::kStateRequest, req.Encode()));
+  EXPECT_FALSE(client.WaitConnected({kOrdererKey}, 300));
+  EXPECT_FALSE(client.Connected(kOrdererKey));
+
+  FrameSink sink;
+  SocketTransport::Options late = ListenerOptions();
+  late.listen_address = "127.0.0.1:" + std::to_string(port);
+  SocketTransport server(late, [&](const SocketPeerKey& from, proto::Frame f) {
+    sink.Handle(from, std::move(f));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(client.WaitConnected({kOrdererKey}, 10000));
+  // The frame queued before any connection existed arrives after redial.
+  ASSERT_TRUE(sink.WaitFor(1, 5000));
+  EXPECT_GE(client.counters().reconnects, 1u);
+  client.Stop();
+  server.Stop();
+}
+
+TEST(SocketTransportTest, SendToUnknownRouteIsDropped) {
+  SocketTransport client(DialerOptions(), [](const SocketPeerKey&,
+                                             proto::Frame) {});
+  ASSERT_TRUE(client.Start().ok());
+  EXPECT_FALSE(client.Send({NodeRole::kPeer, 3}, WireMessageType::kShutdown,
+                           Bytes()));
+  EXPECT_GE(client.counters().messages_dropped, 1u);
+  client.Stop();
+}
+
+TEST(SocketTransportTest, ParseHostPortRejectsGarbage) {
+  EXPECT_TRUE(ParseHostPort("127.0.0.1:7051").ok());
+  auto parsed = ParseHostPort("localhost:0");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, "localhost");
+  EXPECT_EQ(parsed->second, 0);
+  EXPECT_FALSE(ParseHostPort("127.0.0.1").ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:").ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:port").ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:70000").ok());
+  EXPECT_FALSE(ParseHostPort("").ok());
+}
+
+}  // namespace
+}  // namespace fabricpp::runtime
+
+namespace fabricpp::fabric {
+namespace {
+
+TEST(SocketHostTest, ParseSocketRole) {
+  auto role = ParseSocketRole("clients");
+  ASSERT_TRUE(role.ok());
+  EXPECT_EQ(role->kind, SocketRole::Kind::kClients);
+  role = ParseSocketRole("orderer");
+  ASSERT_TRUE(role.ok());
+  EXPECT_EQ(role->kind, SocketRole::Kind::kOrderer);
+  role = ParseSocketRole("peer:3");
+  ASSERT_TRUE(role.ok());
+  EXPECT_EQ(role->kind, SocketRole::Kind::kPeer);
+  EXPECT_EQ(role->peer_index, 3u);
+  EXPECT_FALSE(ParseSocketRole("peer:").ok());
+  EXPECT_FALSE(ParseSocketRole("peer:x").ok());
+  EXPECT_FALSE(ParseSocketRole("validator").ok());
+  EXPECT_FALSE(ParseSocketRole("").ok());
+}
+
+TEST(SocketHostTest, SmallbankClusterConverges) {
+  FabricConfig config = FabricConfig::FabricPlusPlus();
+  config.num_orgs = 2;
+  config.peers_per_org = 1;
+  config.num_channels = 1;
+  config.clients_per_channel = 4;
+  config.client_fire_rate_tps = 50;
+  config.block.max_transactions = 32;
+  config.block.batch_timeout = 100 * sim::kMillisecond;
+
+  workload::SmallbankConfig wl;
+  wl.num_users = 200;
+  workload::SmallbankWorkload workload(wl);
+
+  LocalSocketCluster cluster(config, &workload);
+  ASSERT_TRUE(cluster.clients().WaitForCluster(10000));
+  const RunReport report = cluster.clients().RunClients(2000000, 500000);
+  EXPECT_GT(report.successful, 0u);
+
+  const auto reports = cluster.clients().CollectPeerReports(20000);
+  ASSERT_EQ(reports.size(), 2u);
+  ASSERT_EQ(reports[0].channels.size(), 1u);
+  ASSERT_EQ(reports[1].channels.size(), 1u);
+  // Convergence: identical height, tip hash, state fingerprint, key count
+  // on every peer — the cross-process "no MVCC anomalies" assertion.
+  EXPECT_GT(reports[0].channels[0].height, 1u);
+  EXPECT_TRUE(reports[0].channels[0] == reports[1].channels[0]);
+
+  // The real framed bytes were measured and diverge from the modeled cost.
+  const auto transport = cluster.clients().metrics().transport_counters();
+  EXPECT_GT(transport.messages, 0u);
+  EXPECT_GT(transport.framed_bytes, 0u);
+  EXPECT_GT(transport.modeled_bytes, 0u);
+  EXPECT_GT(transport.socket_frames_sent, 0u);
+  EXPECT_EQ(transport.socket_decode_errors, 0u);
+}
+
+}  // namespace
+}  // namespace fabricpp::fabric

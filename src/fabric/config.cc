@@ -226,6 +226,23 @@ Status FabricConfig::Validate() const {
           "gossip_blocks is not supported under runtime_mode=\"socket\" yet "
           "(block dissemination is orderer-direct over TCP); disable it");
     }
+    // The batch cutter cuts *after* the transaction that crosses
+    // block.max_bytes, so a cut block can overshoot the bound by one
+    // transaction (itself up to ~max_bytes), and the BlockMsg adds header,
+    // metadata, optional commit schedule, and framing on top. 2x + 64 KiB
+    // covers all of it; a block frame over the receiver bound would be shed
+    // at the sender (and the peer would stall waiting for it).
+    const uint64_t frame_block_budget =
+        socket_max_frame_bytes > 65536 ? (socket_max_frame_bytes - 65536) / 2
+                                       : 0;
+    if (block.max_bytes > frame_block_budget) {
+      return Status::InvalidArgument(
+          "socket_max_frame_bytes must be >= 2 * block.max_bytes + 64 KiB "
+          "under runtime_mode=\"socket\": the largest block the orderer can "
+          "cut (bound overshoot included) must fit in one wire frame; got " +
+          std::to_string(socket_max_frame_bytes) + " with block.max_bytes=" +
+          std::to_string(block.max_bytes));
+    }
   }
   if (socket_connect_timeout_ms == 0 || socket_connect_timeout_ms > 600000) {
     return Status::InvalidArgument(

@@ -96,13 +96,23 @@ Status SocketTransport::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return Status::FailedPrecondition("transport already started");
 
+  // On any failure below, release whatever was opened so far: started_
+  // stays false, so Stop() will never reach its fd-closing path.
+  const auto fail = [this](Status status) {
+    for (int* fd : {&listen_fd_, &wake_fd_, &epoll_fd_}) {
+      if (*fd >= 0) (void)close(*fd);
+      *fd = -1;
+    }
+    return status;
+  };
+
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
     return Status::Internal(StrFormat("epoll_create1: %s", strerror(errno)));
   }
   wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wake_fd_ < 0) {
-    return Status::Internal(StrFormat("eventfd: %s", strerror(errno)));
+    return fail(Status::Internal(StrFormat("eventfd: %s", strerror(errno))));
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
@@ -111,11 +121,11 @@ Status SocketTransport::Start() {
 
   if (!options_.listen_address.empty()) {
     auto host_port = ParseHostPort(options_.listen_address);
-    if (!host_port.ok()) return host_port.status();
+    if (!host_port.ok()) return fail(host_port.status());
     listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
     if (listen_fd_ < 0) {
-      return Status::Internal(StrFormat("socket: %s", strerror(errno)));
+      return fail(Status::Internal(StrFormat("socket: %s", strerror(errno))));
     }
     int one = 1;
     (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -134,8 +144,8 @@ Status SocketTransport::Start() {
       addrinfo* res = nullptr;
       if (getaddrinfo(host_port->first.c_str(), nullptr, &hints, &res) != 0 ||
           res == nullptr) {
-        return Status::InvalidArgument("cannot resolve listen host \"" +
-                                       host_port->first + "\"");
+        return fail(Status::InvalidArgument("cannot resolve listen host \"" +
+                                            host_port->first + "\""));
       }
       addr.sin_addr =
           reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
@@ -143,12 +153,12 @@ Status SocketTransport::Start() {
     }
     if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
         0) {
-      return Status::Internal(StrFormat("bind %s: %s",
-                                        options_.listen_address.c_str(),
-                                        strerror(errno)));
+      return fail(Status::Internal(StrFormat("bind %s: %s",
+                                             options_.listen_address.c_str(),
+                                             strerror(errno))));
     }
     if (listen(listen_fd_, 128) != 0) {
-      return Status::Internal(StrFormat("listen: %s", strerror(errno)));
+      return fail(Status::Internal(StrFormat("listen: %s", strerror(errno))));
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
@@ -185,6 +195,21 @@ void SocketTransport::Dial(const SocketPeerKey& peer,
 bool SocketTransport::Send(const SocketPeerKey& peer,
                            proto::WireMessageType type, const Bytes& payload) {
   Bytes frame = proto::EncodeFrame(type, payload);
+  if (frame.size() > options_.max_frame_bytes) {
+    // The receiver's decoder treats an over-bound frame as a stream error,
+    // so shipping it would poison the connection — and after the redial the
+    // same frame would be re-sent on refetch, a permanent reconnect loop.
+    // Shed it here instead; Validate() sizes the bound above any block the
+    // orderer can cut, so this fires only on gross misconfiguration.
+    messages_dropped_.fetch_add(1);
+    FABRICPP_LOG(Error) << "socket: dropping "
+                        << proto::WireMessageTypeName(type) << " frame to "
+                        << peer.ToString() << ": " << frame.size()
+                        << " bytes exceeds max_frame_bytes="
+                        << options_.max_frame_bytes
+                        << " (raise socket_max_frame_bytes)";
+    return false;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (!started_ || stop_) {
     messages_dropped_.fetch_add(1);
@@ -389,8 +414,7 @@ void SocketTransport::EstablishRoute(const SocketPeerKey& key, Conn* conn) {
     conn->write_queue.push_back(std::move(route.pending.front()));
     route.pending.pop_front();
   }
-  FlushConn(conn);
-  if (conns_.count(conn->fd) != 0) UpdateEpoll(conn);
+  if (FlushConn(conn)) UpdateEpoll(conn);
   cv_.notify_all();
 }
 
@@ -437,7 +461,7 @@ void SocketTransport::AcceptAll() {
   }
 }
 
-void SocketTransport::FlushConn(Conn* conn) {
+bool SocketTransport::FlushConn(Conn* conn) {
   while (!conn->write_queue.empty()) {
     iovec iov[kMaxIovecs];
     size_t n = 0;
@@ -449,11 +473,19 @@ void SocketTransport::FlushConn(Conn* conn) {
       iov[n].iov_len = frame.size() - (n == 0 ? offset : 0);
       ++n;
     }
-    const ssize_t wrote = writev(conn->fd, iov, static_cast<int>(n));
+    // sendmsg rather than writev for MSG_NOSIGNAL: a peer that resets with
+    // frames queued must surface as EPIPE (handled below), not as a
+    // process-killing SIGPIPE.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n;
+    const ssize_t wrote = sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
     if (wrote < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;
+      }
       CloseConn(conn, "write error");
-      return;
+      return false;
     }
     writev_calls_.fetch_add(1);
     bytes_sent_.fetch_add(static_cast<uint64_t>(wrote));
@@ -473,11 +505,13 @@ void SocketTransport::FlushConn(Conn* conn) {
     }
   }
   cv_.notify_all();  // Drain() watches for empty queues.
+  return true;
 }
 
 void SocketTransport::HandleWritable(Conn* conn) {
-  FlushConn(conn);
-  if (conns_.count(conn->fd) != 0) UpdateEpoll(conn);
+  // FlushConn deletes conn when the write fails; only a surviving conn may
+  // be touched again.
+  if (FlushConn(conn)) UpdateEpoll(conn);
 }
 
 void SocketTransport::HandleReadable(Conn* conn) {
@@ -586,6 +620,7 @@ void SocketTransport::Loop() {
     lock.lock();
     if (stop_) break;
 
+    bool accept_pending = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
@@ -595,7 +630,12 @@ void SocketTransport::Loop() {
         continue;
       }
       if (fd == listen_fd_) {
-        AcceptAll();
+        // Deferred past the batch: accepting now could hand a fresh
+        // connection an fd number CloseConn freed earlier in this batch,
+        // and later stale events for the dead socket would then be applied
+        // to the fresh Conn. The listener is level-triggered, so nothing
+        // is lost by waiting.
+        accept_pending = true;
         continue;
       }
       const auto it = conns_.find(fd);
@@ -618,6 +658,7 @@ void SocketTransport::Loop() {
         HandleReadable(conn);
       }
     }
+    if (accept_pending) AcceptAll();
   }
 }
 

@@ -171,7 +171,9 @@ class SocketTransport {
   void EstablishRoute(const SocketPeerKey& key, Conn* conn);
   void HandleReadable(Conn* conn);
   void HandleWritable(Conn* conn);
-  void FlushConn(Conn* conn);
+  /// Writes queued frames to the kernel. Returns false when a write error
+  /// closed (and freed) the connection — the pointer is dead then.
+  bool FlushConn(Conn* conn);
   void CloseConn(Conn* conn, const char* why);
   void AcceptAll();
   void UpdateEpoll(Conn* conn);

@@ -392,5 +392,27 @@ TEST(ConfigValidationTest, SocketTimeoutAndFrameBounds) {
   EXPECT_TRUE(config.Validate().ok());
 }
 
+TEST(ConfigValidationTest, SocketFrameBoundMustFitLargestBlock) {
+  // Under socket mode the frame bound must clear 2 * block.max_bytes +
+  // 64 KiB: the cutter can overshoot max_bytes by one transaction and the
+  // block message adds metadata/framing on top.
+  auto config = SocketBase();
+  config.socket_max_frame_bytes = config.block.max_bytes;
+  ExpectInvalid(config, "frame bound smaller than a block");
+
+  config = SocketBase();
+  config.socket_max_frame_bytes = 2 * config.block.max_bytes + 65535;
+  ExpectInvalid(config, "frame bound one byte short of the slack");
+  config.socket_max_frame_bytes = 2 * config.block.max_bytes + 65536;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // Outside socket mode no frames exist, so only the absolute range
+  // applies (SocketTimeoutAndFrameBounds covers it).
+  config = SocketBase();
+  config.runtime_mode = "sim";
+  config.socket_max_frame_bytes = 4096;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
 }  // namespace
 }  // namespace fabricpp::fabric

@@ -156,8 +156,35 @@ Status FabricConfig::Validate() const {
   if (peer_fetch_retry_interval == 0) {
     return Status::InvalidArgument("peer_fetch_retry_interval must be > 0");
   }
-  if (ordering_backend == OrderingBackend::kRaft && raft_cluster_size == 0) {
-    return Status::InvalidArgument("raft_cluster_size must be > 0");
+  if (ordering_backend == OrderingBackend::kRaft) {
+    if (raft_cluster_size == 0) {
+      return Status::InvalidArgument("raft_cluster_size must be > 0");
+    }
+    if (raft_cluster_size % 2 == 0) {
+      return Status::InvalidArgument(
+          "raft_cluster_size must be odd: an even cluster tolerates no more "
+          "failures than the next-smaller odd one but must reach a larger "
+          "quorum (size/2 + 1) to commit");
+    }
+    if (raft_cluster_size > 63) {
+      return Status::InvalidArgument("raft_cluster_size must be <= 63");
+    }
+    if (raft_params.heartbeat_interval == 0) {
+      return Status::InvalidArgument(
+          "raft_params.heartbeat_interval must be > 0");
+    }
+    if (raft_params.election_timeout_min == 0 ||
+        raft_params.election_timeout_max < raft_params.election_timeout_min) {
+      return Status::InvalidArgument(
+          "raft_params election timeouts must satisfy 0 < "
+          "election_timeout_min <= election_timeout_max");
+    }
+    if (raft_params.heartbeat_interval >= raft_params.election_timeout_min) {
+      return Status::InvalidArgument(
+          "raft_params.heartbeat_interval must be < election_timeout_min: a "
+          "heartbeat period at or above the election floor makes followers "
+          "time out and depose a healthy leader");
+    }
   }
   if (const auto mode = storage::ParseWalSyncMode(storage_sync_mode);
       !mode.ok()) {
@@ -192,12 +219,18 @@ Status FabricConfig::Validate() const {
         "runtime_mode must be \"sim\", \"thread\" or \"socket\"; got \"" +
         runtime_mode + "\"");
   }
-  if (*runtime_parsed != runtime::RuntimeMode::kSim &&
+  if (*runtime_parsed == runtime::RuntimeMode::kSocket &&
       ordering_backend == OrderingBackend::kRaft) {
     return Status::InvalidArgument(
-        "the raft ordering backend is simulation-only (the raft cluster "
-        "runs on sim primitives); use runtime_mode=\"sim\" or "
+        "the raft ordering backend is not supported under "
+        "runtime_mode=\"socket\" yet (raft RPCs do not ride the wire "
+        "protocol); use runtime_mode=\"sim\"/\"thread\" or "
         "ordering_backend=kSolo");
+  }
+  if (channel_lanes > 64) {
+    return Status::InvalidArgument(
+        "channel_lanes must be in [0, 64] (0 = one lane per channel, capped "
+        "at 8; 1 = single pipeline per node)");
   }
   if (*runtime_parsed == runtime::RuntimeMode::kSocket) {
     const size_t want_peers =

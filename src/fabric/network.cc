@@ -122,11 +122,22 @@ FabricNetwork::FabricNetwork(FabricConfig config,
 
   orderer_ = std::make_unique<node::OrdererNode>(ctx);
 
-  // 6. Consensus backend. Raft is simulation-only (Validate() enforces it)
-  // and registers its replicas with the injector for chaos coverage.
+  // 6. Consensus backend. Raft runs on both substrates: under sim the
+  // replicas share the event loop and register with the injector for chaos
+  // coverage; under the thread runtime each replica gets its own mailbox
+  // thread and commits are posted back to the committed channel's orderer
+  // lane.
   if (config_.ordering_backend == OrderingBackend::kRaft) {
-    raft_consensus_ = std::make_unique<RaftConsensus>(
-        &sim_->env(), &sim_->network(), config_);
+    if (sim_ != nullptr) {
+      raft_consensus_ = std::make_unique<RaftConsensus>(
+          &sim_->env(), &sim_->network(), config_);
+    } else {
+      raft_consensus_ = std::make_unique<RaftConsensus>(runtime_.get(),
+                                                        config_);
+      raft_consensus_->SetDeliveryEndpointResolver([this](uint32_t channel) {
+        return &orderer_->endpoint_for(channel);
+      });
+    }
     orderer_->SetConsensus(raft_consensus_.get());
   } else {
     orderer_->SetConsensus(&solo_consensus_);
@@ -213,11 +224,21 @@ RunReport FabricNetwork::RunFor(sim::SimTime duration, sim::SimTime warmup) {
   ran_ = true;
   thread_->ResetEpoch();
   metrics_.SetWindow(warmup, duration);
+  // Election timers first: ordering stalls (and clients back off) until the
+  // cluster elects its first leader, which takes one timeout.
+  if (raft_consensus_ != nullptr) raft_consensus_->StartReplicas();
   for (auto& client : clients_) {
     node::ClientNode* c = client.get();
     c->home().Post([c, duration]() { c->StartFiring(duration); });
   }
   thread_->SleepUntil(duration);
+  if (raft_consensus_ != nullptr) {
+    // Give in-flight consensus entries time to commit and deliver, then
+    // halt the cluster: heartbeats re-arm every 50ms forever, so Quiesce
+    // would otherwise never see an idle timer queue.
+    thread_->SleepUntil(duration + 500 * sim::kMillisecond);
+    raft_consensus_->Halt();
+  }
   // Let the pipeline drain: a batch timeout may still have to fire and a
   // peer may still be re-fetching a lost-in-shutdown block.
   const runtime::TimeMicros horizon =
@@ -241,8 +262,17 @@ void FabricNetwork::SchedulePeerCrash(uint32_t peer_index, sim::SimTime start,
 
 void FabricNetwork::ScheduleRaftLeaderCrash(sim::SimTime at,
                                             sim::SimTime duration) {
-  runtime::SimRuntime& sim = RequireSim("ScheduleRaftLeaderCrash");
-  sim.env().ScheduleAt(at, [this, duration]() {
+  if (sim_ == nullptr) {
+    // Thread runtime: the cluster schedules the kill on the replicas' own
+    // clocks (whoever believes it leads at `at` crashes itself; replica 0
+    // is the fallback). Call before RunFor — timers armed before the epoch
+    // reset still fire at the right post-epoch time.
+    if (raft_consensus_ != nullptr) {
+      raft_consensus_->ScheduleLeaderCrash(at, duration);
+    }
+    return;
+  }
+  sim_->env().ScheduleAt(at, [this, duration]() {
     if (raft_consensus_ == nullptr) return;  // Solo backend: nothing to crash.
     raft::RaftCluster* raft = &raft_consensus_->cluster();
     // Whoever leads right now is the victim; with an election in progress,
@@ -269,15 +299,15 @@ void FabricNetwork::SyncPeers() {
     });
     return;
   }
-  // Thread runtime: each peer pulls on its own context.
+  // Thread runtime: each channel pulls on its own lane context.
   for (auto& peer : peers_) {
     node::PeerNode* p = peer.get();
-    p->endpoint().Post([this, p]() {
-      if (p->crashed()) return;
-      for (uint32_t c = 0; c < config_.num_channels; ++c) {
+    for (uint32_t c = 0; c < config_.num_channels; ++c) {
+      p->endpoint_for(c).Post([p, c]() {
+        if (p->crashed()) return;
         p->RequestMissingBlocks(c);
-      }
-    });
+      });
+    }
   }
 }
 
@@ -306,9 +336,10 @@ void FabricNetwork::SubmitProposal(uint32_t channel, uint32_t client_index,
 void FabricNetwork::SubmitExternalTransaction(uint32_t channel,
                                               proto::Transaction tx) {
   node::OrdererNode* orderer = orderer_.get();
-  orderer->endpoint().Post([orderer, channel, tx = std::move(tx)]() mutable {
-    orderer->HandleTransaction(channel, std::move(tx));
-  });
+  orderer->endpoint_for(channel).Post(
+      [orderer, channel, tx = std::move(tx)]() mutable {
+        orderer->HandleTransaction(channel, std::move(tx));
+      });
 }
 
 }  // namespace fabricpp::fabric

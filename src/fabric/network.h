@@ -48,9 +48,13 @@ using ClientNode = node::ClientNode;
 ///    mailbox, timers fire off a steady_clock, and messages hand off
 ///    directly between threads. Real concurrency (races surface under
 ///    TSan), but timings are nondeterministic, the sim-only facilities
-///    (env(), network(), fault_injector(), crash scheduling, Raft) abort,
+///    (env(), network(), fault_injector(), peer-crash scheduling) abort,
 ///    and RunFor() can be called at most once — it shuts the runtime down
-///    to guarantee no node activity outlives the measurement.
+///    to guarantee no node activity outlives the measurement. The Raft
+///    ordering backend runs here too (replicas on their own mailbox
+///    threads), as does ScheduleRaftLeaderCrash; with several channels the
+///    orderer and peers shard their pipelines across per-channel lanes
+///    (FabricConfig::channel_lanes, DESIGN.md §16).
 ///
 /// FabricNetwork implements node::NodeDirectory — the only view the nodes
 /// have of it.
@@ -95,10 +99,12 @@ class FabricNetwork : public node::NodeDirectory {
   void SchedulePeerCrash(uint32_t peer_index, sim::SimTime start,
                          sim::SimTime end);
 
-  /// At virtual time `at`, crashes whichever Raft replica currently leads
-  /// (no-op for the solo backend) and resumes it after `duration`. The
-  /// cluster elects a new leader in the meantime — ordering stalls, then
-  /// recovers; no block may be lost.
+  /// At time `at`, crashes whichever Raft replica currently leads (no-op
+  /// for the solo backend) and resumes it after `duration`. The cluster
+  /// elects a new leader in the meantime — ordering stalls, then recovers;
+  /// no block may be lost. Works on both substrates: virtual time under
+  /// sim; under the thread runtime the kill is scheduled on the replicas'
+  /// own clocks (call before RunFor).
   void ScheduleRaftLeaderCrash(sim::SimTime at, sim::SimTime duration);
 
   /// One-shot anti-entropy: every live peer asks the orderer for blocks it

@@ -37,7 +37,7 @@ void ClientNode::FireFromWorkload() {
   if (clock().Now() >= fire_deadline_) return;
   const uint32_t max_inflight = config().client_max_inflight;
   if (max_inflight == 0 || inflight_.size() < max_inflight) {
-    FireProposal(ctx_.workload->NextArgs(rng_));
+    FireProposal(ctx_.workload->NextArgsFor(channel_, rng_));
   }
   const double interval_us =
       1e6 / (config().client_fire_rate_tps * fire_rate_multiplier_);

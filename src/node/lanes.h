@@ -1,0 +1,36 @@
+#ifndef FABRICPP_NODE_LANES_H_
+#define FABRICPP_NODE_LANES_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "fabric/config.h"
+#include "runtime/runtime.h"
+
+namespace fabricpp::node {
+
+/// Number of per-channel pipeline lanes a node should run (DESIGN.md §16).
+///
+/// Lanes exist to scale multi-channel workloads across cores under the
+/// thread runtime: each lane is its own endpoint thread (plus executor),
+/// and channels are assigned round-robin, so independent channels stop
+/// serializing on one node mailbox. Under the simulation runtime there is
+/// exactly one lane regardless — the sim is single-threaded and its event
+/// order (and with it every fingerprint) must not depend on the knob.
+inline uint32_t ChannelLaneCount(const fabric::FabricConfig& config,
+                                 runtime::RuntimeMode mode) {
+  if (mode != runtime::RuntimeMode::kThread) return 1;
+  if (config.num_channels <= 1) return 1;
+  uint32_t lanes = config.channel_lanes;
+  if (lanes == 0) lanes = std::min<uint32_t>(config.num_channels, 8);
+  return std::min(lanes, config.num_channels);
+}
+
+/// The lane a channel's pipeline runs on.
+inline uint32_t LaneForChannel(uint32_t channel, size_t num_lanes) {
+  return channel % static_cast<uint32_t>(num_lanes);
+}
+
+}  // namespace fabricpp::node
+
+#endif  // FABRICPP_NODE_LANES_H_

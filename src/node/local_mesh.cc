@@ -28,7 +28,7 @@ void LocalMesh::SendProposal(runtime::Endpoint& from, uint32_t peer_index,
                              uint32_t client_index, uint64_t size_bytes) {
   PeerNode* peer = &directory_->peer(peer_index);
   transport().Send(
-      from, peer->endpoint(), size_bytes,
+      from, peer->endpoint_for(channel), size_bytes,
       [peer, channel, proposal, index = client_index]() mutable {
         peer->HandleProposal(channel, std::move(proposal), index);
       });
@@ -47,7 +47,7 @@ void LocalMesh::SendTransaction(runtime::Endpoint& from, uint32_t channel,
     Measure(static_cast<uint8_t>(proto::WireMessageType::kTransaction),
             msg.Encode().size(), size_bytes);
   }
-  transport().Send(from, orderer->endpoint(), size_bytes,
+  transport().Send(from, orderer->endpoint_for(channel), size_bytes,
                    [orderer, channel, tx = std::move(tx)]() mutable {
                      orderer->HandleTransaction(channel, std::move(tx));
                    });
@@ -135,7 +135,7 @@ void LocalMesh::SendBlock(runtime::Endpoint& from, uint32_t peer_index,
                           std::shared_ptr<proto::Block> block,
                           uint64_t block_bytes) {
   PeerNode* peer = &directory_->peer(peer_index);
-  transport().Send(from, peer->endpoint(), block_bytes,
+  transport().Send(from, peer->endpoint_for(channel), block_bytes,
                    [peer, channel, block]() {
                      peer->HandleBlock(channel, block);
                    });
@@ -159,14 +159,15 @@ void LocalMesh::GossipBlock(runtime::Endpoint& from, uint32_t channel,
     NodeDirectory* directory = directory_;
     runtime::Transport* transport = &this->transport();
     transport->Send(
-        from, leader->endpoint(), block_bytes,
+        from, leader->endpoint_for(channel), block_bytes,
         [directory, transport, leader, org, peers_per_org, channel, block,
          block_bytes]() {
           leader->HandleBlock(channel, block);
           for (uint32_t m = 1; m < peers_per_org; ++m) {
             PeerNode* member = &directory->peer(org * peers_per_org + m);
-            transport->Send(leader->endpoint(), member->endpoint(),
-                            block_bytes, [member, channel, block]() {
+            transport->Send(leader->endpoint_for(channel),
+                            member->endpoint_for(channel), block_bytes,
+                            [member, channel, block]() {
                               member->HandleBlock(channel, block);
                             });
           }
@@ -188,7 +189,7 @@ void LocalMesh::GossipBlock(runtime::Endpoint& from, uint32_t channel,
 void LocalMesh::SendChainInfo(runtime::Endpoint& from, uint32_t peer_index,
                               uint32_t channel, uint64_t height) {
   PeerNode* peer = &directory_->peer(peer_index);
-  transport().Send(from, peer->endpoint(), kMessageOverhead,
+  transport().Send(from, peer->endpoint_for(channel), kMessageOverhead,
                    [peer, channel, height]() {
                      peer->HandleChainInfo(channel, height);
                    });
@@ -202,7 +203,7 @@ void LocalMesh::SendChainInfo(runtime::Endpoint& from, uint32_t peer_index,
 void LocalMesh::SendBlockRequest(runtime::Endpoint& from, uint32_t channel,
                                  uint32_t peer_index, uint64_t from_number) {
   OrdererNode* orderer = &directory_->orderer();
-  transport().Send(from, orderer->endpoint(), kMessageOverhead,
+  transport().Send(from, orderer->endpoint_for(channel), kMessageOverhead,
                    [orderer, channel, peer_index, from_number]() {
                      orderer->HandleBlockRequest(channel, peer_index,
                                                  from_number);

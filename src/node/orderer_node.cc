@@ -5,8 +5,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/strings.h"
 #include "ledger/ledger.h"
 #include "node/client_node.h"
+#include "node/lanes.h"
 #include "node/mesh.h"
 #include "node/peer_node.h"
 #include "node/wire.h"
@@ -22,6 +24,23 @@ OrdererNode::OrdererNode(const NodeContext& ctx)
                                      ctx.config->orderer_cores)),
       reorder_pool_(ctx.runtime->RequestPool(runtime::PoolKind::kReorder,
                                              ctx.config->reorder_workers)) {
+  // Lane 0 is the primary context; extra lanes (thread runtime,
+  // multi-channel) each get their own endpoint thread, executor, and
+  // reorder pool so channels stop serializing on one mailbox.
+  lane_endpoints_.push_back(endpoint_);
+  lane_cpus_.push_back(cpu_);
+  lane_reorder_pools_.push_back(reorder_pool_);
+  const uint32_t lanes = ChannelLaneCount(*ctx.config, ctx.runtime->mode());
+  for (uint32_t lane = 1; lane < lanes; ++lane) {
+    runtime::Endpoint& ep =
+        ctx.runtime->AddEndpoint(StrFormat("orderer-lane-%u", lane));
+    lane_endpoints_.push_back(&ep);
+    lane_cpus_.push_back(&ctx.runtime->AddExecutor(
+        ep, StrFormat("orderer-lane-%u-cpu", lane),
+        ctx.config->orderer_cores));
+    lane_reorder_pools_.push_back(ctx.runtime->RequestPool(
+        runtime::PoolKind::kReorder, ctx.config->reorder_workers));
+  }
   const crypto::Digest genesis_hash = ledger::Ledger().LastHash();
   FairScheduler::Options admission;
   admission.per_client_depth = ctx.config->admission_queue_depth;
@@ -58,11 +77,12 @@ void OrdererNode::DispatchBlock(uint32_t channel,
   // Distribute to every peer (paper §2.2.2 / Appendix A.2 steps 8-9).
   if (!config().gossip_blocks) {
     for (uint32_t p = 0; p < ctx_.directory->num_peers(); ++p) {
-      ctx_.mesh->SendBlock(*endpoint_, p, channel, block, block_bytes);
+      ctx_.mesh->SendBlock(endpoint_for(channel), p, channel, block,
+                           block_bytes);
     }
     return;
   }
-  ctx_.mesh->GossipBlock(*endpoint_, channel, block, block_bytes);
+  ctx_.mesh->GossipBlock(endpoint_for(channel), channel, block, block_bytes);
 }
 
 void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
@@ -77,11 +97,13 @@ void OrdererNode::HandleBlockRequest(uint32_t channel, uint32_t peer_index,
        it != ch.dispatched.end() && sent < kMaxBlocksPerFetch; ++it, ++sent) {
     std::shared_ptr<proto::Block> block = it->second;
     const uint64_t block_bytes = block->ByteSize() + kMessageOverhead;
-    ctx_.mesh->SendBlock(*endpoint_, peer_index, channel, block, block_bytes);
+    ctx_.mesh->SendBlock(endpoint_for(channel), peer_index, channel, block,
+                         block_bytes);
   }
   const uint64_t highest =
       ch.dispatched.empty() ? 0 : ch.dispatched.rbegin()->first;
-  ctx_.mesh->SendChainInfo(*endpoint_, peer_index, channel, highest);
+  ctx_.mesh->SendChainInfo(endpoint_for(channel), peer_index, channel,
+                           highest);
 }
 
 void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
@@ -90,10 +112,10 @@ void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
     // Admission control off: the seed's unbounded path. The ordering
     // service authenticates the submitting client before enqueueing (one
     // signature verification per transaction).
-    cpu_->Submit(cost.verify + cost.order_per_tx,
-                 [this, channel, tx = std::move(tx)]() mutable {
-                   Enqueue(channel, std::move(tx));
-                 });
+    cpu_for(channel).Submit(cost.verify + cost.order_per_tx,
+                            [this, channel, tx = std::move(tx)]() mutable {
+                              Enqueue(channel, std::move(tx));
+                            });
     return;
   }
   ChannelState& ch = channels_[channel];
@@ -104,17 +126,18 @@ void OrdererNode::HandleTransaction(uint32_t channel, proto::Transaction tx) {
     // retry-after hint instead of buffering without bound (or dropping
     // silently). The refusal costs no CPU — shedding must stay cheap.
     metrics().NoteOrdererAdmission(false);
-    NotifyBusy(client, proposal_id);
+    NotifyBusy(channel, client, proposal_id);
     return;
   }
   metrics().NoteOrdererAdmission(true);
   PumpAdmission(channel);
 }
 
-void OrdererNode::NotifyBusy(const std::string& client_name,
+void OrdererNode::NotifyBusy(uint32_t channel,
+                             const std::string& client_name,
                              uint64_t proposal_id) {
   const BusyResponse busy{proposal_id, config().busy_retry_hint};
-  ctx_.mesh->SendBusyByName(*endpoint_, client_name, busy);
+  ctx_.mesh->SendBusyByName(endpoint_for(channel), client_name, busy);
 }
 
 void OrdererNode::PumpAdmission(uint32_t channel) {
@@ -130,22 +153,24 @@ void OrdererNode::PumpAdmission(uint32_t channel) {
     std::optional<proto::Transaction> tx = ch.admission.PollNext();
     if (!tx.has_value()) return;
     ++ch.verify_inflight;
-    cpu_->Submit(cost.verify + cost.order_per_tx,
-                 [this, channel, tx = std::move(*tx)]() mutable {
-                   --channels_[channel].verify_inflight;
-                   Enqueue(channel, std::move(tx));
-                   PumpAdmission(channel);
-                 });
+    cpu_for(channel).Submit(cost.verify + cost.order_per_tx,
+                            [this, channel, tx = std::move(*tx)]() mutable {
+                              --channels_[channel].verify_inflight;
+                              Enqueue(channel, std::move(tx));
+                              PumpAdmission(channel);
+                            });
   }
 }
 
-void OrdererNode::NotifyEarlyAbort(const proto::Transaction& tx,
+void OrdererNode::NotifyEarlyAbort(uint32_t channel,
+                                   const proto::Transaction& tx,
                                    proto::TxValidationCode code) {
   // Early abort notification to the client (paper §5.2: aborted
   // transactions leave the pipeline immediately and the client learns of it
   // without waiting for validation). The code travels with the outcome so a
   // remote client host can account the abort under the right bucket.
-  ctx_.mesh->SendOutcome(*endpoint_, tx.client, tx.proposal_id, code);
+  ctx_.mesh->SendOutcome(endpoint_for(channel), tx.client, tx.proposal_id,
+                         code);
 }
 
 void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
@@ -154,7 +179,7 @@ void OrdererNode::Enqueue(uint32_t channel, proto::Transaction tx) {
   std::optional<ordering::Batch> batch = ch.cutter.Add(std::move(tx));
   if (batch.has_value()) {
     ++ch.timer_generation;  // Cancel the pending timeout.
-    ch.batch_queue.push_back({std::move(*batch), clock().Now()});
+    ch.batch_queue.push_back({std::move(*batch), clock_for(channel).Now()});
     MaybeProcessNextBatch(channel);
   } else if (was_empty) {
     ArmTimer(channel);
@@ -167,7 +192,7 @@ void OrdererNode::MaybeProcessNextBatch(uint32_t channel) {
   while (!ch.batch_queue.empty() && ch.stage_inflight < depth) {
     PendingBatch pending = std::move(ch.batch_queue.front());
     ch.batch_queue.pop_front();
-    const runtime::TimeMicros now = clock().Now();
+    const runtime::TimeMicros now = clock_for(channel).Now();
     if (now > pending.enqueued_at) {
       // The batch was cut while the reorder stage was at capacity — the
       // pipeline stall the ordering_pipeline_depth knob exists to hide.
@@ -182,7 +207,7 @@ void OrdererNode::MaybeProcessNextBatch(uint32_t channel) {
 void OrdererNode::ArmTimer(uint32_t channel) {
   ChannelState& ch = channels_[channel];
   const uint64_t generation = ch.timer_generation;
-  clock().Schedule(
+  clock_for(channel).Schedule(
       config().block.batch_timeout, [this, channel, generation]() {
         ChannelState& state = channels_[channel];
         if (state.timer_generation != generation) return;  // Was cut already.
@@ -190,7 +215,8 @@ void OrdererNode::ArmTimer(uint32_t channel) {
         std::optional<ordering::Batch> batch =
             state.cutter.Flush(ordering::CutReason::kTimeout);
         if (batch.has_value()) {
-          state.batch_queue.push_back({std::move(*batch), clock().Now()});
+          state.batch_queue.push_back(
+              {std::move(*batch), clock_for(channel).Now()});
           MaybeProcessNextBatch(channel);
         }
       });
@@ -199,7 +225,7 @@ void OrdererNode::ArmTimer(uint32_t channel) {
 void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
   const fabric::FabricConfig& cfg = config();
   const fabric::CostModel& cost = cfg.cost;
-  const runtime::TimeMicros now = clock().Now();
+  const runtime::TimeMicros now = clock_for(channel).Now();
   runtime::TimeMicros service = cost.block_fixed_order;
 
   std::vector<proto::Transaction>& txs = batch.transactions;
@@ -217,7 +243,7 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
       metrics().Resolve(
           fabric::ProposalKey(txs[victim].client, txs[victim].proposal_id),
           fabric::TxOutcome::kAbortVersionSkew, now);
-      NotifyEarlyAbort(txs[victim],
+      NotifyEarlyAbort(channel, txs[victim],
                        proto::TxValidationCode::kAbortedVersionSkew);
     }
     service += cost.order_per_tx * txs.size();  // The skew scan.
@@ -237,8 +263,8 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
     rwsets.reserve(survivors.size());
     for (const uint32_t i : survivors) rwsets.push_back(&txs[i].rwset);
     ordering::ReorderResult reorder = ordering::ReorderTransactions(
-        rwsets, cfg.reorder, reorder_pool_);
-    last_reorder_stats_ = reorder.stats;
+        rwsets, cfg.reorder, reorder_pool_for(channel));
+    channels_[channel].last_reorder_stats = reorder.stats;
     // Wall-clock of the pass goes to the measurement side of Metrics, never
     // into the deterministic stats/report (same rule as validation timings).
     metrics().NoteReorderWallClock(
@@ -249,7 +275,8 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
       const proto::Transaction& tx = txs[survivors[victim]];
       metrics().Resolve(fabric::ProposalKey(tx.client, tx.proposal_id),
                         fabric::TxOutcome::kAbortReorderer, now);
-      NotifyEarlyAbort(tx, proto::TxValidationCode::kAbortedByReorderer);
+      NotifyEarlyAbort(channel, tx,
+                       proto::TxValidationCode::kAbortedByReorderer);
     }
     final_order.clear();
     for (const uint32_t pos : reorder.order) {
@@ -281,7 +308,7 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
   block->header.previous_hash = ch.prev_hash;
   block->SealDataHash();
   ch.prev_hash = block->header.Hash();
-  ++blocks_cut_;
+  blocks_cut_.fetch_add(1, std::memory_order_relaxed);
 
   if (cfg.ship_commit_schedule) {
     // Attach the commit-stage wave schedule (DESIGN.md §13, carried inside
@@ -318,9 +345,10 @@ void OrdererNode::ProcessBatch(uint32_t channel, ordering::Batch batch) {
 
   const uint64_t seq = ch.next_stage_seq++;
   ++ch.stage_inflight;
-  cpu_->Submit(service, [this, channel, seq, block, block_bytes]() {
-    FinishBatchStage(channel, seq, StagedBlock{block, block_bytes});
-  });
+  cpu_for(channel).Submit(
+      service, [this, channel, seq, block, block_bytes]() {
+        FinishBatchStage(channel, seq, StagedBlock{block, block_bytes});
+      });
 }
 
 void OrdererNode::FinishBatchStage(uint32_t channel, uint64_t seq,

@@ -1,6 +1,7 @@
 #ifndef FABRICPP_NODE_ORDERER_NODE_H_
 #define FABRICPP_NODE_ORDERER_NODE_H_
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -23,7 +24,17 @@ namespace fabricpp::node {
 /// The (trusted) ordering service: receives endorsed transactions, cuts
 /// batches, optionally early-aborts and reorders (Fabric++), seals blocks,
 /// hands them to the consensus backend, and distributes committed blocks to
-/// every peer. All handlers run on the orderer's endpoint context.
+/// every peer.
+///
+/// Execution contexts: every handler for a channel runs on that channel's
+/// lane endpoint. Under the simulation runtime (and with one channel) there
+/// is exactly one lane — the historical single-endpoint orderer, event
+/// order untouched. Under the thread runtime with multiple channels, the
+/// pipeline is sharded across ChannelLaneCount lanes (per-lane endpoint,
+/// executor, and reorder pool; channels round-robin), so independent
+/// channels order in parallel instead of serializing on one mailbox
+/// thread. Per-channel state stays single-writer: a channel's entire
+/// pipeline lives on exactly one lane.
 class OrdererNode {
  public:
   explicit OrdererNode(const NodeContext& ctx);
@@ -34,6 +45,13 @@ class OrdererNode {
 
   runtime::Endpoint& endpoint() { return *endpoint_; }
   runtime::NodeId node_id() const { return endpoint_->id(); }
+  /// The lane endpoint channel `channel`'s pipeline runs on (== endpoint()
+  /// under sim or with a single lane). Messages for the channel must be
+  /// delivered here.
+  runtime::Endpoint& endpoint_for(uint32_t channel) {
+    return *lane_endpoints_[channel % lane_endpoints_.size()];
+  }
+  size_t num_lanes() const { return lane_endpoints_.size(); }
 
   /// Delivery of a transaction from a client.
   void HandleTransaction(uint32_t channel, proto::Transaction tx);
@@ -49,9 +67,13 @@ class OrdererNode {
   void DispatchBlock(uint32_t channel, std::shared_ptr<proto::Block> block,
                      uint64_t block_bytes);
 
-  uint64_t blocks_cut() const { return blocks_cut_; }
-  const ordering::ReorderStats& last_reorder_stats() const {
-    return last_reorder_stats_;
+  uint64_t blocks_cut() const {
+    return blocks_cut_.load(std::memory_order_relaxed);
+  }
+  /// Stats of the channel's most recent reordering pass (channel 0 by
+  /// default, matching the historical single-channel accessor).
+  const ordering::ReorderStats& last_reorder_stats(uint32_t channel = 0) const {
+    return channels_[channel].last_reorder_stats;
   }
 
  private:
@@ -104,15 +126,19 @@ class OrdererNode {
     /// Every dispatched block, keyed by number — the delivery service peers
     /// fetch from when they detect a gap or recover from a crash.
     std::map<uint64_t, std::shared_ptr<proto::Block>> dispatched;
+    /// The channel's most recent reordering pass (per channel: lanes run
+    /// passes concurrently under the thread runtime).
+    ordering::ReorderStats last_reorder_stats;
   };
 
   void Enqueue(uint32_t channel, proto::Transaction tx);
-  void NotifyEarlyAbort(const proto::Transaction& tx,
+  void NotifyEarlyAbort(uint32_t channel, const proto::Transaction& tx,
                         proto::TxValidationCode code);
   /// Tells `client_name` its transaction was refused for overload, with the
   /// configured retry-after hint. External clients (not in the directory)
   /// are only counted.
-  void NotifyBusy(const std::string& client_name, uint64_t proposal_id);
+  void NotifyBusy(uint32_t channel, const std::string& client_name,
+                  uint64_t proposal_id);
   /// Drains the fair scheduler into the verify stage while the per-channel
   /// verify window and the batch queue have room — the backpressure valve
   /// that keeps the backlog in the bounded admission queues.
@@ -136,18 +162,35 @@ class OrdererNode {
 
   const fabric::FabricConfig& config() const { return *ctx_.config; }
   fabric::Metrics& metrics() { return *ctx_.metrics; }
-  runtime::Clock& clock() { return endpoint_->clock(); }
   runtime::Transport& transport() { return ctx_.runtime->transport(); }
+
+  // --- Per-lane context (index 0 is the primary endpoint/cpu/pool) ---
+  uint32_t lane_for(uint32_t channel) const {
+    return channel % static_cast<uint32_t>(lane_endpoints_.size());
+  }
+  runtime::Clock& clock_for(uint32_t channel) {
+    return lane_endpoints_[lane_for(channel)]->clock();
+  }
+  runtime::Executor& cpu_for(uint32_t channel) {
+    return *lane_cpus_[lane_for(channel)];
+  }
+  ThreadPool* reorder_pool_for(uint32_t channel) {
+    return lane_reorder_pools_[lane_for(channel)];
+  }
 
   NodeContext ctx_;
   runtime::Endpoint* endpoint_;
   runtime::Executor* cpu_;
   /// Pool running the real reordering work (null when reorder_workers == 1).
   ThreadPool* reorder_pool_;
+  /// Lane contexts; [0] aliases the primary endpoint_/cpu_/reorder_pool_.
+  std::vector<runtime::Endpoint*> lane_endpoints_;
+  std::vector<runtime::Executor*> lane_cpus_;
+  std::vector<ThreadPool*> lane_reorder_pools_;
   ConsensusService* consensus_ = nullptr;
   std::vector<ChannelState> channels_;
-  uint64_t blocks_cut_ = 0;
-  ordering::ReorderStats last_reorder_stats_;
+  /// Atomic: lanes cut blocks concurrently under the thread runtime.
+  std::atomic<uint64_t> blocks_cut_{0};
 };
 
 }  // namespace fabricpp::node

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "node/client_node.h"
+#include "node/lanes.h"
 #include "node/mesh.h"
 #include "node/orderer_node.h"
 #include "node/wire.h"
@@ -31,6 +32,31 @@ PeerNode::PeerNode(const NodeContext& ctx, uint32_t index, std::string name,
   validator_.set_commit_pool(ctx.runtime->RequestPool(
       runtime::PoolKind::kCommit, ctx.config->commit_workers));
   validator_.set_verify_shipped_schedule(ctx.config->verify_commit_schedule);
+  // Lane 0 is the primary context; extra lanes (thread runtime,
+  // multi-channel) each get their own endpoint thread, executor, and
+  // validator, so independent channels endorse and commit in parallel.
+  // The validator is per lane because its ParallelFor pools are
+  // single-user; the endorser is shared (const, internally synchronized).
+  lane_endpoints_.push_back(endpoint_);
+  lane_cpus_.push_back(cpu_);
+  const uint32_t lanes = ChannelLaneCount(*ctx.config, ctx.runtime->mode());
+  for (uint32_t lane = 1; lane < lanes; ++lane) {
+    runtime::Endpoint& ep = ctx.runtime->AddEndpoint(
+        StrFormat("%s-lane-%u", name_.c_str(), lane));
+    lane_endpoints_.push_back(&ep);
+    lane_cpus_.push_back(&ctx.runtime->AddExecutor(
+        ep, StrFormat("%s-lane-%u-cpu", name_.c_str(), lane),
+        ctx.config->peer_cores));
+    auto validator = std::make_unique<peer::Validator>(
+        ctx.config->seed, ctx.policies,
+        ctx.runtime->RequestPool(runtime::PoolKind::kValidator,
+                                 ctx.config->validator_workers));
+    validator->set_commit_pool(ctx.runtime->RequestPool(
+        runtime::PoolKind::kCommit, ctx.config->commit_workers));
+    validator->set_verify_shipped_schedule(
+        ctx.config->verify_commit_schedule);
+    extra_validators_.push_back(std::move(validator));
+  }
 }
 
 void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
@@ -44,7 +70,7 @@ void PeerNode::HandleProposal(uint32_t channel, proto::Proposal proposal,
     // (shedding must stay cheap) — the proposal never enters simulation.
     metrics().NoteEndorserAdmission(false);
     const BusyResponse busy{proposal.proposal_id, config().busy_retry_hint};
-    ctx_.mesh->SendBusy(*endpoint_, client_index, busy);
+    ctx_.mesh->SendBusy(endpoint_for(channel), client_index, busy);
     return;
   }
   if (depth != 0) metrics().NoteEndorserAdmission(true);
@@ -79,11 +105,13 @@ void PeerNode::StartSimulation(uint32_t channel, PendingSim sim) {
   const uint64_t proposal_id = sim.proposal.proposal_id;
   const uint32_t client_index = sim.client_index;
   const uint64_t epoch = crash_epoch_;
-  cpu_->Submit(service, [this, channel, client_index, proposal_id, epoch,
-                         response = std::move(response)]() mutable {
-    if (crashed_ || epoch != crash_epoch_) return;
-    FinishSimulation(channel, client_index, proposal_id, std::move(response));
-  });
+  cpu_for(channel).Submit(
+      service, [this, channel, client_index, proposal_id, epoch,
+                response = std::move(response)]() mutable {
+        if (crashed_ || epoch != crash_epoch_) return;
+        FinishSimulation(channel, client_index, proposal_id,
+                         std::move(response));
+      });
 }
 
 void PeerNode::FinishSimulation(uint32_t channel, uint32_t client_index,
@@ -107,8 +135,9 @@ void PeerNode::FinishSimulation(uint32_t channel, uint32_t client_index,
 
   uint64_t reply_size = kMessageOverhead;
   if (response.ok()) reply_size += response->rwset.ByteSize();
-  ctx_.mesh->SendEndorsementReply(*endpoint_, client_index, proposal_id,
-                                  std::move(response), reply_size);
+  ctx_.mesh->SendEndorsementReply(endpoint_for(channel), client_index,
+                                  proposal_id, std::move(response),
+                                  reply_size);
 
   if (config().concurrency == fabric::ConcurrencyMode::kCoarseLock &&
       ch.active_sims == 0 && ch.commit_phase) {
@@ -165,7 +194,8 @@ void PeerNode::DrainReorderBuffer(uint32_t channel) {
 void PeerNode::RequestMissingBlocks(uint32_t channel) {
   if (crashed_) return;
   const uint64_t from = channels_[channel].next_accept;
-  ctx_.mesh->SendBlockRequest(*endpoint_, channel, index_, from);
+  ctx_.mesh->SendBlockRequest(endpoint_for(channel), channel, index_,
+                              from);
 }
 
 void PeerNode::ArmFetchTimer(uint32_t channel) {
@@ -173,7 +203,7 @@ void PeerNode::ArmFetchTimer(uint32_t channel) {
   if (crashed_ || ch.fetch_timer_armed) return;
   ch.fetch_timer_armed = true;
   const uint64_t epoch = crash_epoch_;
-  clock().Schedule(
+  clock_for(channel).Schedule(
       config().peer_fetch_retry_interval, [this, channel, epoch]() {
         if (crashed_ || epoch != crash_epoch_) return;
         ChannelState& state = channels_[channel];
@@ -195,7 +225,8 @@ void PeerNode::HandleChainInfo(uint32_t channel, uint64_t orderer_height) {
   }
   if (ch.recovering) {
     ch.recovering = false;
-    const runtime::TimeMicros took = clock().Now() - ch.restart_time;
+    const runtime::TimeMicros took =
+        clock_for(channel).Now() - ch.restart_time;
     metrics().NoteRecovery(took);
     FABRICPP_LOG(Info) << name_ << ": caught up on channel " << channel
                        << " " << took / 1000 << "ms after restart";
@@ -279,10 +310,11 @@ void PeerNode::MaybeStartValidation(uint32_t channel) {
   for (const proto::Transaction& tx : ch.current_block->transactions) {
     const runtime::TimeMicros policy_service =
         cost.validate_per_tx + cost.verify * tx.endorsements.size();
-    cpu_->Submit(policy_service, [this, epoch, remaining, on_policy_done]() {
-      if (crashed_ || epoch != crash_epoch_) return;
-      if (--*remaining == 0) on_policy_done();
-    });
+    cpu_for(channel).Submit(
+        policy_service, [this, epoch, remaining, on_policy_done]() {
+          if (crashed_ || epoch != crash_epoch_) return;
+          if (--*remaining == 0) on_policy_done();
+        });
   }
 }
 
@@ -306,7 +338,7 @@ void PeerNode::TryStartCommit(uint32_t channel) {
                       cost.commit_per_write * tx.rwset.writes.size();
   }
   const uint64_t epoch = crash_epoch_;
-  cpu_->Submit(commit_service, [this, channel, epoch]() {
+  cpu_for(channel).Submit(commit_service, [this, channel, epoch]() {
     if (crashed_ || epoch != crash_epoch_) return;
     FinishCommit(channel);
   });
@@ -338,7 +370,7 @@ void PeerNode::FinishCommit(uint32_t channel) {
   }
 
   const peer::BlockValidationResult result =
-      validator_.ValidateAndCommit(*block, &ch.db, &ch.ledger);
+      validator_for(channel).ValidateAndCommit(*block, &ch.db, &ch.ledger);
 
   if (ctx_.directory->IsObserver(*this)) {
     // Host wall-clock of the two validation stages (plus the commit path's
@@ -349,7 +381,7 @@ void PeerNode::FinishCommit(uint32_t channel) {
                                       result.commit_waves,
                                       result.commit_wave_wall_ns,
                                       result.commit_wave_max_ns);
-    const runtime::TimeMicros now = clock().Now();
+    const runtime::TimeMicros now = clock_for(channel).Now();
     for (uint32_t i = 0; i < block->transactions.size(); ++i) {
       const proto::Transaction& tx = block->transactions[i];
       const fabric::TxOutcome outcome =
@@ -367,8 +399,8 @@ void PeerNode::FinishCommit(uint32_t channel) {
       // Commit-event notification to the submitting client (Fabric's event
       // service); an aborted transaction triggers resubmission there.
       if (routed) {
-        ctx_.mesh->SendOutcome(*endpoint_, tx.client, tx.proposal_id,
-                               result.codes[i]);
+        ctx_.mesh->SendOutcome(endpoint_for(channel), tx.client,
+                               tx.proposal_id, result.codes[i]);
       }
     }
     metrics().NoteBlockCommitted(

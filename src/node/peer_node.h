@@ -19,8 +19,17 @@
 namespace fabricpp::node {
 
 /// One peer of the network: endorsement (simulation phase) and validation +
-/// commit, per channel, on a shared CPU. All handlers and callbacks run on
-/// this peer's endpoint context — single-writer, no locks on peer state.
+/// commit, per channel.
+///
+/// Execution contexts: every handler and callback for a channel runs on
+/// that channel's lane endpoint. Under the simulation runtime (and with
+/// one channel) there is a single lane — the historical one-endpoint peer,
+/// event order untouched. Under the thread runtime with multiple channels
+/// the peer runs ChannelLaneCount commit lanes (per-lane endpoint,
+/// executor, and validator; channels round-robin), so independent
+/// channels endorse and commit in parallel. A channel's entire state lives
+/// on exactly one lane — still single-writer, no locks on peer state.
+/// Crash()/Restart() remain simulation-only (single lane).
 class PeerNode {
  public:
   PeerNode(const NodeContext& ctx, uint32_t index, std::string name,
@@ -31,6 +40,13 @@ class PeerNode {
   uint32_t index() const { return index_; }
   runtime::Endpoint& endpoint() { return *endpoint_; }
   runtime::NodeId node_id() const { return endpoint_->id(); }
+  /// The lane endpoint channel `channel`'s pipeline runs on (== endpoint()
+  /// under sim or with a single lane). Messages for the channel must be
+  /// delivered here.
+  runtime::Endpoint& endpoint_for(uint32_t channel) {
+    return *lane_endpoints_[channel % lane_endpoints_.size()];
+  }
+  size_t num_lanes() const { return lane_endpoints_.size(); }
 
   /// Delivery of a proposal from a client (simulation phase entry).
   void HandleProposal(uint32_t channel, proto::Proposal proposal,
@@ -59,10 +75,11 @@ class PeerNode {
   void Restart();
   bool crashed() const { return crashed_; }
 
-  /// Pre-warms the validator's verification-identity cache (composition
-  /// root, once the full peer roster is known).
+  /// Pre-warms every lane validator's verification-identity cache
+  /// (composition root, once the full peer roster is known).
   void PrewarmIdentities(const std::vector<std::string>& names) {
     validator_.PrewarmIdentities(names);
+    for (const auto& v : extra_validators_) v->PrewarmIdentities(names);
   }
 
   const ledger::Ledger& ledger(uint32_t channel) const {
@@ -132,15 +149,41 @@ class PeerNode {
   runtime::Clock& clock() { return endpoint_->clock(); }
   runtime::Transport& transport() { return ctx_.runtime->transport(); }
 
+  // --- Per-lane context (index 0 is the primary endpoint/cpu/validator) ---
+  uint32_t lane_for(uint32_t channel) const {
+    return channel % static_cast<uint32_t>(lane_endpoints_.size());
+  }
+  runtime::Clock& clock_for(uint32_t channel) {
+    return lane_endpoints_[lane_for(channel)]->clock();
+  }
+  runtime::Executor& cpu_for(uint32_t channel) {
+    return *lane_cpus_[lane_for(channel)];
+  }
+  /// Validators are per lane: ParallelFor pools are single-user, so lanes
+  /// committing concurrently must not share one.
+  peer::Validator& validator_for(uint32_t channel) {
+    const uint32_t lane = lane_for(channel);
+    return lane == 0 ? validator_ : *extra_validators_[lane - 1];
+  }
+
   NodeContext ctx_;
   uint32_t index_;
   std::string name_;
   std::string org_;
   runtime::Endpoint* endpoint_;
   runtime::Executor* cpu_;
+  /// Shared across lanes: Endorse is const and the identity cache is
+  /// internally synchronized.
   peer::Endorser endorser_;
   peer::Validator validator_;
+  /// Lane contexts; [0] aliases the primary endpoint_/cpu_/validator_, and
+  /// extra_validators_[i] belongs to lane i + 1.
+  std::vector<runtime::Endpoint*> lane_endpoints_;
+  std::vector<runtime::Executor*> lane_cpus_;
+  std::vector<std::unique_ptr<peer::Validator>> extra_validators_;
   std::vector<ChannelState> channels_;
+  /// Crash simulation is sim-only (single lane, single thread): never
+  /// written under the thread runtime, so the cross-lane reads race-free.
   bool crashed_ = false;
   /// Bumped on every crash; CPU-job callbacks from before the crash carry
   /// the old epoch and turn into no-ops (the work died with the process).

@@ -1,6 +1,11 @@
 #include "raft/raft_node.h"
 
 #include <algorithm>
+#include <variant>
+
+#include "raft/sim_transport.h"
+#include "raft/thread_transport.h"
+#include "sim/fault_injector.h"
 
 namespace fabricpp::raft {
 
@@ -20,33 +25,50 @@ std::string_view RoleToString(Role role) {
 // RaftNode
 // ---------------------------------------------------------------------------
 
-RaftNode::RaftNode(RaftCluster* cluster, uint32_t id, uint32_t cluster_size,
-                   uint64_t seed)
-    : cluster_(cluster),
-      id_(id),
+RaftNode::RaftNode(uint32_t id, uint32_t cluster_size, uint64_t seed,
+                   const Params* params, runtime::Clock* clock,
+                   Transport* transport, HardState* stable)
+    : id_(id),
       cluster_size_(cluster_size),
-      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))) {}
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))),
+      params_(params),
+      clock_(clock),
+      transport_(transport),
+      stable_(stable) {}
 
 void RaftNode::Start() { ResetElectionTimer(); }
 
-sim::SimTime RaftNode::ElectionTimeout() {
-  const auto& p = cluster_->params();
+runtime::TimeMicros RaftNode::ElectionTimeout() {
+  const Params& p = *params_;
   return p.election_timeout_min +
          rng_.NextUint64(p.election_timeout_max - p.election_timeout_min + 1);
 }
 
 void RaftNode::ResetElectionTimer() {
   const uint64_t generation = ++election_timer_generation_;
-  cluster_->env().Schedule(ElectionTimeout(), [this, generation]() {
+  clock_->Schedule(ElectionTimeout(), [this, generation]() {
     if (stopped_ || generation != election_timer_generation_) return;
     if (role_ != Role::kLeader) StartElection();
     // Leaders don't use election timers; their heartbeats are separate.
   });
 }
 
+void RaftNode::PersistHardState() {
+  if (stable_ == nullptr) return;
+  stable_->term = current_term_;
+  stable_->voted_for = voted_for_;
+}
+
 void RaftNode::Resume() {
   stopped_ = false;
   role_ = Role::kFollower;
+  if (persist_hard_state_ && stable_ != nullptr) {
+    // Reload the durable fraction: without this a restarted replica rejoins
+    // at term 0 with no vote on record and can grant a second vote in a
+    // term it already voted in — two leaders in one term.
+    current_term_ = stable_->term;
+    voted_for_ = stable_->voted_for;
+  }
   ResetElectionTimer();
 }
 
@@ -56,6 +78,11 @@ void RaftNode::Crash() {
   votes_received_ = 0;
   next_index_.clear();
   match_index_.clear();
+  // Process death wipes volatile memory: the in-memory (term, vote) are
+  // gone; Resume() restores them from stable storage. The log survives
+  // (persisted in real Raft).
+  current_term_ = 0;
+  voted_for_.reset();
   // Invalidate any armed election timer; Resume() arms a fresh one.
   ++election_timer_generation_;
 }
@@ -64,6 +91,7 @@ void RaftNode::BecomeFollower(uint64_t term) {
   current_term_ = term;
   role_ = Role::kFollower;
   voted_for_.reset();
+  PersistHardState();
   ResetElectionTimer();
 }
 
@@ -71,14 +99,14 @@ void RaftNode::StartElection() {
   role_ = Role::kCandidate;
   ++current_term_;
   voted_for_ = id_;
+  PersistHardState();
   votes_received_ = 1;  // Own vote.
   ResetElectionTimer();  // Retry with a fresh timeout on a split vote.
   for (uint32_t peer = 0; peer < cluster_size_; ++peer) {
     if (peer == id_) continue;
-    cluster_->CountMessage();
-    cluster_->Send(id_, peer, 64,
-                   RequestVote{current_term_, id_, LastLogIndex(),
-                               LastLogTerm()});
+    transport_->Send(id_, peer, 64,
+                     RequestVote{current_term_, id_, LastLogIndex(),
+                                 LastLogTerm()});
   }
   if (cluster_size_ == 1) BecomeLeader();
 }
@@ -98,12 +126,12 @@ void RaftNode::Handle(const RequestVote& msg) {
     if (candidate_up_to_date) {
       granted = true;
       voted_for_ = msg.candidate;
+      PersistHardState();
       ResetElectionTimer();
     }
   }
-  cluster_->CountMessage();
-  cluster_->Send(id_, msg.candidate, 32,
-                 VoteReply{current_term_, id_, granted});
+  transport_->Send(id_, msg.candidate, 32,
+                   VoteReply{current_term_, id_, granted});
 }
 
 void RaftNode::Handle(const VoteReply& msg) {
@@ -145,13 +173,11 @@ void RaftNode::BroadcastAppendEntries() {
   }
   // Heartbeat rearm: keeps followers' election timers at bay.
   const uint64_t term = current_term_;
-  cluster_->env().Schedule(cluster_->params().heartbeat_interval,
-                           [this, term]() {
-                             if (!stopped_ && role_ == Role::kLeader &&
-                                 current_term_ == term) {
-                               BroadcastAppendEntries();
-                             }
-                           });
+  clock_->Schedule(params_->heartbeat_interval, [this, term]() {
+    if (!stopped_ && role_ == Role::kLeader && current_term_ == term) {
+      BroadcastAppendEntries();
+    }
+  });
 }
 
 void RaftNode::SendAppendEntriesTo(uint32_t peer) {
@@ -167,17 +193,15 @@ void RaftNode::SendAppendEntriesTo(uint32_t peer) {
     msg.entries.push_back(log_[i - 1]);
     payload_bytes += log_[i - 1].payload.size() + 16;
   }
-  cluster_->CountMessage();
-  cluster_->Send(id_, peer, payload_bytes, std::move(msg));
+  transport_->Send(id_, peer, payload_bytes, std::move(msg));
 }
 
 void RaftNode::Handle(const AppendEntries& msg) {
   if (stopped_) return;
   if (msg.term > current_term_) BecomeFollower(msg.term);
   if (msg.term < current_term_) {
-    cluster_->CountMessage();
-    cluster_->Send(id_, msg.leader, 32,
-                   AppendReply{current_term_, id_, false, 0});
+    transport_->Send(id_, msg.leader, 32,
+                     AppendReply{current_term_, id_, false, 0});
     return;
   }
   // Valid leader for our term.
@@ -187,9 +211,8 @@ void RaftNode::Handle(const AppendEntries& msg) {
   // Consistency check (§5.3).
   if (msg.prev_log_index > LastLogIndex() ||
       TermAt(msg.prev_log_index) != msg.prev_log_term) {
-    cluster_->CountMessage();
-    cluster_->Send(id_, msg.leader, 32,
-                   AppendReply{current_term_, id_, false, 0});
+    transport_->Send(id_, msg.leader, 32,
+                     AppendReply{current_term_, id_, false, 0});
     return;
   }
   // Append/overwrite entries.
@@ -209,9 +232,8 @@ void RaftNode::Handle(const AppendEntries& msg) {
     commit_index_ = std::min(msg.leader_commit, LastLogIndex());
     ApplyCommitted();
   }
-  cluster_->CountMessage();
-  cluster_->Send(id_, msg.leader, 32,
-                 AppendReply{current_term_, id_, true, index});
+  transport_->Send(id_, msg.leader, 32,
+                   AppendReply{current_term_, id_, true, index});
 }
 
 void RaftNode::Handle(const AppendReply& msg) {
@@ -268,19 +290,65 @@ RaftCluster::RaftCluster(sim::Environment* env, uint32_t num_nodes,
 RaftCluster::RaftCluster(sim::Environment* env, uint32_t num_nodes,
                          uint64_t seed, Params params)
     : env_(env), params_(params) {
+  env_clock_ = std::make_unique<EnvClock>(env);
+  auto transport =
+      std::make_unique<SimRaftTransport>(env, &params_, &messages_sent_);
+  sim_transport_ = transport.get();
+  transport_ = std::move(transport);
+  sim_transport_->SetDeliver([this](uint32_t to, const RaftMessage& msg) {
+    std::visit([this, to](const auto& m) { nodes_[to]->Handle(m); }, msg);
+  });
+  BuildNodes(num_nodes, seed);
+}
+
+RaftCluster::RaftCluster(runtime::Transport* transport,
+                         std::vector<runtime::Endpoint*> endpoints,
+                         uint64_t seed, Params params)
+    : params_(params), endpoints_(std::move(endpoints)) {
+  auto thread_transport = std::make_unique<ThreadRaftTransport>(
+      transport, endpoints_, &messages_sent_);
+  thread_transport->SetDeliver([this](uint32_t to, const RaftMessage& msg) {
+    std::visit([this, to](const auto& m) { nodes_[to]->Handle(m); }, msg);
+  });
+  transport_ = std::move(thread_transport);
+  BuildNodes(static_cast<uint32_t>(endpoints_.size()), seed);
+}
+
+void RaftCluster::BuildNodes(uint32_t num_nodes, uint64_t seed) {
+  hard_states_.resize(num_nodes);
   for (uint32_t id = 0; id < num_nodes; ++id) {
-    nodes_.push_back(std::make_unique<RaftNode>(this, id, num_nodes, seed));
+    runtime::Clock* clock =
+        env_ != nullptr ? env_clock_.get() : &endpoints_[id]->clock();
+    nodes_.push_back(std::make_unique<RaftNode>(id, num_nodes, seed, &params_,
+                                                clock, transport_.get(),
+                                                &hard_states_[id]));
   }
 }
 
 void RaftCluster::Start() {
-  for (auto& node : nodes_) node->Start();
+  if (env_ != nullptr) {
+    for (auto& node : nodes_) node->Start();
+    return;
+  }
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    RaftNode* node = nodes_[id].get();
+    endpoints_[id]->Post([node]() { node->Start(); });
+  }
 }
 
 std::optional<uint64_t> RaftCluster::Propose(Bytes payload) {
   const auto leader = FindLeader();
   if (!leader.has_value()) return std::nullopt;
   return nodes_[*leader]->Propose(std::move(payload));
+}
+
+void RaftCluster::ProposeOnAll(Bytes payload) {
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    RaftNode* node = nodes_[id].get();
+    endpoints_[id]->Post([node, payload]() mutable {
+      node->Propose(std::move(payload));
+    });
+  }
 }
 
 std::optional<uint32_t> RaftCluster::FindLeader() const {
@@ -300,11 +368,63 @@ void RaftCluster::SetCommitCallbackOnAll(const RaftNode::CommitCallback& cb) {
   for (auto& node : nodes_) node->set_commit_callback(cb);
 }
 
-void RaftCluster::ScheduleCrash(uint32_t id, sim::SimTime start,
-                                sim::SimTime end) {
-  if (injector_ != nullptr) injector_->CrashNode(MappedId(id), start, end);
-  env_->ScheduleAt(start, [this, id]() { nodes_[id]->Crash(); });
-  env_->ScheduleAt(end, [this, id]() { nodes_[id]->Resume(); });
+void RaftCluster::SetPersistHardStateOnAll(bool persist) {
+  for (auto& node : nodes_) node->set_persist_hard_state(persist);
+}
+
+void RaftCluster::SetFaultInjector(sim::FaultInjector* injector,
+                                   std::vector<sim::NodeId> node_ids) {
+  if (sim_transport_ != nullptr) {
+    sim_transport_->SetFaultInjector(injector, std::move(node_ids));
+  }
+}
+
+void RaftCluster::ScheduleCrash(uint32_t id, runtime::TimeMicros start,
+                                runtime::TimeMicros end) {
+  if (env_ != nullptr) {
+    if (sim_transport_ != nullptr && sim_transport_->injector() != nullptr) {
+      sim_transport_->injector()->CrashNode(sim_transport_->MappedId(id),
+                                            start, end);
+    }
+    env_->ScheduleAt(start, [this, id]() { nodes_[id]->Crash(); });
+    env_->ScheduleAt(end, [this, id]() { nodes_[id]->Resume(); });
+    return;
+  }
+  RaftNode* node = nodes_[id].get();
+  runtime::Clock& clock = endpoints_[id]->clock();
+  clock.ScheduleAt(start, [node]() { node->Crash(); });
+  clock.ScheduleAt(end, [node]() { node->Resume(); });
+}
+
+void RaftCluster::ScheduleLeaderCrash(runtime::TimeMicros at,
+                                      runtime::TimeMicros duration) {
+  for (uint32_t id = 0; id < nodes_.size(); ++id) {
+    RaftNode* node = nodes_[id].get();
+    runtime::Clock* clock = &endpoints_[id]->clock();
+    clock->ScheduleAt(at, [this, node, clock, duration]() {
+      if (node->stopped() || node->role() != Role::kLeader) return;
+      bool expected = false;
+      if (!leader_crash_claimed_.compare_exchange_strong(expected, true)) {
+        return;
+      }
+      node->Crash();
+      clock->Schedule(duration, [node]() { node->Resume(); });
+    });
+  }
+  // Fallback: if the election hasn't converged by `at` no replica claims
+  // the crash — kill replica 0 so the chaos window still exercises a
+  // failover.
+  RaftNode* fallback = nodes_[0].get();
+  runtime::Clock* clock0 = &endpoints_[0]->clock();
+  clock0->ScheduleAt(
+      at + 50 * runtime::kMillisecond, [this, fallback, clock0, duration]() {
+        bool expected = false;
+        if (!leader_crash_claimed_.compare_exchange_strong(expected, true)) {
+          return;
+        }
+        fallback->Crash();
+        clock0->Schedule(duration, [fallback]() { fallback->Resume(); });
+      });
 }
 
 }  // namespace fabricpp::raft

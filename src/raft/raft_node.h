@@ -1,6 +1,7 @@
 #ifndef FABRICPP_RAFT_RAFT_NODE_H_
 #define FABRICPP_RAFT_RAFT_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +11,8 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "raft/transport.h"
+#include "runtime/runtime.h"
 #include "sim/environment.h"
 #include "sim/network.h"
 
@@ -19,17 +22,14 @@ namespace fabricpp::raft {
 enum class Role { kFollower = 0, kCandidate, kLeader };
 std::string_view RoleToString(Role role);
 
-/// One replicated log entry.
-struct LogEntry {
-  uint64_t term = 0;
-  Bytes payload;
-};
-
-class RaftCluster;
+class SimRaftTransport;
 
 /// A single Raft replica (Ongaro & Ousterhout, "In Search of an
-/// Understandable Consensus Algorithm", 2014) running inside the
-/// discrete-event simulation.
+/// Understandable Consensus Algorithm", 2014) written against the runtime
+/// seam: timers go through an abstract runtime::Clock and RPCs through the
+/// narrow raft::Transport interface, so the same state machine runs inside
+/// the deterministic discrete-event simulation (SimRaftTransport) and on
+/// real OS threads (ThreadRaftTransport, one mailbox thread per replica).
 ///
 /// Implements leader election with randomized timeouts, log replication
 /// with the AppendEntries consistency check, commit-index advancement by
@@ -38,27 +38,40 @@ class RaftCluster;
 /// ordering service is such a cluster (Kafka in 1.2, Raft from 1.4); the
 /// paper treats it as a trustworthy black box (§2.1).
 ///
-/// Omitted relative to full Raft: persistence of term/vote across restarts
-/// and snapshotting/log compaction — crash-recovery with disk state is out
-/// of scope for the simulation (a stopped node that resumes rejoins with
-/// its in-memory state intact).
+/// Thread-safety: every entry point (Handle, Propose, timers, Crash/Resume)
+/// must run on the replica's own execution context — the sim event loop, or
+/// the replica's endpoint thread under ThreadRuntime. The node itself takes
+/// no locks.
+///
+/// Persistence: (current_term, voted_for) are written through to a
+/// HardState on every change and restored on Resume(), so a replica that
+/// crashes inside a chaos window cannot vote twice in the same term. The
+/// log also survives crashes (persistent in real Raft); snapshotting/log
+/// compaction remain out of scope.
 class RaftNode {
  public:
   /// `on_commit(index, payload)` fires on every node, in log order, exactly
-  /// once per committed entry.
+  /// once per committed entry, on the node's own execution context.
   using CommitCallback = std::function<void(uint64_t, const Bytes&)>;
 
-  RaftNode(RaftCluster* cluster, uint32_t id, uint32_t cluster_size,
-           uint64_t seed);
+  RaftNode(uint32_t id, uint32_t cluster_size, uint64_t seed,
+           const Params* params, runtime::Clock* clock, Transport* transport,
+           HardState* stable);
 
   uint32_t id() const { return id_; }
   Role role() const { return role_; }
   uint64_t current_term() const { return current_term_; }
+  std::optional<uint32_t> voted_for() const { return voted_for_; }
   uint64_t commit_index() const { return commit_index_; }
   const std::vector<LogEntry>& log() const { return log_; }
   bool stopped() const { return stopped_; }
 
   void set_commit_callback(CommitCallback cb) { on_commit_ = std::move(cb); }
+
+  /// Test hook: when false, Resume() does not restore (term, vote) from
+  /// stable storage — reproducing the historical double-vote gap the
+  /// persistence path closes.
+  void set_persist_hard_state(bool persist) { persist_hard_state_ = persist; }
 
   /// Client entry point: appends to the leader's log and starts
   /// replication. Returns the assigned (1-based) log index, or nullopt on
@@ -70,45 +83,25 @@ class RaftNode {
   void Stop() { stopped_ = true; }
   void Resume();
 
-  /// Crash is Stop plus loss of volatile state: candidate vote tallies and
-  /// leader replication indices are gone when the process dies. The log,
-  /// term and vote survive (they are persisted in real Raft). Restart via
-  /// Resume(), which rejoins as a follower.
+  /// Crash is Stop plus loss of volatile memory: candidate vote tallies,
+  /// leader replication indices, and the in-memory (term, vote) are gone
+  /// when the process dies. Restart via Resume(), which reloads (term,
+  /// vote) from the HardState ("stable storage") and rejoins as a follower.
   void Crash();
 
-  // --- Message handlers (invoked by RaftCluster on delivery) ---
-  struct RequestVote {
-    uint64_t term;
-    uint32_t candidate;
-    uint64_t last_log_index;
-    uint64_t last_log_term;
-  };
-  struct VoteReply {
-    uint64_t term;
-    uint32_t voter;
-    bool granted;
-  };
-  struct AppendEntries {
-    uint64_t term;
-    uint32_t leader;
-    uint64_t prev_log_index;
-    uint64_t prev_log_term;
-    std::vector<LogEntry> entries;
-    uint64_t leader_commit;
-  };
-  struct AppendReply {
-    uint64_t term;
-    uint32_t follower;
-    bool success;
-    uint64_t match_index;
-  };
+  // --- Message handlers (invoked by the transport on delivery) ---
+  using RequestVote = raft::RequestVote;
+  using VoteReply = raft::VoteReply;
+  using AppendEntries = raft::AppendEntries;
+  using AppendReply = raft::AppendReply;
 
   void Handle(const RequestVote& msg);
   void Handle(const VoteReply& msg);
   void Handle(const AppendEntries& msg);
   void Handle(const AppendReply& msg);
 
-  /// Arms the initial election timer (called once by the cluster).
+  /// Arms the initial election timer (called once by the cluster, on this
+  /// replica's execution context).
   void Start();
 
  private:
@@ -120,7 +113,8 @@ class RaftNode {
   void AdvanceCommitIndex();
   void ApplyCommitted();
   void ResetElectionTimer();
-  sim::SimTime ElectionTimeout();
+  runtime::TimeMicros ElectionTimeout();
+  void PersistHardState();
 
   uint64_t LastLogIndex() const { return log_.size(); }
   uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
@@ -129,10 +123,14 @@ class RaftNode {
     return index == 0 ? 0 : log_[index - 1].term;
   }
 
-  RaftCluster* cluster_;
   uint32_t id_;
   uint32_t cluster_size_;
   Rng rng_;
+  const Params* params_;
+  runtime::Clock* clock_;
+  Transport* transport_;
+  HardState* stable_;
+  bool persist_hard_state_ = true;
 
   Role role_ = Role::kFollower;
   bool stopped_ = false;
@@ -153,104 +151,105 @@ class RaftNode {
   CommitCallback on_commit_;
 };
 
-/// A fully wired Raft cluster inside one simulation Environment.
+/// A fully wired Raft cluster: replica construction plus the transport and
+/// clock wiring for one of the two substrates.
+///
+/// Sim mode (the historical constructors): every replica shares the one
+/// event loop; Propose/FindLeader/ScheduleCrash poke nodes directly.
+///
+/// Thread mode: each replica lives on its own runtime endpoint (mailbox
+/// thread) and RPCs ride runtime::Transport. Cross-thread access goes
+/// through endpoint posts — Start()/ProposeOnAll()/ScheduleCrash()/
+/// ScheduleLeaderCrash() do that internally; direct node(i) state reads are
+/// only safe before the runtime starts or after it quiesces.
 class RaftCluster {
  public:
-  /// Message-delay model: one-way latency plus payload transmission cost.
-  struct Params {
-    sim::SimTime message_latency = 300;
-    double bytes_per_us = 125.0;
-    sim::SimTime election_timeout_min = 150 * sim::kMillisecond;
-    sim::SimTime election_timeout_max = 300 * sim::kMillisecond;
-    sim::SimTime heartbeat_interval = 50 * sim::kMillisecond;
-  };
+  using Params = raft::Params;  // Historical nested-name compatibility.
 
   RaftCluster(sim::Environment* env, uint32_t num_nodes, uint64_t seed);
   RaftCluster(sim::Environment* env, uint32_t num_nodes, uint64_t seed,
               Params params);
 
-  /// Arms all election timers.
+  /// Thread-mode cluster: one replica per endpoint, RPCs over `transport`.
+  RaftCluster(runtime::Transport* transport,
+              std::vector<runtime::Endpoint*> endpoints, uint64_t seed,
+              Params params);
+
+  /// Arms all election timers (sim: inline; thread: via endpoint posts).
   void Start();
 
   /// Routes a proposal to the current leader (if any). Returns the
   /// assigned log index, or nullopt when no live leader exists — the
-  /// caller retries after a delay.
+  /// caller retries after a delay. Sim mode only (reads node state
+  /// directly).
   std::optional<uint64_t> Propose(Bytes payload);
+
+  /// Thread-mode proposal: posts a propose-if-leader task to every
+  /// replica. Non-leaders ignore it; duplicate log entries for the same
+  /// payload are deduplicated by the consensus layer's pending-erase.
+  void ProposeOnAll(Bytes payload);
 
   RaftNode& node(uint32_t id) { return *nodes_[id]; }
   size_t num_nodes() const { return nodes_.size(); }
   const Params& params() const { return params_; }
   sim::Environment& env() { return *env_; }
+  bool thread_mode() const { return env_ == nullptr; }
+  runtime::Endpoint* endpoint(uint32_t id) {
+    return id < endpoints_.size() ? endpoints_[id] : nullptr;
+  }
 
   /// The current leader id, if exactly one live node believes it leads in
-  /// the highest term.
+  /// the highest term. Sim mode (or quiesced thread runtime) only.
   std::optional<uint32_t> FindLeader() const;
 
   /// Sets one commit callback on every node (tests usually only need the
-  /// leader's, but the ordering service wants every replica's view).
+  /// leader's, but the ordering service wants every replica's view). Call
+  /// before Start().
   void SetCommitCallbackOnAll(const RaftNode::CommitCallback& cb);
 
-  /// Routes the cluster's transport through a fault injector. `node_ids`
-  /// maps replica id -> sim network node id (one entry per replica); the
-  /// injector then sees Raft traffic on those ids and can drop, duplicate,
-  /// delay or partition it like any other link.
+  /// Test hook: toggles (term, vote) restore-on-resume on every replica.
+  void SetPersistHardStateOnAll(bool persist);
+
+  /// Routes the cluster's transport through a fault injector (sim mode).
+  /// `node_ids` maps replica id -> sim network node id (one entry per
+  /// replica); the injector then sees Raft traffic on those ids and can
+  /// drop, duplicate, delay or partition it like any other link.
   void SetFaultInjector(sim::FaultInjector* injector,
-                        std::vector<sim::NodeId> node_ids) {
-    injector_ = injector;
-    node_ids_ = std::move(node_ids);
+                        std::vector<sim::NodeId> node_ids);
+
+  /// Crashes replica `id` over the window [start, end): the node loses
+  /// volatile state at `start` and rejoins as a follower at `end`. Sim
+  /// mode additionally blackholes the replica's traffic through the fault
+  /// injector; thread mode schedules both transitions on the replica's own
+  /// endpoint clock.
+  void ScheduleCrash(uint32_t id, runtime::TimeMicros start,
+                     runtime::TimeMicros end);
+
+  /// Thread-mode leader kill: at time `at` (endpoint-clock time) whichever
+  /// replica believes it leads crashes itself for `duration`; if no replica
+  /// claims leadership within 50ms of `at` (election still converging),
+  /// replica 0 crashes as a fallback so the chaos window always exercises a
+  /// failover.
+  void ScheduleLeaderCrash(runtime::TimeMicros at,
+                           runtime::TimeMicros duration);
+
+  uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
   }
-
-  /// Crashes replica `id` over the virtual-time window [start, end): the
-  /// injector blackholes its traffic and the node loses volatile state at
-  /// `start`, then rejoins as a follower at `end`.
-  void ScheduleCrash(uint32_t id, sim::SimTime start, sim::SimTime end);
-
-  // --- Transport (used by RaftNode) ---
-  template <typename Message>
-  void Send(uint32_t from, uint32_t to, uint64_t payload_bytes, Message msg) {
-    sim::SimTime delay =
-        params_.message_latency +
-        static_cast<sim::SimTime>(payload_bytes / params_.bytes_per_us);
-    if (injector_ == nullptr) {
-      env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
-        nodes_[to]->Handle(msg);
-      });
-      return;
-    }
-    const sim::FaultInjector::SendDecision decision =
-        injector_->OnSend(MappedId(from), MappedId(to));
-    if (!decision.deliver) return;
-    delay += decision.extra_delay;
-    if (decision.duplicate) {
-      // Raft handlers are idempotent, so a duplicated RPC is harmless —
-      // which is exactly the property the chaos suite exercises.
-      Message copy = msg;
-      env_->Schedule(
-          delay + params_.message_latency + decision.duplicate_extra_delay,
-          [this, to, copy = std::move(copy)]() {
-            if (injector_->OnDeliver(MappedId(to))) nodes_[to]->Handle(copy);
-          });
-    }
-    env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
-      if (injector_->OnDeliver(MappedId(to))) nodes_[to]->Handle(msg);
-    });
-  }
-
-  uint64_t messages_sent() const { return messages_sent_; }
-  void CountMessage() { ++messages_sent_; }
 
  private:
-  sim::NodeId MappedId(uint32_t replica) const {
-    return replica < node_ids_.size() ? node_ids_[replica]
-                                      : static_cast<sim::NodeId>(replica);
-  }
+  void BuildNodes(uint32_t num_nodes, uint64_t seed);
 
-  sim::Environment* env_;
+  sim::Environment* env_ = nullptr;  // Sim mode only (null under threads).
   Params params_;
+  std::unique_ptr<runtime::Clock> env_clock_;    // Sim mode.
+  std::unique_ptr<Transport> transport_;         // Owned transport adapter.
+  SimRaftTransport* sim_transport_ = nullptr;    // Downcast view (sim mode).
+  std::vector<runtime::Endpoint*> endpoints_;    // Thread mode.
+  std::vector<HardState> hard_states_;           // Stable storage, 1/replica.
   std::vector<std::unique_ptr<RaftNode>> nodes_;
-  sim::FaultInjector* injector_ = nullptr;
-  std::vector<sim::NodeId> node_ids_;
-  uint64_t messages_sent_ = 0;
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<bool> leader_crash_claimed_{false};
 };
 
 }  // namespace fabricpp::raft

@@ -1,0 +1,40 @@
+#include "raft/sim_transport.h"
+
+#include "sim/fault_injector.h"
+
+namespace fabricpp::raft {
+
+void SimRaftTransport::Send(uint32_t from, uint32_t to, uint64_t payload_bytes,
+                            RaftMessage msg) {
+  messages_sent_->fetch_add(1, std::memory_order_relaxed);
+  sim::SimTime delay =
+      params_->message_latency +
+      static_cast<sim::SimTime>(payload_bytes / params_->bytes_per_us);
+  if (injector_ == nullptr) {
+    env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
+      deliver_(to, msg);
+    });
+    return;
+  }
+  const sim::FaultInjector::SendDecision decision =
+      injector_->OnSend(MappedId(from), MappedId(to));
+  if (!decision.deliver) return;
+  delay += decision.extra_delay;
+  if (decision.duplicate) {
+    // Raft handlers are idempotent, so a duplicated RPC is harmless —
+    // which is exactly the property the chaos suite exercises. The copy is
+    // scheduled before the original: event-insertion order is part of the
+    // deterministic fingerprint and must match the historical transport.
+    RaftMessage copy = msg;
+    env_->Schedule(
+        delay + params_->message_latency + decision.duplicate_extra_delay,
+        [this, to, copy = std::move(copy)]() {
+          if (injector_->OnDeliver(MappedId(to))) deliver_(to, copy);
+        });
+  }
+  env_->Schedule(delay, [this, to, msg = std::move(msg)]() {
+    if (injector_->OnDeliver(MappedId(to))) deliver_(to, msg);
+  });
+}
+
+}  // namespace fabricpp::raft

@@ -1,0 +1,51 @@
+#ifndef FABRICPP_RAFT_THREAD_TRANSPORT_H_
+#define FABRICPP_RAFT_THREAD_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "raft/transport.h"
+#include "runtime/runtime.h"
+
+namespace fabricpp::raft {
+
+/// The thread-mode raft::Transport: each replica is a runtime endpoint
+/// (its own mailbox thread), and RPCs ride the runtime seam's transport —
+/// delivery runs on the receiving replica's mailbox thread, preserving the
+/// single-writer discipline RaftNode is written against. Deliveries are
+/// sheddable under mailbox backpressure: Raft tolerates message loss by
+/// design (retries, idempotent handlers, the consensus layer re-proposes).
+class ThreadRaftTransport final : public Transport {
+ public:
+  using DeliverFn = std::function<void(uint32_t to, const RaftMessage& msg)>;
+
+  ThreadRaftTransport(runtime::Transport* transport,
+                      std::vector<runtime::Endpoint*> endpoints,
+                      std::atomic<uint64_t>* messages_sent)
+      : transport_(transport),
+        endpoints_(std::move(endpoints)),
+        messages_sent_(messages_sent) {}
+
+  void SetDeliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  void Send(uint32_t from, uint32_t to, uint64_t payload_bytes,
+            RaftMessage msg) override {
+    messages_sent_->fetch_add(1, std::memory_order_relaxed);
+    transport_->Send(*endpoints_[from], *endpoints_[to], payload_bytes,
+                     [this, to, msg = std::move(msg)]() {
+                       deliver_(to, msg);
+                     });
+  }
+
+ private:
+  runtime::Transport* transport_;
+  std::vector<runtime::Endpoint*> endpoints_;
+  std::atomic<uint64_t>* messages_sent_;
+  DeliverFn deliver_;
+};
+
+}  // namespace fabricpp::raft
+
+#endif  // FABRICPP_RAFT_THREAD_TRANSPORT_H_

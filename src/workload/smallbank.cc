@@ -23,36 +23,62 @@ void SmallbankWorkload::SeedState(statedb::StateDb* db) const {
   }
 }
 
-uint64_t SmallbankWorkload::PickUser(Rng& rng) const {
-  return zipf_.Next(rng);
+uint64_t SmallbankWorkload::PickUser(Rng& rng, uint64_t base,
+                                     uint64_t span) const {
+  return base + zipf_.Next(rng) % span;
 }
 
 std::vector<std::string> SmallbankWorkload::NextArgs(Rng& rng) const {
+  return NextArgsIn(rng, 0, config_.num_users);
+}
+
+std::vector<std::string> SmallbankWorkload::NextArgsFor(uint32_t channel,
+                                                        Rng& rng) const {
+  if (config_.channel_shards <= 1) return NextArgs(rng);
+  // Contiguous user shards, one per channel (round-robin when there are
+  // more channels than shards); the last shard absorbs the remainder. The
+  // draw sequence is identical to NextArgs — only the mapping differs.
+  const uint64_t shards =
+      std::min<uint64_t>(config_.channel_shards, config_.num_users);
+  const uint64_t shard = channel % shards;
+  const uint64_t per = config_.num_users / shards;
+  const uint64_t base = shard * per;
+  const uint64_t span =
+      shard == shards - 1 ? config_.num_users - base : per;
+  return NextArgsIn(rng, base, span);
+}
+
+std::vector<std::string> SmallbankWorkload::NextArgsIn(Rng& rng,
+                                                       uint64_t base,
+                                                       uint64_t span) const {
   const std::string amount =
       std::to_string(1 + static_cast<int64_t>(
                              rng.NextUint64(config_.max_amount)));
   if (!rng.NextBool(config_.prob_write)) {
-    return {"query", std::to_string(PickUser(rng))};
+    return {"query", std::to_string(PickUser(rng, base, span))};
   }
   // One of the five modifying transactions, uniformly (paper §6.2.2).
   switch (rng.NextUint64(5)) {
     case 0:
-      return {"transact_savings", std::to_string(PickUser(rng)), amount};
+      return {"transact_savings", std::to_string(PickUser(rng, base, span)),
+              amount};
     case 1:
-      return {"deposit_checking", std::to_string(PickUser(rng)), amount};
+      return {"deposit_checking", std::to_string(PickUser(rng, base, span)),
+              amount};
     case 2: {
-      const uint64_t from = PickUser(rng);
-      uint64_t to = PickUser(rng);
-      if (config_.num_users > 1) {
-        while (to == from) to = PickUser(rng);
+      const uint64_t from = PickUser(rng, base, span);
+      uint64_t to = PickUser(rng, base, span);
+      if (span > 1) {
+        while (to == from) to = PickUser(rng, base, span);
       }
       return {"send_payment", std::to_string(from), std::to_string(to),
               amount};
     }
     case 3:
-      return {"write_check", std::to_string(PickUser(rng)), amount};
+      return {"write_check", std::to_string(PickUser(rng, base, span)),
+              amount};
     default:
-      return {"amalgamate", std::to_string(PickUser(rng))};
+      return {"amalgamate", std::to_string(PickUser(rng, base, span))};
   }
 }
 

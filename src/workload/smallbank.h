@@ -22,6 +22,12 @@ struct SmallbankConfig {
   /// Initial balance range.
   int64_t min_balance = 10000;
   int64_t max_balance = 50000;
+  /// Multi-channel mode: when > 1, the user population is split into this
+  /// many contiguous shards and channel c's clients only touch shard
+  /// c % channel_shards — each channel models an independent tenant with
+  /// its own accounts (NextArgsFor). 1 = every channel draws from the full
+  /// population (the historical behavior, and the NextArgs path).
+  uint32_t channel_shards = 1;
 };
 
 /// The Smallbank benchmark (paper §6.2.2): six transaction types over
@@ -33,11 +39,17 @@ class SmallbankWorkload : public Workload {
   std::string chaincode() const override { return "smallbank"; }
   void SeedState(statedb::StateDb* db) const override;
   std::vector<std::string> NextArgs(Rng& rng) const override;
+  std::vector<std::string> NextArgsFor(uint32_t channel,
+                                       Rng& rng) const override;
 
   const SmallbankConfig& config() const { return config_; }
 
  private:
-  uint64_t PickUser(Rng& rng) const;
+  /// One Zipf draw mapped into [base, base + span) — the channel's user
+  /// shard (base 0, span num_users for the unsharded path).
+  uint64_t PickUser(Rng& rng, uint64_t base, uint64_t span) const;
+  std::vector<std::string> NextArgsIn(Rng& rng, uint64_t base,
+                                      uint64_t span) const;
 
   SmallbankConfig config_;
   ZipfGenerator zipf_;

@@ -29,6 +29,18 @@ class Workload {
 
   /// Generates the argument vector of the next proposal.
   virtual std::vector<std::string> NextArgs(Rng& rng) const = 0;
+
+  /// Generates the next proposal's arguments for a client on `channel`.
+  /// The default ignores the channel and delegates to NextArgs — every
+  /// channel runs the same generator over the full keyspace. Multi-channel
+  /// workloads override this to give each channel its own key population
+  /// (e.g. SmallbankConfig::channel_shards), modeling independent tenants;
+  /// overrides should draw the same amount of randomness as NextArgs so a
+  /// client's RNG stream stays aligned across modes.
+  virtual std::vector<std::string> NextArgsFor(uint32_t /*channel*/,
+                                               Rng& rng) const {
+    return NextArgs(rng);
+  }
 };
 
 }  // namespace fabricpp::workload

@@ -52,12 +52,15 @@ struct ChaosOutcome {
   uint64_t dropped = 0;
   uint64_t duplicated = 0;
   uint64_t peer_recoveries = 0;
-  uint64_t height = 0;
-  crypto::Digest tip{};
+  uint64_t height = 0;       ///< Channel 0 (kept for single-channel asserts).
+  crypto::Digest tip{};      ///< Channel 0.
+  /// Per-channel (height, tip) across all channels — the multi-channel
+  /// fingerprint.
+  std::vector<std::pair<uint64_t, crypto::Digest>> chains;
 
   auto Tie() const {
     return std::tie(successful, failed, dropped, duplicated, peer_recoveries,
-                    height, tip);
+                    height, tip, chains);
   }
 };
 
@@ -92,35 +95,43 @@ ChaosOutcome RunChaos(FabricConfig config, bool crash_raft_leader) {
   network.SyncPeers();
   network.env().RunUntil(15 * kSecond);
 
-  // Convergence: every peer holds the same verified hash chain.
-  const ledger::Ledger& observer = network.peer(0).ledger(0);
-  EXPECT_GT(observer.Height(), 1u);
-  for (uint32_t p = 0; p < network.num_peers(); ++p) {
-    const ledger::Ledger& ledger = network.peer(p).ledger(0);
-    EXPECT_TRUE(ledger.VerifyChain().ok()) << "peer " << p;
-    EXPECT_EQ(ledger.Height(), observer.Height()) << "peer " << p;
-    EXPECT_EQ(ledger.LastHash(), observer.LastHash()) << "peer " << p;
-  }
+  // Convergence: on every channel, every peer holds the same verified hash
+  // chain. Exactly-once: despite duplicated submissions and redelivered
+  // blocks, no transaction id commits as valid twice anywhere in any chain.
+  std::vector<std::pair<uint64_t, crypto::Digest>> chains;
+  for (uint32_t c = 0; c < config.num_channels; ++c) {
+    const ledger::Ledger& observer = network.peer(0).ledger(c);
+    EXPECT_GT(observer.Height(), 1u) << "channel " << c;
+    for (uint32_t p = 0; p < network.num_peers(); ++p) {
+      const ledger::Ledger& ledger = network.peer(p).ledger(c);
+      EXPECT_TRUE(ledger.VerifyChain().ok()) << "peer " << p << " ch " << c;
+      EXPECT_EQ(ledger.Height(), observer.Height())
+          << "peer " << p << " ch " << c;
+      EXPECT_EQ(ledger.LastHash(), observer.LastHash())
+          << "peer " << p << " ch " << c;
+    }
+    chains.emplace_back(observer.Height(), observer.LastHash());
 
-  // Exactly-once: despite duplicated submissions and redelivered blocks, no
-  // transaction id commits as valid twice anywhere in the chain.
-  std::map<std::string, std::pair<uint64_t, size_t>> valid_ids;
-  for (uint64_t n = 1; n < observer.Height(); ++n) {
-    const auto stored = observer.GetBlock(n);
-    EXPECT_TRUE(stored.ok());
-    if (!stored.ok()) continue;
-    const ledger::StoredBlock* sb = *stored;
-    for (size_t i = 0; i < sb->block.transactions.size(); ++i) {
-      if (sb->validation_codes[i] != proto::TxValidationCode::kValid) continue;
-      const auto [it, inserted] = valid_ids.emplace(
-          sb->block.transactions[i].tx_id, std::make_pair(n, i));
-      EXPECT_TRUE(inserted)
-          << "tx committed twice: " << sb->block.transactions[i].tx_id
-          << " first at block " << it->second.first << " idx "
-          << it->second.second << " again at block " << n << " idx " << i
-          << " client " << sb->block.transactions[i].client << " reads "
-          << sb->block.transactions[i].rwset.reads.size() << " writes "
-          << sb->block.transactions[i].rwset.writes.size();
+    std::map<std::string, std::pair<uint64_t, size_t>> valid_ids;
+    for (uint64_t n = 1; n < observer.Height(); ++n) {
+      const auto stored = observer.GetBlock(n);
+      EXPECT_TRUE(stored.ok());
+      if (!stored.ok()) continue;
+      const ledger::StoredBlock* sb = *stored;
+      for (size_t i = 0; i < sb->block.transactions.size(); ++i) {
+        if (sb->validation_codes[i] != proto::TxValidationCode::kValid) {
+          continue;
+        }
+        const auto [it, inserted] = valid_ids.emplace(
+            sb->block.transactions[i].tx_id, std::make_pair(n, i));
+        EXPECT_TRUE(inserted)
+            << "tx committed twice: " << sb->block.transactions[i].tx_id
+            << " first at block " << it->second.first << " idx "
+            << it->second.second << " again at block " << n << " idx " << i
+            << " client " << sb->block.transactions[i].client << " reads "
+            << sb->block.transactions[i].rwset.reads.size() << " writes "
+            << sb->block.transactions[i].rwset.writes.size();
+      }
     }
   }
 
@@ -139,8 +150,9 @@ ChaosOutcome RunChaos(FabricConfig config, bool crash_raft_leader) {
   outcome.dropped = stats.TotalDropped();
   outcome.duplicated = stats.duplicated;
   outcome.peer_recoveries = report.peer_recoveries;
-  outcome.height = observer.Height();
-  outcome.tip = observer.LastHash();
+  outcome.height = chains[0].first;
+  outcome.tip = chains[0].second;
+  outcome.chains = std::move(chains);
   return outcome;
 }
 
@@ -346,6 +358,36 @@ TEST(ChaosTest, IdenticalSeedsReplayBitForBit) {
   const ChaosOutcome c =
       RunChaos(ChaosBaseConfig(FabricConfig::FabricPlusPlus(), 4321), false);
   EXPECT_NE(a.tip, c.tip);
+}
+
+TEST(ChaosTest, IdenticalSeedsReplayBitForBitFourChannels) {
+  // The multi-channel fingerprint: four independent chains under the same
+  // fault schedule, every channel's (height, tip) replayed bit-for-bit.
+  FabricConfig config = ChaosBaseConfig(FabricConfig::FabricPlusPlus(), 1234);
+  config.num_channels = 4;
+  config.clients_per_channel = 2;
+  const ChaosOutcome a = RunChaos(config, false);
+  const ChaosOutcome b = RunChaos(config, false);
+  ASSERT_EQ(a.chains.size(), 4u);
+  EXPECT_EQ(a.Tie(), b.Tie());
+  // The channels really carry distinct histories (distinct client streams).
+  EXPECT_NE(a.chains[0].second, a.chains[1].second);
+}
+
+TEST(ChaosTest, RaftFourChannelsReplaysBitForBit) {
+  // Raft ordering with four channels: the consensus log interleaves blocks
+  // of all channels; the per-channel (channel, number) identity must route
+  // each commit to its own chain, and the whole run must still replay
+  // bit-for-bit — including across a leader crash.
+  FabricConfig config = ChaosBaseConfig(FabricConfig::Vanilla(), 1234);
+  config.ordering_backend = fabric::OrderingBackend::kRaft;
+  config.num_channels = 4;
+  config.clients_per_channel = 2;
+  const ChaosOutcome a = RunChaos(config, true);
+  const ChaosOutcome b = RunChaos(config, true);
+  ASSERT_EQ(a.chains.size(), 4u);
+  EXPECT_EQ(a.Tie(), b.Tie());
+  for (const auto& [height, tip] : a.chains) EXPECT_GT(height, 1u);
 }
 
 }  // namespace

@@ -288,12 +288,76 @@ TEST(ConfigValidationTest, RuntimeMode) {
   ExpectInvalid(config, "empty runtime_mode");
 }
 
-TEST(ConfigValidationTest, RaftIsSimulationOnly) {
+TEST(ConfigValidationTest, RaftRunsOnSimAndThreadRuntimes) {
+  // Historically raft was simulation-only; it now runs on the thread
+  // runtime too (replicas on their own mailbox threads). Socket mode still
+  // rejects it — see SocketModeRejectsUnsupportedFeatures.
   auto config = Base();
-  config.runtime_mode = "thread";
   config.ordering_backend = OrderingBackend::kRaft;
-  ExpectInvalid(config, "raft under the thread runtime");
+  config.runtime_mode = "thread";
+  EXPECT_TRUE(config.Validate().ok());
   config.runtime_mode = "sim";
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, RaftClusterSizeBounds) {
+  auto config = Base();
+  config.ordering_backend = OrderingBackend::kRaft;
+  config.raft_cluster_size = 0;
+  ExpectInvalid(config, "raft_cluster_size = 0");
+
+  // Even clusters tolerate no more failures than the next-smaller odd one
+  // and make split votes likelier — rejected rather than silently accepted.
+  config.raft_cluster_size = 4;
+  ExpectInvalid(config, "raft_cluster_size = 4 (even)");
+
+  config.raft_cluster_size = 65;
+  ExpectInvalid(config, "raft_cluster_size = 65");
+
+  config.raft_cluster_size = 5;
+  EXPECT_TRUE(config.Validate().ok());
+
+  // The bounds only bind when the raft backend is selected.
+  config.ordering_backend = OrderingBackend::kSolo;
+  config.raft_cluster_size = 4;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidationTest, RaftTimingKnobs) {
+  auto config = Base();
+  config.ordering_backend = OrderingBackend::kRaft;
+
+  config.raft_params.heartbeat_interval = 0;
+  ExpectInvalid(config, "heartbeat_interval = 0");
+
+  config = Base();
+  config.ordering_backend = OrderingBackend::kRaft;
+  config.raft_params.election_timeout_min = 0;
+  ExpectInvalid(config, "election_timeout_min = 0");
+
+  config = Base();
+  config.ordering_backend = OrderingBackend::kRaft;
+  config.raft_params.election_timeout_max =
+      config.raft_params.election_timeout_min - 1;
+  ExpectInvalid(config, "election_timeout_max < election_timeout_min");
+
+  // A heartbeat period at or above the election floor guarantees spurious
+  // elections: followers time out before the next heartbeat can arrive.
+  config = Base();
+  config.ordering_backend = OrderingBackend::kRaft;
+  config.raft_params.heartbeat_interval =
+      config.raft_params.election_timeout_min;
+  ExpectInvalid(config, "heartbeat_interval >= election_timeout_min");
+}
+
+TEST(ConfigValidationTest, ChannelLanesBounds) {
+  auto config = Base();
+  config.channel_lanes = 65;
+  ExpectInvalid(config, "channel_lanes = 65");
+
+  config.channel_lanes = 0;  // Auto: one lane per channel, capped at 8.
+  EXPECT_TRUE(config.Validate().ok());
+  config.channel_lanes = 64;
   EXPECT_TRUE(config.Validate().ok());
 }
 

@@ -294,6 +294,41 @@ TEST(FabricNetworkTest, RaftOrderingBackendCommits) {
   }
 }
 
+TEST(RaftConsensusTest, BlockIdentityHasNoCrossChannelCollisions) {
+  // Regression for the historical pending-key packing
+  // `(channel << 48) | number`, which aliased distinct blocks: a commit for
+  // one channel could erase (and deliver) another channel's pending block.
+  // The identity is now a (channel, number) struct carried as 12 payload
+  // bytes; every aliasing pair must encode distinctly and round-trip.
+  using fabric::RaftConsensus;
+  const RaftConsensus::BlockId collisions[][2] = {
+      // Old packing: both sides packed to the same uint64.
+      {{1, 0}, {0, uint64_t{1} << 48}},
+      {{2, 5}, {0, (uint64_t{2} << 48) | 5}},
+      {{7, uint64_t{1} << 48}, {8, 0}},
+  };
+  for (const auto& pair : collisions) {
+    const Bytes a = RaftConsensus::EncodePayload(pair[0], 0);
+    const Bytes b = RaftConsensus::EncodePayload(pair[1], 0);
+    EXPECT_NE(a, b);
+    RaftConsensus::BlockId decoded;
+    ASSERT_TRUE(RaftConsensus::DecodePayload(a, &decoded));
+    EXPECT_EQ(decoded, pair[0]);
+    ASSERT_TRUE(RaftConsensus::DecodePayload(b, &decoded));
+    EXPECT_EQ(decoded, pair[1]);
+  }
+  // The payload is padded to the block's wire size (replication cost
+  // model); the identity survives the padding.
+  const RaftConsensus::BlockId id{3, 12345};
+  const Bytes padded = RaftConsensus::EncodePayload(id, 4096);
+  EXPECT_EQ(padded.size(), 4096u);
+  RaftConsensus::BlockId decoded;
+  ASSERT_TRUE(RaftConsensus::DecodePayload(padded, &decoded));
+  EXPECT_EQ(decoded, id);
+  // A payload too short to carry an identity is rejected, not misread.
+  EXPECT_FALSE(RaftConsensus::DecodePayload(Bytes(11, 0), &decoded));
+}
+
 TEST(FabricNetworkTest, RaftBackendDeterministic) {
   SmallbankWorkload workload(SmallSmallbank());
   FabricConfig config = QuickPlusPlus();

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "raft/raft_node.h"
 #include "sim/environment.h"
@@ -178,6 +179,77 @@ TEST_F(RaftFixture, ProposeFailsWithoutLeader) {
   ASSERT_TRUE(AwaitLeader().has_value());
   for (uint32_t i = 0; i < 3; ++i) cluster_->node(i).Stop();
   EXPECT_FALSE(cluster_->Propose(Payload("nobody-home")));
+}
+
+TEST_F(RaftFixture, CrashedReplicaCannotVoteTwiceInATerm) {
+  // Double-vote regression: (current_term, voted_for) persist to stable
+  // storage on every change and are restored on Resume(), so a replica
+  // that crashes mid-election cannot grant its term-T vote twice. The
+  // cluster is never Start()ed — no election timers; node 2 is driven by
+  // hand.
+  sim::Environment env;
+  RaftCluster cluster(&env, 3, 7);
+  RaftNode& voter = cluster.node(2);
+
+  voter.Handle(RequestVote{/*term=*/5, /*candidate=*/0,
+                           /*last_log_index=*/0, /*last_log_term=*/0});
+  EXPECT_EQ(voter.current_term(), 5u);
+  ASSERT_TRUE(voter.voted_for().has_value());
+  EXPECT_EQ(*voter.voted_for(), 0u);
+
+  voter.Crash();
+  voter.Resume();
+  // Stable storage restored the vote across the crash window...
+  EXPECT_EQ(voter.current_term(), 5u);
+  ASSERT_TRUE(voter.voted_for().has_value());
+  EXPECT_EQ(*voter.voted_for(), 0u);
+  // ...so a competing candidate in the same term is refused.
+  voter.Handle(RequestVote{5, /*candidate=*/1, 0, 0});
+  EXPECT_EQ(*voter.voted_for(), 0u);
+}
+
+TEST_F(RaftFixture, DisablingHardStateRestoreReopensDoubleVoteGap) {
+  // The historical gap, reproduced via the test hook: without the restore,
+  // a crashed replica forgets its vote and grants term 5 to a second
+  // candidate — two leaders in one term become possible.
+  sim::Environment env;
+  RaftCluster cluster(&env, 3, 7);
+  RaftNode& voter = cluster.node(2);
+  voter.set_persist_hard_state(false);
+
+  voter.Handle(RequestVote{5, /*candidate=*/0, 0, 0});
+  ASSERT_TRUE(voter.voted_for().has_value());
+  EXPECT_EQ(*voter.voted_for(), 0u);
+
+  voter.Crash();
+  voter.Resume();
+  voter.Handle(RequestVote{5, /*candidate=*/1, 0, 0});
+  ASSERT_TRUE(voter.voted_for().has_value());
+  EXPECT_EQ(*voter.voted_for(), 1u) << "gap closed? then drop this hook";
+}
+
+TEST_F(RaftFixture, ChaosCrashWindowNeverElectsTwoLeadersPerTerm) {
+  // Cluster-level double-vote check: replicas crash in overlapping windows
+  // while proposals flow; at no point may two live nodes lead in the same
+  // term (a successful double vote is exactly what would allow it).
+  Build(5, /*seed=*/13);
+  ASSERT_TRUE(AwaitLeader().has_value());
+  cluster_->ScheduleCrash(0, 500 * sim::kMillisecond, 2 * sim::kSecond);
+  cluster_->ScheduleCrash(1, 700 * sim::kMillisecond,
+                          1800 * sim::kMillisecond);
+  std::map<uint64_t, std::set<uint32_t>> leaders_by_term;
+  const sim::SimTime deadline = env_.Now() + 6 * sim::kSecond;
+  while (env_.Now() < deadline && env_.Step()) {
+    for (uint32_t i = 0; i < 5; ++i) {
+      const RaftNode& node = cluster_->node(i);
+      if (node.role() == Role::kLeader && !node.stopped()) {
+        leaders_by_term[node.current_term()].insert(i);
+      }
+    }
+  }
+  for (const auto& [term, leaders] : leaders_by_term) {
+    EXPECT_LE(leaders.size(), 1u) << "two leaders in term " << term;
+  }
 }
 
 TEST_F(RaftFixture, DeterministicAcrossRuns) {

@@ -198,11 +198,12 @@ TEST(ValidatorConcurrencyTest, VerifyStageIdenticalAcrossWorkerCounts) {
 /// *excluded* by design — they are host measurements and legitimately vary;
 /// ReorderStats is included precisely to pin down that it no longer carries
 /// any.
-std::pair<std::string, crypto::Digest> RunFingerprint(
+std::pair<std::string, std::vector<crypto::Digest>> RunFingerprint(
     uint32_t workers, bool with_faults, uint32_t commit_workers = 1,
-    bool ship_schedule = false) {
+    bool ship_schedule = false, uint32_t num_channels = 1) {
   workload::SmallbankConfig wl_config;
   wl_config.num_users = 500;
+  wl_config.channel_shards = num_channels;  // One tenant shard per channel.
   workload::SmallbankWorkload workload(wl_config);
 
   FabricConfig config = FabricConfig::FabricPlusPlus();
@@ -212,6 +213,8 @@ std::pair<std::string, crypto::Digest> RunFingerprint(
   config.validator_workers = workers;
   config.commit_workers = commit_workers;
   config.ship_commit_schedule = ship_schedule;
+  config.num_channels = num_channels;
+  if (num_channels > 1) config.clients_per_channel = 2;
 
   FabricNetwork network(config, &workload);
   if (with_faults) {
@@ -248,9 +251,15 @@ std::pair<std::string, crypto::Digest> RunFingerprint(
   // Reordering ran (FabricPlusPlus config) and its wall-clock landed on the
   // measurement side, not in the deterministic stats.
   EXPECT_GT(network.metrics().reorder_wall_clock().batches, 0u);
-  return {report.ToString() + "\n" +
-              network.orderer().last_reorder_stats().ToString(),
-          network.peer(0).ledger(0).LastHash()};
+  // Per-channel reorder stats + every channel's chain tip: the fingerprint
+  // covers all channels, not just channel 0.
+  std::string text = report.ToString();
+  std::vector<crypto::Digest> tips;
+  for (uint32_t c = 0; c < num_channels; ++c) {
+    text += "\n" + network.orderer().last_reorder_stats(c).ToString();
+    tips.push_back(network.peer(0).ledger(c).LastHash());
+  }
+  return {std::move(text), std::move(tips)};
 }
 
 TEST(ValidationWorkersDeterminismTest, CleanRunBitIdenticalFor1_4_8Workers) {
@@ -263,6 +272,26 @@ TEST(ValidationWorkersDeterminismTest, ChaosReplayBitIdenticalFor1_4_8Workers) {
   const auto baseline = RunFingerprint(1, /*with_faults=*/true);
   EXPECT_EQ(RunFingerprint(4, true), baseline);
   EXPECT_EQ(RunFingerprint(8, true), baseline);
+}
+
+TEST(ValidationWorkersDeterminismTest, CleanRunBitIdenticalFourChannels) {
+  // Four channels, each a Smallbank tenant shard: per-channel reorder stats
+  // and all four chain tips must be byte-identical across worker counts.
+  const auto baseline =
+      RunFingerprint(1, /*with_faults=*/false, 1, false, /*num_channels=*/4);
+  ASSERT_EQ(baseline.second.size(), 4u);
+  EXPECT_EQ(RunFingerprint(4, false, 1, false, 4), baseline);
+  EXPECT_EQ(RunFingerprint(8, false, 4, false, 4), baseline);
+  // The shards genuinely diverge the chains (distinct key populations).
+  EXPECT_NE(baseline.second[0], baseline.second[1]);
+}
+
+TEST(ValidationWorkersDeterminismTest, ChaosReplayBitIdenticalFourChannels) {
+  const auto baseline =
+      RunFingerprint(1, /*with_faults=*/true, 1, false, /*num_channels=*/4);
+  ASSERT_EQ(baseline.second.size(), 4u);
+  EXPECT_EQ(RunFingerprint(4, true, 1, false, 4), baseline);
+  EXPECT_EQ(RunFingerprint(8, true, 4, false, 4), baseline);
 }
 
 // --- Dependency-aware commit: determinism across commit_workers ---
